@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the semantic-grouping pipeline: LSI fit,
+//! one-level grouping, balanced partitioning, full system build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartstore::grouping::{group_level, partition_balanced};
+use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_bench::fixture::population;
+use smartstore_linalg::{Lsi, LsiConfig};
+use smartstore_trace::TraceKind;
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsi_fit");
+    for n in [100usize, 400, 1600] {
+        let pop = population(TraceKind::Msn, n, 1);
+        let vectors: Vec<Vec<f64>> =
+            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, v| {
+            b.iter(|| std::hint::black_box(Lsi::fit_items(v, LsiConfig::default())))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("group_level");
+    for n in [50usize, 100, 200] {
+        let pop = population(TraceKind::Msn, n * 10, 2);
+        // Group unit-like centroids, the realistic input size.
+        let vectors: Vec<Vec<f64>> = pop
+            .files
+            .chunks(10)
+            .map(|chunk| {
+                let mut c = vec![0.0; 8];
+                for f in chunk {
+                    for (acc, v) in c.iter_mut().zip(f.attr_vector()) {
+                        *acc += v / chunk.len() as f64;
+                    }
+                }
+                c
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, v| {
+            b.iter(|| std::hint::black_box(group_level(v, 0.85, 3, 10)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("partition_balanced");
+    g.sample_size(10);
+    for n in [1000usize, 4000] {
+        let pop = population(TraceKind::Msn, n, 3);
+        let vectors: Vec<Vec<f64>> =
+            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, v| {
+            b.iter(|| std::hint::black_box(partition_balanced(v, 40, 3, 7)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("system_build");
+    g.sample_size(10);
+    for n in [1000usize, 3000] {
+        let pop = population(TraceKind::Msn, n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pop, |b, p| {
+            b.iter(|| {
+                std::hint::black_box(SmartStoreSystem::build(
+                    p.files.clone(),
+                    30,
+                    SmartStoreConfig::default(),
+                    4,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_grouping
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for single-query latency (wall-clock of
+//! the actual Rust code, complementing the simulated-cost Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartstore::routing::RouteMode;
+use smartstore_bench::baselines::{DbmsBaseline, RTreeBaseline};
+use smartstore_bench::fixture::{population, system, workload};
+use smartstore_trace::{QueryDistribution, TraceKind};
+
+fn bench_queries(c: &mut Criterion) {
+    let pop = population(TraceKind::Msn, 4000, 1);
+    let db = DbmsBaseline::build(&pop.files);
+    let rt = RTreeBaseline::build(&pop.files);
+    let mut sys = system(&pop, 40, 1);
+    let w = workload(&pop, QueryDistribution::Zipf, 32, 2);
+
+    let mut g = c.benchmark_group("range_query");
+    g.bench_function(BenchmarkId::new("dbms", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.ranges[i % w.ranges.len()];
+            i += 1;
+            std::hint::black_box(db.range(&q.lo, &q.hi))
+        })
+    });
+    g.bench_function(BenchmarkId::new("rtree", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.ranges[i % w.ranges.len()];
+            i += 1;
+            std::hint::black_box(rt.range(&q.lo, &q.hi))
+        })
+    });
+    g.bench_function(BenchmarkId::new("smartstore", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.ranges[i % w.ranges.len()];
+            i += 1;
+            std::hint::black_box(sys.range_query(&q.lo, &q.hi, RouteMode::Offline))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("topk_query");
+    g.bench_function(BenchmarkId::new("dbms", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.topks[i % w.topks.len()];
+            i += 1;
+            std::hint::black_box(db.topk(&q.point, q.k))
+        })
+    });
+    g.bench_function(BenchmarkId::new("rtree", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.topks[i % w.topks.len()];
+            i += 1;
+            std::hint::black_box(rt.topk(&q.point, q.k))
+        })
+    });
+    g.bench_function(BenchmarkId::new("smartstore", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.topks[i % w.topks.len()];
+            i += 1;
+            std::hint::black_box(sys.topk_query(&q.point, q.k, RouteMode::Offline))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("point_query");
+    g.bench_function(BenchmarkId::new("dbms", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.points[i % w.points.len()];
+            i += 1;
+            std::hint::black_box(db.point(&q.name))
+        })
+    });
+    g.bench_function(BenchmarkId::new("smartstore", 4000), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &w.points[i % w.points.len()];
+            i += 1;
+            std::hint::black_box(sys.point_query(&q.name))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

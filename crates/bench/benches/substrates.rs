@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the substrate crates: R-tree, B+-tree,
+//! Bloom filter / MD5, Jacobi SVD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartstore_bloom::{md5::md5, BloomFilter};
+use smartstore_bptree::BPlusTree;
+use smartstore_linalg::{jacobi_svd, Matrix};
+use smartstore_rtree::{Rect, RTree, RTreeConfig};
+
+fn scattered(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 7919 + d * 104729) % 100_000) as f64) / 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree_insert");
+    for n in [1000usize, 10_000] {
+        let pts = scattered(n, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut t = RTree::new(8, RTreeConfig::new(16, 6));
+                for (i, p) in pts.iter().enumerate() {
+                    t.insert(Rect::point(p), i);
+                }
+                std::hint::black_box(t.len())
+            })
+        });
+    }
+    g.finish();
+
+    let pts = scattered(10_000, 8);
+    let mut tree = RTree::new(8, RTreeConfig::new(16, 6));
+    for (i, p) in pts.iter().enumerate() {
+        tree.insert(Rect::point(p), i);
+    }
+    let mut g = c.benchmark_group("rtree_query");
+    g.bench_function("range", |b| {
+        let q = Rect::new(vec![100.0; 8], vec![400.0; 8]);
+        b.iter(|| std::hint::black_box(tree.range(&q).len()))
+    });
+    g.bench_function("knn8", |b| {
+        b.iter(|| std::hint::black_box(tree.knn(&[500.0; 8], 8)))
+    });
+    g.finish();
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bptree");
+    g.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new(32);
+            for i in 0..10_000u64 {
+                t.insert(i.wrapping_mul(2654435761) % 65536, i);
+            }
+            std::hint::black_box(t.len())
+        })
+    });
+    let mut t = BPlusTree::new(32);
+    for i in 0..100_000u64 {
+        t.insert(i.wrapping_mul(2654435761) % 65536, i);
+    }
+    g.bench_function("range_scan", |b| {
+        b.iter(|| std::hint::black_box(t.range(&1000, &2000).len()))
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("md5_64B", |b| {
+        let data = [0x5au8; 64];
+        b.iter(|| std::hint::black_box(md5(&data)))
+    });
+    g.bench_function("insert_1024b_k7", |b| {
+        let mut f = BloomFilter::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&i.to_le_bytes());
+        })
+    });
+    let mut f = BloomFilter::paper_default();
+    for i in 0..200u64 {
+        f.insert(&i.to_le_bytes());
+    }
+    g.bench_function("contains", |b| {
+        let probe = 9999u64.to_le_bytes();
+        b.iter(|| std::hint::black_box(f.contains(&probe)))
+    });
+    g.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_svd");
+    for (rows, cols) in [(8usize, 64usize), (8, 256), (16, 256)] {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &m,
+            |b, m| b.iter(|| std::hint::black_box(jacobi_svd(m))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rtree, bench_bptree, bench_bloom, bench_svd
+}
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! The two baseline systems of §5.1, wrapped with the same cost
+//! accounting as SmartStore.
+//!
+//! * **DBMS** — one B+-tree per attribute (`smartstore_bptree::Dbms`),
+//!   centralized on a single server.
+//! * **R-tree** — one multi-dimensional R-tree over raw attribute
+//!   vectors (`smartstore_rtree::RTree`), also centralized: "R-tree is a
+//!   centralized structure" (Fig. 7 discussion).
+//!
+//! Both charge 2 wire hops (client↔server) plus index-node and record
+//! probe costs; their defining weakness in the paper — every query lands
+//! on one server — is modeled by the batch scheduler
+//! ([`crate::sched`]), which serializes their work on a single queue.
+
+use smartstore_bptree::Dbms;
+use smartstore_rtree::{bulk::str_bulk_load, Rect, RTree, RTreeConfig};
+use smartstore_simnet::CostModel;
+use smartstore_trace::{FileMetadata, ATTR_DIMS};
+
+/// Cost of one baseline query (same shape as SmartStore's
+/// `QueryCost`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselineCost {
+    /// End-to-end latency in ns (2 hops + server work).
+    pub latency_ns: u64,
+    /// Server-side work alone in ns (what queues under load).
+    pub service_ns: u64,
+    /// Messages (always 2: request + reply).
+    pub messages: u64,
+}
+
+fn cost_from_work(nodes: usize, records: usize, cost: &CostModel) -> BaselineCost {
+    let service = cost.probe_ns(nodes, records) + cost.per_msg_cpu_ns;
+    BaselineCost {
+        latency_ns: 2 * cost.wire_ns(256) + service,
+        service_ns: service,
+        messages: 2,
+    }
+}
+
+/// The DBMS baseline: per-attribute B+-trees on one server.
+pub struct DbmsBaseline {
+    db: Dbms,
+    cost: CostModel,
+    /// Number of filenames sharing each 6-char prefix. The paper (§6.3)
+    /// faults DBMS for treating "file pathnames as a flat string
+    /// attribute", ignoring namespace locality: an unoptimized flat-
+    /// string index clusters same-prefix names into long leaf runs that
+    /// a lookup must scan through.
+    prefix_runs: std::collections::HashMap<String, usize>,
+}
+
+impl DbmsBaseline {
+    /// Indexes all files.
+    pub fn build(files: &[FileMetadata]) -> Self {
+        let mut db = Dbms::new(ATTR_DIMS, 32);
+        let mut prefix_runs: std::collections::HashMap<String, usize> = Default::default();
+        for f in files {
+            db.insert(f.file_id, &f.name, &f.attr_vector());
+            let p: String = f.name.chars().take(6).collect();
+            *prefix_runs.entry(p).or_insert(0) += 1;
+        }
+        Self { db, cost: CostModel::default(), prefix_runs }
+    }
+
+    /// Point query by filename: B+-tree descent plus a scan of the
+    /// shared-prefix leaf run (the flat-string-attribute penalty).
+    pub fn point(&self, name: &str) -> (Vec<u64>, BaselineCost) {
+        let (ids, s) = self.db.point_query(name);
+        let prefix: String = name.chars().take(6).collect();
+        let run = self.prefix_runs.get(&prefix).copied().unwrap_or(0);
+        (ids, cost_from_work(s.nodes_touched, run, &self.cost))
+    }
+
+    /// Range query; "DBMS must check each B+-tree index for each
+    /// attribute" — the candidate volume is what hurts.
+    pub fn range(&self, lo: &[f64], hi: &[f64]) -> (Vec<u64>, BaselineCost) {
+        let (ids, s) = self.db.range_query(lo, hi);
+        (ids, cost_from_work(s.nodes_touched, s.candidates, &self.cost))
+    }
+
+    /// Top-k query via expanding window probes.
+    pub fn topk(&self, point: &[f64], k: usize) -> (Vec<u64>, BaselineCost) {
+        let (ids, s) = self.db.topk_query(point, k);
+        (ids, cost_from_work(s.nodes_touched, s.candidates, &self.cost))
+    }
+
+    /// Total index bytes (one B+-tree per attribute + filename index).
+    pub fn index_bytes(&self) -> usize {
+        self.db.size_bytes(32)
+    }
+}
+
+/// The non-semantic R-tree baseline: one centralized multi-dimensional
+/// R-tree over every file's raw attribute vector.
+pub struct RTreeBaseline {
+    tree: RTree<u64>,
+    /// Filename → id pairs, sorted; the R-tree itself cannot answer
+    /// filename queries, so the baseline scans a sorted name table
+    /// (binary search for the page + linear page scan).
+    names: Vec<(String, u64)>,
+    cost: CostModel,
+}
+
+impl RTreeBaseline {
+    /// Bulk-loads all files (STR packing so the baseline is not
+    /// handicapped by insertion order).
+    pub fn build(files: &[FileMetadata]) -> Self {
+        let items: Vec<(Rect, u64)> = files
+            .iter()
+            .map(|f| (Rect::point(&f.attr_vector()), f.file_id))
+            .collect();
+        let tree = str_bulk_load(ATTR_DIMS, RTreeConfig { max_entries: 16, min_entries: 6 }, items);
+        let mut names: Vec<(String, u64)> = files
+            .iter()
+            .map(|f| (f.name.clone(), f.file_id))
+            .collect();
+        names.sort();
+        Self { tree, names, cost: CostModel::default() }
+    }
+
+    /// Point query: binary search over the name table; charged one
+    /// index-node probe per binary-search level plus one page of record
+    /// scans.
+    pub fn point(&self, name: &str) -> (Vec<u64>, BaselineCost) {
+        const PAGE: usize = 64;
+        let idx = self.names.partition_point(|(n, _)| n.as_str() < name);
+        let mut ids = Vec::new();
+        let mut i = idx;
+        while i < self.names.len() && self.names[i].0 == name {
+            ids.push(self.names[i].1);
+            i += 1;
+        }
+        let levels = (self.names.len().max(2) as f64).log2().ceil() as usize;
+        (ids, cost_from_work(levels, PAGE, &self.cost))
+    }
+
+    /// Multi-dimensional range query.
+    pub fn range(&self, lo: &[f64], hi: &[f64]) -> (Vec<u64>, BaselineCost) {
+        let q = Rect::new(lo.to_vec(), hi.to_vec());
+        let (hits, visited) = self.tree.range_with_stats(&q);
+        let ids: Vec<u64> = hits.into_iter().copied().collect();
+        let records = ids.len();
+        (ids, cost_from_work(visited, records, &self.cost))
+    }
+
+    /// k-nearest-neighbour query.
+    pub fn topk(&self, point: &[f64], k: usize) -> (Vec<u64>, BaselineCost) {
+        let (hits, visited) = self.tree.knn_with_stats(point, k);
+        let ids: Vec<u64> = hits.iter().map(|&(id, _)| *id).collect();
+        (ids, cost_from_work(visited, hits.len(), &self.cost))
+    }
+
+    /// Index bytes: every R-tree node stores up to 16 D-dim rectangles.
+    pub fn index_bytes(&self) -> usize {
+        self.tree.stats().node_count * 16 * ATTR_DIMS * 2 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartstore_trace::{GeneratorConfig, MetadataPopulation};
+
+    fn pop() -> MetadataPopulation {
+        MetadataPopulation::generate(GeneratorConfig {
+            n_files: 800,
+            n_clusters: 10,
+            seed: 77,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn dbms_and_rtree_agree_on_range_answers() {
+        let p = pop();
+        let db = DbmsBaseline::build(&p.files);
+        let rt = RTreeBaseline::build(&p.files);
+        let (lo_b, hi_b) = p.attr_bounds();
+        let lo: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.3).collect();
+        let hi: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.7).collect();
+        let (mut a, _) = db.range(&lo, &hi);
+        let (mut b, _) = rt.range(&lo, &hi);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "two exact baselines must agree");
+    }
+
+    #[test]
+    fn baselines_answer_point_queries() {
+        let p = pop();
+        let db = DbmsBaseline::build(&p.files);
+        let rt = RTreeBaseline::build(&p.files);
+        let f = &p.files[123];
+        assert_eq!(db.point(&f.name).0, vec![f.file_id]);
+        assert_eq!(rt.point(&f.name).0, vec![f.file_id]);
+        assert!(db.point("nope").0.is_empty());
+        assert!(rt.point("nope").0.is_empty());
+    }
+
+    #[test]
+    fn topk_results_overlap_heavily() {
+        let p = pop();
+        let db = DbmsBaseline::build(&p.files);
+        let rt = RTreeBaseline::build(&p.files);
+        let q = p.files[50].attr_vector();
+        let (a, _) = db.topk(&q, 8);
+        let (b, _) = rt.topk(&q, 8);
+        let overlap = a.iter().filter(|x| b.contains(x)).count();
+        assert!(overlap >= 7, "exact top-k engines overlap {overlap}/8 (ties allowed)");
+    }
+
+    #[test]
+    fn dbms_space_exceeds_rtree_space() {
+        // Fig. 7's ordering: one index per attribute costs more than one
+        // multi-dimensional index.
+        let p = pop();
+        let db = DbmsBaseline::build(&p.files);
+        let rt = RTreeBaseline::build(&p.files);
+        assert!(db.index_bytes() > rt.index_bytes());
+    }
+
+    #[test]
+    fn dbms_range_service_dwarfs_rtree() {
+        // The candidate-intersection cost is the DBMS's defining flaw.
+        let p = pop();
+        let db = DbmsBaseline::build(&p.files);
+        let rt = RTreeBaseline::build(&p.files);
+        let (lo_b, hi_b) = p.attr_bounds();
+        let lo: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.4).collect();
+        let hi: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.6).collect();
+        let (_, dc) = db.range(&lo, &hi);
+        let (_, rc) = rt.range(&lo, &hi);
+        assert!(
+            dc.service_ns > rc.service_ns,
+            "DBMS {} should exceed R-tree {}",
+            dc.service_ns,
+            rc.service_ns
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Experiment output: aligned text tables plus JSON artifacts.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One experiment's printable + serializable result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. "table4" or "fig13".
+    pub id: String,
+    /// Human title (paper artifact name).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified cells, first cell is the row label).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: what to compare against the paper.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("report serializes"))
+    }
+}
+
+/// Formats nanoseconds as milliseconds with 3 decimals.
+pub fn ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "Title", &["name", "value"]);
+        r.row(&["short", "1"]);
+        r.row(&["a-much-longer-name", "23456"]);
+        let s = r.render();
+        assert!(s.contains("t — Title"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new("x", "X", &["a"]);
+        r.row(&["1"]);
+        r.note("hello");
+        let dir = std::env::temp_dir().join("smartstore_report_test");
+        r.write_json(&dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("x.json")).unwrap();
+        assert!(body.contains("\"hello\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(1_500_000.0), "1.500");
+        assert_eq!(pct(0.873), "87.3");
+    }
+}

@@ -1,0 +1,194 @@
+//! Counting Bloom filter — deletion support for storage units.
+//!
+//! The paper accepts Bloom false negatives from staleness because plain
+//! filters cannot delete ("these false positives and false negatives are
+//! identified when the target metadata is accessed", §5.4.1). The
+//! classic remedy — and a natural extension for SmartStore deployments
+//! with heavy delete/rename churn — is the counting Bloom filter (Fan et
+//! al., 1998): small counters instead of bits (8-bit here), increment on insert,
+//! decrement on remove, and export to a plain filter for the index-unit
+//! unions.
+
+use crate::filter::BloomFilter;
+use crate::md5::md5_words;
+
+/// A Bloom filter with 8-bit saturating counters, supporting removal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    n_hashes: usize,
+    inserted: usize,
+}
+
+impl CountingBloomFilter {
+    /// Creates an empty counting filter.
+    ///
+    /// # Panics
+    /// If `n_counters` or `n_hashes` is zero.
+    pub fn new(n_counters: usize, n_hashes: usize) -> Self {
+        assert!(n_counters > 0, "CountingBloomFilter: need at least one counter");
+        assert!(n_hashes > 0, "CountingBloomFilter: need at least one hash");
+        Self { counters: vec![0; n_counters], n_hashes, inserted: 0 }
+    }
+
+    /// Number of counters.
+    pub fn n_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Live insertions (inserts minus successful removals).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    fn indexes(&self, key: &[u8]) -> Vec<usize> {
+        let m = self.counters.len();
+        let mut out = Vec::with_capacity(self.n_hashes);
+        let mut round = 0u32;
+        while out.len() < self.n_hashes {
+            let words = if round == 0 {
+                md5_words(key)
+            } else {
+                let mut salted = key.to_vec();
+                salted.extend_from_slice(&round.to_le_bytes());
+                md5_words(&salted)
+            };
+            for w in words {
+                if out.len() == self.n_hashes {
+                    break;
+                }
+                out.push(w as usize % m);
+            }
+            round += 1;
+        }
+        out
+    }
+
+    /// Inserts a key (counters saturate at 255 rather than wrap).
+    pub fn insert(&mut self, key: &[u8]) {
+        for i in self.indexes(key) {
+            self.counters[i] = self.counters[i].saturating_add(1);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership check with the usual Bloom semantics.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.indexes(key).iter().all(|&i| self.counters[i] > 0)
+    }
+
+    /// Removes a key if (apparently) present: decrements its counters.
+    /// Returns `false` — and changes nothing — when any counter is
+    /// already zero (the key was definitely never inserted).
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        let idx = self.indexes(key);
+        if idx.iter().any(|&i| self.counters[i] == 0) {
+            return false;
+        }
+        for i in idx {
+            // Saturated counters must stay saturated: decrementing a
+            // counter that overflowed would introduce false negatives.
+            if self.counters[i] != u8::MAX {
+                self.counters[i] -= 1;
+            }
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+        true
+    }
+
+    /// Exports to a plain [`BloomFilter`] with the same geometry — used
+    /// to build the unioned index-unit filters of §3.3.3 from counting
+    /// leaf filters.
+    pub fn to_bloom(&self) -> BloomFilter {
+        // A plain filter's set bits are exactly the non-zero counters;
+        // both types share the same hash family, so membership answers
+        // transfer.
+        let mut f = BloomFilter::new(self.counters.len(), self.n_hashes);
+        f.set_bits_from(&self.counters);
+        f
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_remove_roundtrip() {
+        let mut f = CountingBloomFilter::new(1024, 7);
+        f.insert(b"alpha");
+        assert!(f.contains(b"alpha"));
+        assert!(f.remove(b"alpha"));
+        assert!(!f.contains(b"alpha"), "removed key must be gone");
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn remove_absent_is_rejected() {
+        let mut f = CountingBloomFilter::new(1024, 7);
+        f.insert(b"present");
+        assert!(!f.remove(b"never-inserted-key-xyz"));
+        assert!(f.contains(b"present"), "rejection must not corrupt state");
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut f = CountingBloomFilter::new(512, 5);
+        f.insert(b"dup");
+        f.insert(b"dup");
+        assert!(f.remove(b"dup"));
+        assert!(f.contains(b"dup"), "one copy still present");
+        assert!(f.remove(b"dup"));
+        assert!(!f.contains(b"dup"));
+    }
+
+    #[test]
+    fn no_false_negatives_under_churn() {
+        let mut f = CountingBloomFilter::new(4096, 7);
+        let live: Vec<String> = (0..100).map(|i| format!("live_{i}")).collect();
+        for k in &live {
+            f.insert(k.as_bytes());
+        }
+        for i in 0..200 {
+            let k = format!("churn_{i}");
+            f.insert(k.as_bytes());
+            assert!(f.remove(k.as_bytes()));
+        }
+        for k in &live {
+            assert!(f.contains(k.as_bytes()), "churn must not evict live keys");
+        }
+    }
+
+    #[test]
+    fn export_matches_membership() {
+        let mut f = CountingBloomFilter::new(1024, 7);
+        let keys: Vec<String> = (0..50).map(|i| format!("k{i}")).collect();
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        let plain = f.to_bloom();
+        for k in &keys {
+            assert!(plain.contains(k.as_bytes()), "export lost {k}");
+        }
+    }
+
+    #[test]
+    fn saturated_counters_never_underflow() {
+        let mut f = CountingBloomFilter::new(4, 2);
+        for i in 0..1000 {
+            f.insert(format!("x{i}").as_bytes());
+        }
+        // All counters saturated; removals must not create zeros.
+        for i in 0..1000 {
+            f.remove(format!("x{i}").as_bytes());
+        }
+        for i in 0..1000 {
+            assert!(f.contains(format!("x{i}").as_bytes()));
+        }
+    }
+}

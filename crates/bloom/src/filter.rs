@@ -1,0 +1,297 @@
+//! The Bloom filter proper: a fixed-size bit array with k hash
+//! functions derived from MD5, plus union and false-probability math.
+
+use crate::md5::md5_words;
+
+/// Filter size used throughout the paper's evaluation (§5.1).
+pub const PAPER_BITS: usize = 1024;
+/// Hash-function count used throughout the paper's evaluation (§5.1).
+pub const PAPER_HASHES: usize = 7;
+
+/// A Bloom filter over byte-string keys.
+///
+/// Bit indexes are derived the way the paper describes: the key's MD5
+/// digest is split into four 32-bit words; when more than four hash
+/// functions are needed the digest of `key ‖ round-counter` supplies four
+/// more words per round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: usize,
+    n_hashes: usize,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with `n_bits` bits and `n_hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    /// If `n_bits` or `n_hashes` is zero.
+    pub fn new(n_bits: usize, n_hashes: usize) -> Self {
+        assert!(n_bits > 0, "BloomFilter: need at least one bit");
+        assert!(n_hashes > 0, "BloomFilter: need at least one hash");
+        Self {
+            bits: vec![0u64; n_bits.div_ceil(64)],
+            n_bits,
+            n_hashes,
+            inserted: 0,
+        }
+    }
+
+    /// The paper's configuration: 1024 bits, 7 hashes.
+    pub fn paper_default() -> Self {
+        Self::new(PAPER_BITS, PAPER_HASHES)
+    }
+
+    /// Number of bits.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of hash functions.
+    pub fn n_hashes(&self) -> usize {
+        self.n_hashes
+    }
+
+    /// Number of keys inserted (not deduplicated).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Memory footprint of the bit array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    fn bit_indexes(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let n_bits = self.n_bits;
+        let n_hashes = self.n_hashes;
+        let key = key.to_vec();
+        (0..n_hashes.div_ceil(4)).flat_map(move |round| {
+            let words = if round == 0 {
+                md5_words(&key)
+            } else {
+                let mut salted = key.clone();
+                salted.extend_from_slice(&(round as u32).to_le_bytes());
+                md5_words(&salted)
+            };
+            let lo = round * 4;
+            let take = (n_hashes - lo).min(4);
+            words
+                .into_iter()
+                .take(take)
+                .map(move |w| (w as usize) % n_bits)
+                .collect::<Vec<_>>()
+        })
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let idx: Vec<usize> = self.bit_indexes(key).collect();
+        for i in idx {
+            self.bits[i / 64] |= 1u64 << (i % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership check: `false` means *definitely absent*; `true` means
+    /// present with probability `1 − false_positive_rate`.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.bit_indexes(key)
+            .all(|i| self.bits[i / 64] & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Logical union with another filter (the index-unit construction of
+    /// §3.3.3).
+    ///
+    /// # Panics
+    /// If the two filters have different geometry.
+    pub fn union_in_place(&mut self, other: &BloomFilter) {
+        assert_eq!(self.n_bits, other.n_bits, "union: bit-count mismatch");
+        assert_eq!(self.n_hashes, other.n_hashes, "union: hash-count mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.inserted += other.inserted;
+    }
+
+    /// Union of a non-empty set of filters.
+    ///
+    /// # Panics
+    /// If `filters` is empty or geometries differ.
+    pub fn union_all<'a, I: IntoIterator<Item = &'a BloomFilter>>(filters: I) -> BloomFilter {
+        let mut it = filters.into_iter();
+        let mut acc = it.next().expect("union_all: empty input").clone();
+        for f in it {
+            acc.union_in_place(f);
+        }
+        acc
+    }
+
+    /// Number of set bits.
+    pub fn popcount(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits (the filter's "fill").
+    pub fn fill_ratio(&self) -> f64 {
+        self.popcount() as f64 / self.n_bits as f64
+    }
+
+    /// Theoretical false-positive probability for `n` inserted keys:
+    /// `(1 − e^(−k·n/m))^k`.
+    pub fn theoretical_fpp(n_bits: usize, n_hashes: usize, n_keys: usize) -> f64 {
+        let m = n_bits as f64;
+        let k = n_hashes as f64;
+        let n = n_keys as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+
+    /// Estimated false-positive probability of *this* filter from its
+    /// observed fill ratio: `fill^k`.
+    pub fn estimated_fpp(&self) -> f64 {
+        self.fill_ratio().powi(self.n_hashes as i32)
+    }
+
+    /// Sets bit `i` for every non-zero entry of `occupancy` — the export
+    /// path from a counting filter (same geometry, same hash family).
+    ///
+    /// # Panics
+    /// If `occupancy.len() != self.n_bits()`.
+    pub fn set_bits_from(&mut self, occupancy: &[u8]) {
+        assert_eq!(
+            occupancy.len(),
+            self.n_bits,
+            "set_bits_from: geometry mismatch"
+        );
+        for (i, &c) in occupancy.iter().enumerate() {
+            if c > 0 {
+                self.bits[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::paper_default();
+        let keys: Vec<String> = (0..100).map(|i| format!("file_{i}")).collect();
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(f.contains(k.as_bytes()), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::paper_default();
+        assert!(!f.contains(b"anything"));
+        assert_eq!(f.popcount(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        let mut f = BloomFilter::new(1024, 7);
+        let n = 100;
+        for i in 0..n {
+            f.insert(format!("member_{i}").as_bytes());
+        }
+        let trials = 10_000;
+        let fp = (0..trials)
+            .filter(|i| f.contains(format!("nonmember_{i}").as_bytes()))
+            .count();
+        let observed = fp as f64 / trials as f64;
+        let theory = BloomFilter::theoretical_fpp(1024, 7, n);
+        // Within a factor of 3 of theory (binomial noise + hash quality).
+        assert!(
+            observed < theory * 3.0 + 0.005,
+            "observed fpp {observed} too far above theory {theory}"
+        );
+    }
+
+    #[test]
+    fn union_contains_both_sides() {
+        let mut a = BloomFilter::new(512, 5);
+        let mut b = BloomFilter::new(512, 5);
+        a.insert(b"alpha");
+        b.insert(b"beta");
+        let u = BloomFilter::union_all([&a, &b]);
+        assert!(u.contains(b"alpha"));
+        assert!(u.contains(b"beta"));
+        assert_eq!(u.inserted(), 2);
+    }
+
+    #[test]
+    fn union_popcount_is_bitwise_or() {
+        let mut a = BloomFilter::new(256, 3);
+        let mut b = BloomFilter::new(256, 3);
+        for i in 0..20 {
+            a.insert(format!("a{i}").as_bytes());
+            b.insert(format!("b{i}").as_bytes());
+        }
+        let u = BloomFilter::union_all([&a, &b]);
+        assert!(u.popcount() <= a.popcount() + b.popcount());
+        assert!(u.popcount() >= a.popcount().max(b.popcount()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn union_geometry_mismatch_panics() {
+        let mut a = BloomFilter::new(128, 3);
+        let b = BloomFilter::new(256, 3);
+        a.union_in_place(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(128, 3);
+        f.insert(b"x");
+        assert!(f.contains(b"x"));
+        f.clear();
+        assert!(!f.contains(b"x"));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn theoretical_fpp_monotone_in_keys() {
+        let a = BloomFilter::theoretical_fpp(1024, 7, 50);
+        let b = BloomFilter::theoretical_fpp(1024, 7, 200);
+        assert!(a < b);
+        assert!(a > 0.0 && b < 1.0);
+    }
+
+    #[test]
+    fn more_than_four_hashes_uses_salted_rounds() {
+        // With 7 hashes, rounds 0 and 1 are both exercised; differing
+        // keys must not collide on all 7 indexes in a big filter.
+        let mut f = BloomFilter::new(1 << 20, 7);
+        f.insert(b"only-member");
+        let fp = (0..1000)
+            .filter(|i| f.contains(format!("probe{i}").as_bytes()))
+            .count();
+        assert_eq!(fp, 0, "1M-bit filter with one key should have ~0 fpp");
+    }
+
+    #[test]
+    fn fill_ratio_bounds() {
+        let mut f = BloomFilter::new(64, 2);
+        for i in 0..1000 {
+            f.insert(format!("k{i}").as_bytes());
+        }
+        assert!(f.fill_ratio() > 0.99, "heavily loaded filter should saturate");
+        assert!(f.estimated_fpp() > 0.9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Hierarchical Bloom-filter arrays.
+//!
+//! SmartStore routes a filename point query down the semantic R-tree
+//! along the path "on which the corresponding Bloom filters report
+//! positive hits" (§3.3.3, Figure 4): every leaf (storage unit) owns a
+//! filter over its local filenames, and every index unit owns the union
+//! of its children's filters. This module implements that tree of
+//! filters independently of the R-tree itself, mirroring the group-based
+//! hierarchical Bloom-filter array approach the paper cites (its ref. 28).
+
+use crate::filter::BloomFilter;
+
+/// Identifier of a node inside a [`BloomHierarchy`].
+pub type NodeId = usize;
+
+#[derive(Clone, Debug)]
+struct HNode {
+    filter: BloomFilter,
+    children: Vec<NodeId>,
+    /// Leaf payload: the storage-unit id this filter summarizes.
+    unit: Option<usize>,
+}
+
+/// A tree of Bloom filters with union-composed internal nodes.
+#[derive(Clone, Debug)]
+pub struct BloomHierarchy {
+    nodes: Vec<HNode>,
+    root: Option<NodeId>,
+    n_bits: usize,
+    n_hashes: usize,
+}
+
+impl BloomHierarchy {
+    /// Creates an empty hierarchy whose filters all share the given
+    /// geometry.
+    pub fn new(n_bits: usize, n_hashes: usize) -> Self {
+        Self { nodes: Vec::new(), root: None, n_bits, n_hashes }
+    }
+
+    /// Adds a leaf summarizing storage unit `unit` with the given keys.
+    /// Returns the new leaf's id.
+    pub fn add_leaf<'a, I: IntoIterator<Item = &'a [u8]>>(
+        &mut self,
+        unit: usize,
+        keys: I,
+    ) -> NodeId {
+        let mut filter = BloomFilter::new(self.n_bits, self.n_hashes);
+        for k in keys {
+            filter.insert(k);
+        }
+        self.nodes.push(HNode { filter, children: Vec::new(), unit: Some(unit) });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an internal node over existing children; its filter is the
+    /// union of the children's filters. Returns the new node's id.
+    ///
+    /// # Panics
+    /// If `children` is empty or contains an unknown id.
+    pub fn add_internal(&mut self, children: Vec<NodeId>) -> NodeId {
+        assert!(!children.is_empty(), "add_internal: no children");
+        let filter = BloomFilter::union_all(children.iter().map(|&c| &self.nodes[c].filter));
+        self.nodes.push(HNode { filter, children, unit: None });
+        self.nodes.len() - 1
+    }
+
+    /// Declares `node` the root of the hierarchy.
+    pub fn set_root(&mut self, node: NodeId) {
+        assert!(node < self.nodes.len(), "set_root: unknown node");
+        self.root = Some(node);
+    }
+
+    /// Root id, if set.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Inserts a key into leaf `leaf` and refreshes it on every ancestor
+    /// filter along the provided root-to-leaf path (ancestors hold
+    /// unions, so insertion suffices; no recompute needed).
+    pub fn insert_key(&mut self, path: &[NodeId], key: &[u8]) {
+        for &n in path {
+            self.nodes[n].filter.insert(key);
+        }
+    }
+
+    /// Walks from the root following positive filter hits; returns the
+    /// storage-unit ids of all leaves whose filters claim the key, and
+    /// the number of filters probed.
+    pub fn query(&self, key: &[u8]) -> (Vec<usize>, usize) {
+        let mut out = Vec::new();
+        let mut probed = 0;
+        let Some(root) = self.root else {
+            return (out, probed);
+        };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            probed += 1;
+            let node = &self.nodes[n];
+            if !node.filter.contains(key) {
+                continue;
+            }
+            match node.unit {
+                Some(u) => out.push(u),
+                None => stack.extend(node.children.iter().copied()),
+            }
+        }
+        (out, probed)
+    }
+
+    /// Total memory of all filters in bytes (for the space-overhead
+    /// experiment).
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.filter.size_bytes()).sum()
+    }
+
+    /// Number of nodes (leaves + internal).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the hierarchy has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds: root over two internal nodes, each over two leaves.
+    fn sample() -> (BloomHierarchy, Vec<NodeId>) {
+        let mut h = BloomHierarchy::new(2048, 7);
+        let keysets: Vec<Vec<String>> = (0..4)
+            .map(|u| (0..50).map(|i| format!("unit{u}_file{i}")).collect())
+            .collect();
+        let leaves: Vec<NodeId> = keysets
+            .iter()
+            .enumerate()
+            .map(|(u, ks)| h.add_leaf(u, ks.iter().map(|s| s.as_bytes())))
+            .collect();
+        let left = h.add_internal(vec![leaves[0], leaves[1]]);
+        let right = h.add_internal(vec![leaves[2], leaves[3]]);
+        let root = h.add_internal(vec![left, right]);
+        h.set_root(root);
+        (h, leaves)
+    }
+
+    #[test]
+    fn query_routes_to_owning_unit() {
+        let (h, _) = sample();
+        let (units, probed) = h.query(b"unit2_file17");
+        assert!(units.contains(&2), "unit 2 must report its own file");
+        assert!(probed >= 3, "root + internal + leaf at minimum");
+    }
+
+    #[test]
+    fn absent_key_prunes_at_root_with_high_probability() {
+        let (h, _) = sample();
+        // With 2048-bit filters holding 50/100/200 keys, a random absent
+        // key is overwhelmingly pruned before reaching all leaves.
+        let mut total_probes = 0;
+        for i in 0..100 {
+            let (_, p) = h.query(format!("missing_{i}").as_bytes());
+            total_probes += p;
+        }
+        // Brute force would probe all 7 nodes every time = 700.
+        assert!(total_probes < 700, "pruning should cut probes, got {total_probes}");
+    }
+
+    #[test]
+    fn insert_key_updates_path() {
+        let (mut h, leaves) = sample();
+        let root = h.root().unwrap();
+        // Path root → left-internal → leaf 0. Internal ids are 4 and 5.
+        let path = vec![root, 4, leaves[0]];
+        assert!(h.query(b"new_file").0.is_empty() || !h.query(b"new_file").0.contains(&0));
+        h.insert_key(&path, b"new_file");
+        let (units, _) = h.query(b"new_file");
+        assert!(units.contains(&0));
+    }
+
+    #[test]
+    fn size_accounts_all_nodes() {
+        let (h, _) = sample();
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.size_bytes(), 7 * 2048 / 8);
+    }
+
+    #[test]
+    fn empty_hierarchy_returns_nothing() {
+        let h = BloomHierarchy::new(128, 3);
+        assert!(h.is_empty());
+        let (units, probed) = h.query(b"x");
+        assert!(units.is_empty());
+        assert_eq!(probed, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Bloom filters for SmartStore's filename-based point queries.
+//!
+//! The paper (§3.3.3): "Bloom filters, which are space-efficient data
+//! structures for membership queries, are embedded into storage and index
+//! units to support fast filename-based query services. A Bloom filter is
+//! built for each leaf node … The Bloom filter of an index unit is
+//! obtained by the logical union operations of the Bloom filters of its
+//! child nodes."
+//!
+//! The experimental setup (§5.1) fixes each filter at 1024 bits with
+//! k = 7 hash functions and derives index bits from an MD5 digest split
+//! into four 32-bit words; both choices are reproduced here, including an
+//! [`md5`] implementation written from scratch (RFC 1321) — MD5 is used
+//! purely as a fast mixing function, not for security.
+
+pub mod counting;
+pub mod filter;
+pub mod hierarchy;
+pub mod md5;
+
+pub use counting::CountingBloomFilter;
+pub use filter::{BloomFilter, PAPER_BITS, PAPER_HASHES};
+pub use hierarchy::BloomHierarchy;

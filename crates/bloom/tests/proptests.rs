@@ -1,0 +1,105 @@
+//! Property tests for the Bloom substrate: no false negatives, union
+//! soundness, counting-filter delete correctness, MD5 determinism.
+
+use proptest::prelude::*;
+use smartstore_bloom::md5::md5;
+use smartstore_bloom::{BloomFilter, CountingBloomFilter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn never_false_negative(
+        keys in prop::collection::vec("[a-z0-9_/]{1,40}", 1..200),
+        bits in 64usize..4096,
+        hashes in 1usize..10,
+    ) {
+        let mut f = BloomFilter::new(bits, hashes);
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k.as_bytes()), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn union_is_superset_of_both_sides(
+        a in prop::collection::vec("[a-z]{1,20}", 0..100),
+        b in prop::collection::vec("[a-z]{1,20}", 1..100),
+    ) {
+        let mut fa = BloomFilter::new(1024, 7);
+        let mut fb = BloomFilter::new(1024, 7);
+        for k in &a { fa.insert(k.as_bytes()); }
+        for k in &b { fb.insert(k.as_bytes()); }
+        let u = BloomFilter::union_all([&fa, &fb]);
+        for k in a.iter().chain(&b) {
+            prop_assert!(u.contains(k.as_bytes()));
+        }
+        // Union never prunes where a member filter reports presence.
+        for probe in ["zzz", "abc", "qqq"] {
+            if fa.contains(probe.as_bytes()) || fb.contains(probe.as_bytes()) {
+                prop_assert!(u.contains(probe.as_bytes()));
+            }
+        }
+    }
+
+    #[test]
+    fn counting_filter_matches_multiset_semantics(
+        ops in prop::collection::vec(("[a-g]", any::<bool>()), 1..300),
+    ) {
+        let mut f = CountingBloomFilter::new(2048, 5);
+        let mut model: std::collections::HashMap<String, usize> = Default::default();
+        for (key, is_insert) in ops {
+            if is_insert {
+                f.insert(key.as_bytes());
+                *model.entry(key).or_insert(0) += 1;
+            } else {
+                let have = model.get(&key).copied().unwrap_or(0);
+                let removed = f.remove(key.as_bytes());
+                if have > 0 {
+                    prop_assert!(removed, "remove of live key {key} must succeed");
+                    *model.get_mut(&key).unwrap() -= 1;
+                } else if removed {
+                    // A false-positive removal is possible but must not
+                    // create false negatives for other live keys —
+                    // checked below. Track nothing.
+                }
+            }
+        }
+        // With a 2048-counter filter and ≤7 distinct short keys,
+        // counter collisions between distinct keys are overwhelmingly
+        // unlikely, so live keys must still be present.
+        for (key, &count) in &model {
+            if count > 0 {
+                prop_assert!(f.contains(key.as_bytes()), "live key {key} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_export_preserves_membership(
+        keys in prop::collection::vec("[a-z]{1,12}", 0..80),
+    ) {
+        let mut cf = CountingBloomFilter::new(1024, 7);
+        for k in &keys {
+            cf.insert(k.as_bytes());
+        }
+        let plain = cf.to_bloom();
+        for k in &keys {
+            prop_assert!(plain.contains(k.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn md5_is_deterministic_and_length_sensitive(
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let d1 = md5(&data);
+        let d2 = md5(&data);
+        prop_assert_eq!(d1, d2);
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(md5(&extended), d1, "appending a byte must change the digest");
+    }
+}

@@ -1,0 +1,21 @@
+//! B+-tree and the "DBMS" baseline of the paper's evaluation.
+//!
+//! The paper compares SmartStore against "a popular database approach
+//! that uses a B+ tree to index each metadata attribute, denoted as DBMS
+//! that here does not take into account database optimization" (§5.1).
+//! This crate supplies both pieces:
+//!
+//! * [`BPlusTree`] — an in-memory B+-tree with duplicate-key support,
+//!   leaf sibling links for ordered range scans, and node-level work
+//!   counters so the simulator can charge latency per node touched;
+//! * [`dbms::Dbms`] — one B+-tree per attribute plus a filename index,
+//!   answering point queries by exact lookup and complex queries by
+//!   scanning *every* attribute index and intersecting candidates, which
+//!   is exactly the linear brute-force cost profile the paper ascribes
+//!   to the baseline.
+
+pub mod dbms;
+pub mod tree;
+
+pub use dbms::{Dbms, DbmsStats};
+pub use tree::{BPlusTree, F64Key};

@@ -1,0 +1,477 @@
+//! In-memory B+-tree with duplicate keys and linked leaves.
+
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+/// Total-ordering wrapper for `f64` attribute values.
+///
+/// File-metadata attributes are floats; B+-tree keys need `Ord`. NaN is
+/// rejected at construction so ordering is total.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F64Key(f64);
+
+impl F64Key {
+    /// Wraps a float key.
+    ///
+    /// # Panics
+    /// If `v` is NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "F64Key: NaN is not a valid key");
+        Self(v)
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for F64Key {}
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("F64Key is never NaN")
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        /// Sorted, duplicates allowed and adjacent.
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: Option<usize>,
+    },
+}
+
+/// An order-`B` B+-tree mapping `K` to possibly many `V`.
+#[derive(Clone, Debug)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
+    /// Creates an empty tree. `order` is the maximum number of keys per
+    /// node; minimum occupancy is `order / 2`.
+    ///
+    /// # Panics
+    /// If `order < 3`.
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 3, "BPlusTree: order must be >= 3");
+        Self {
+            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            root: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allocated nodes (internal + leaf), the unit of the
+    /// space-overhead accounting.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[n] {
+            n = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Inserts a key/value pair; duplicate keys are kept.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            let old_root = self.root;
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_node))` when
+    /// the child split.
+    fn insert_rec(&mut self, node: usize, key: K, value: V) -> Option<(K, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                let pos = keys.partition_point(|k| *k <= key);
+                keys.insert(pos, key);
+                values.insert(pos, value);
+                if keys.len() > self.order {
+                    return Some(self.split_leaf(node));
+                }
+                None
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let child = children[idx];
+                if let Some((sep, right)) = self.insert_rec(child, key, value) {
+                    if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                        // The new right node must sit immediately after
+                        // the child that split; searching for `sep`
+                        // would misplace it amid duplicate separators.
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > self.order {
+                            return Some(self.split_internal(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (K, usize) {
+        let new_idx = self.nodes.len();
+        let (sep, new_node) = match &mut self.nodes[node] {
+            Node::Leaf { keys, values, next } => {
+                let mid = keys.len() / 2;
+                let rk: Vec<K> = keys.split_off(mid);
+                let rv: Vec<V> = values.split_off(mid);
+                let sep = rk[0].clone();
+                let new_next = next.take();
+                *next = Some(new_idx);
+                (sep, Node::Leaf { keys: rk, values: rv, next: new_next })
+            }
+            Node::Internal { .. } => unreachable!("split_leaf on internal node"),
+        };
+        self.nodes.push(new_node);
+        (sep, new_idx)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (K, usize) {
+        let new_idx = self.nodes.len();
+        let (sep, new_node) = match &mut self.nodes[node] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                // keys[mid] moves up; right node takes keys after it.
+                let rk: Vec<K> = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("internal split: non-empty keys");
+                let rc: Vec<usize> = children.split_off(mid + 1);
+                (sep, Node::Internal { keys: rk, children: rc })
+            }
+            Node::Leaf { .. } => unreachable!("split_internal on leaf"),
+        };
+        self.nodes.push(new_node);
+        (sep, new_idx)
+    }
+
+    /// Finds the *leftmost* leaf that may contain `key`, counting nodes
+    /// touched. Left-biased descent is required because a run of
+    /// duplicate keys can straddle a split, leaving copies equal to a
+    /// separator in the left subtree.
+    fn find_leaf(&self, key: &K) -> (usize, usize) {
+        let mut n = self.root;
+        let mut touched = 1;
+        loop {
+            match &self.nodes[n] {
+                Node::Leaf { .. } => return (n, touched),
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k < key);
+                    n = children[idx];
+                    touched += 1;
+                }
+            }
+        }
+    }
+
+    /// All values with exactly this key.
+    pub fn get(&self, key: &K) -> Vec<&V> {
+        self.get_with_stats(key).0
+    }
+
+    /// Exact lookup, also reporting nodes touched.
+    pub fn get_with_stats(&self, key: &K) -> (Vec<&V>, usize) {
+        let (pairs, touched) = self.range_with_stats(key, key);
+        (pairs.into_iter().map(|(_, v)| v).collect(), touched)
+    }
+
+    /// All `(key, value)` pairs with `lo <= key <= hi`, in key order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        self.range_with_stats(lo, hi).0
+    }
+
+    /// Inclusive range scan, also reporting nodes touched.
+    pub fn range_with_stats(&self, lo: &K, hi: &K) -> (Vec<(&K, &V)>, usize) {
+        let mut out = Vec::new();
+        if lo > hi {
+            return (out, 0);
+        }
+        let (mut n, mut touched) = self.find_leaf(lo);
+        loop {
+            let Node::Leaf { keys, values, next } = &self.nodes[n] else {
+                unreachable!()
+            };
+            let start = keys.partition_point(|k| k < lo);
+            for i in start..keys.len() {
+                if &keys[i] > hi {
+                    return (out, touched);
+                }
+                out.push((&keys[i], &values[i]));
+            }
+            match next {
+                Some(nx) => {
+                    n = *nx;
+                    touched += 1;
+                }
+                None => return (out, touched),
+            }
+        }
+    }
+
+    /// Removes one entry matching `key` whose value satisfies `pred`.
+    /// Returns the removed value.
+    ///
+    /// Deletion is by tombstone-free removal from the leaf without
+    /// rebalancing: leaves may underflow but all query invariants
+    /// (ordering, linked-leaf completeness) are preserved, matching how
+    /// lightweight in-memory B+-trees trade occupancy for simplicity.
+    pub fn remove_one<F: Fn(&V) -> bool>(&mut self, key: &K, pred: F) -> Option<V> {
+        let (mut n, _) = self.find_leaf(key);
+        loop {
+            let Node::Leaf { keys, values, next } = &mut self.nodes[n] else {
+                unreachable!()
+            };
+            let start = keys.partition_point(|k| k < key);
+            let mut i = start;
+            while i < keys.len() && &keys[i] == key {
+                if pred(&values[i]) {
+                    keys.remove(i);
+                    let v = values.remove(i);
+                    self.len -= 1;
+                    return Some(v);
+                }
+                i += 1;
+            }
+            if i == keys.len() {
+                if let Some(nx) = *next {
+                    n = nx;
+                    continue;
+                }
+            }
+            return None;
+        }
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        // Find leftmost leaf.
+        let mut n = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[n] {
+            n = children[0];
+        }
+        BPlusIter { tree: self, leaf: Some(n), idx: 0 }
+    }
+
+    /// Checks ordering and linked-leaf invariants (for tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev: Option<K> = None;
+        let mut count = 0;
+        for (k, _) in self.iter() {
+            if let Some(p) = &prev {
+                if p > k {
+                    return Err(format!("keys out of order: {p:?} > {k:?}"));
+                }
+            }
+            prev = Some(k.clone());
+            count += 1;
+        }
+        if count != self.len {
+            return Err(format!("len mismatch: iter {count} != recorded {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+struct BPlusIter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: Option<usize>,
+    idx: usize,
+}
+
+impl<'a, K, V> Iterator for BPlusIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            let Node::Leaf { keys, values, next } = &self.tree.nodes[leaf] else {
+                unreachable!()
+            };
+            if self.idx < keys.len() {
+                let i = self.idx;
+                self.idx += 1;
+                return Some((&keys[i], &values[i]));
+            }
+            self.leaf = *next;
+            self.idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tree(n: usize) -> BPlusTree<u64, u64> {
+        let mut t = BPlusTree::new(8);
+        for i in 0..n as u64 {
+            t.insert(i, i * 10);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let t = seq_tree(1000);
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(&500), vec![&5000]);
+        assert_eq!(t.get(&999), vec![&9990]);
+        assert!(t.get(&1000).is_empty());
+    }
+
+    #[test]
+    fn reverse_insertion_order() {
+        let mut t = BPlusTree::new(5);
+        for i in (0..500u64).rev() {
+            t.insert(i, i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(&250), vec![&250]);
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let t = seq_tree(100);
+        let r = t.range(&10, &20);
+        assert_eq!(r.len(), 11);
+        assert_eq!(*r[0].0, 10);
+        assert_eq!(*r[10].0, 20);
+    }
+
+    #[test]
+    fn range_scan_beyond_bounds() {
+        let t = seq_tree(10);
+        assert_eq!(t.range(&0, &1000).len(), 10);
+        assert!(t.range(&100, &200).is_empty());
+        assert!(t.range(&5, &4).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let mut t = BPlusTree::new(4);
+        for v in 0..50u64 {
+            t.insert(7u64, v);
+        }
+        t.insert(6, 600);
+        t.insert(8, 800);
+        let got = t.get(&7);
+        assert_eq!(got.len(), 50);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_one_with_predicate() {
+        let mut t = BPlusTree::new(4);
+        for v in 0..10u64 {
+            t.insert(1u64, v);
+        }
+        let removed = t.remove_one(&1, |&v| v == 5);
+        assert_eq!(removed, Some(5));
+        assert_eq!(t.len(), 9);
+        assert!(!t.get(&1).contains(&&5));
+        assert_eq!(t.remove_one(&1, |&v| v == 5), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_missing_key_is_none() {
+        let mut t = seq_tree(10);
+        assert_eq!(t.remove_one(&99, |_| true), None);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut t = BPlusTree::new(6);
+        let keys = [5u64, 3, 9, 1, 7, 3, 5, 5];
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        let collected: Vec<u64> = t.iter().map(|(&k, _)| k).collect();
+        let mut want = keys.to_vec();
+        want.sort();
+        assert_eq!(collected, want);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = seq_tree(10_000);
+        let h = t.height();
+        assert!(h >= 3, "10k keys with order 8 needs height >= 3, got {h}");
+        assert!(h <= 8, "height {h} too large for 10k keys");
+    }
+
+    #[test]
+    fn stats_count_nodes_touched() {
+        let t = seq_tree(10_000);
+        let (_, touched_point) = t.get_with_stats(&5000);
+        // Descent touches `height` nodes; the scan may step into one
+        // extra leaf to confirm the run of duplicates has ended.
+        assert!(touched_point >= t.height() && touched_point <= t.height() + 1);
+        let (res, touched_range) = t.range_with_stats(&0, &9999);
+        assert_eq!(res.len(), 10_000);
+        assert!(touched_range > touched_point, "full scan touches many leaves");
+    }
+
+    #[test]
+    fn f64key_total_order() {
+        let mut keys = [F64Key::new(3.5), F64Key::new(-1.0), F64Key::new(0.0)];
+        keys.sort();
+        assert_eq!(keys[0].get(), -1.0);
+        assert_eq!(keys[2].get(), 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn f64key_rejects_nan() {
+        F64Key::new(f64::NAN);
+    }
+
+    #[test]
+    fn f64_keys_in_tree() {
+        let mut t: BPlusTree<F64Key, u64> = BPlusTree::new(8);
+        for i in 0..100 {
+            t.insert(F64Key::new(i as f64 * 0.5), i);
+        }
+        let r = t.range(&F64Key::new(10.0), &F64Key::new(12.0));
+        assert_eq!(r.len(), 5); // 10.0, 10.5, 11.0, 11.5, 12.0
+    }
+}

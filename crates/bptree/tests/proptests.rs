@@ -1,0 +1,85 @@
+//! Property tests: the B+-tree must agree with a sorted reference model
+//! (`Vec` of pairs) on every exact-match and range query.
+
+use proptest::prelude::*;
+use smartstore_bptree::BPlusTree;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn agrees_with_reference_model(
+        inserts in prop::collection::vec((0u64..50, 0u64..1000), 0..400),
+        probes in prop::collection::vec(0u64..60, 1..20),
+        order in 3usize..12,
+    ) {
+        let mut tree = BPlusTree::new(order);
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for &(k, v) in &inserts {
+            tree.insert(k, v);
+            model.push((k, v));
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), model.len());
+        for &p in &probes {
+            let mut got: Vec<u64> = tree.get(&p).into_iter().copied().collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = model.iter()
+                .filter(|&&(k, _)| k == p)
+                .map(|&(_, v)| v)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "mismatch for key {}", p);
+        }
+    }
+
+    #[test]
+    fn range_agrees_with_reference_model(
+        inserts in prop::collection::vec((0u64..40, 0u64..1000), 0..300),
+        lo in 0u64..45,
+        span in 0u64..20,
+    ) {
+        let mut tree = BPlusTree::new(6);
+        for &(k, v) in &inserts {
+            tree.insert(k, v);
+        }
+        let hi = lo + span;
+        let mut got: Vec<(u64, u64)> = tree.range(&lo, &hi)
+            .into_iter().map(|(&k, &v)| (k, v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = inserts.iter()
+            .filter(|&&(k, _)| lo <= k && k <= hi)
+            .copied()
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_then_queries_stay_consistent(
+        inserts in prop::collection::vec((0u64..20, 0u64..100), 1..200),
+        removals in prop::collection::vec((0u64..20, 0u64..100), 0..50),
+    ) {
+        let mut tree = BPlusTree::new(5);
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for &(k, v) in &inserts {
+            tree.insert(k, v);
+            model.push((k, v));
+        }
+        for &(k, v) in &removals {
+            let tree_removed = tree.remove_one(&k, |&x| x == v).is_some();
+            let model_pos = model.iter().position(|&(mk, mv)| mk == k && mv == v);
+            prop_assert_eq!(tree_removed, model_pos.is_some());
+            if let Some(pos) = model_pos {
+                model.remove(pos);
+            }
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), model.len());
+        // Full scan must match.
+        let mut got: Vec<(u64, u64)> = tree.iter().map(|(&k, &v)| (k, v)).collect();
+        got.sort_unstable();
+        model.sort_unstable();
+        prop_assert_eq!(got, model);
+    }
+}

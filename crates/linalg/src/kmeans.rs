@@ -1,0 +1,223 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! The paper (§3.1.1) contrasts its LSI grouping with K-means, noting
+//! K-means' sensitivity to initialization and to the choice of K. The
+//! benchmark harness uses this implementation for the grouping-quality
+//! ablation (LSI vs K-means vs random grouping).
+
+use crate::sq_euclidean;
+use rand::Rng;
+
+/// Result of a K-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// `assignments[i]` is the cluster index of item `i`.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids (`k` vectors of dimension D).
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squares — the quantity the paper's
+    /// semantic-correlation measure `Σᵢ Σ_{fⱼ∈Gᵢ} (fⱼ − Cᵢ)²` minimizes.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs K-means on `items` (each of equal dimension) with `k` clusters.
+///
+/// Uses k-means++ seeding for robust initialization and stops when
+/// assignments are stable or after `max_iter` iterations. `k` is clamped
+/// to `items.len()`; with zero items an empty result is returned.
+pub fn kmeans<R: Rng>(
+    items: &[Vec<f64>],
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    let n = items.len();
+    if n == 0 || k == 0 {
+        return KMeansResult { assignments: vec![], centroids: vec![], inertia: 0.0, iterations: 0 };
+    }
+    let k = k.min(n);
+    let dim = items[0].len();
+    for it in items {
+        assert_eq!(it.len(), dim, "kmeans: ragged item vectors");
+    }
+
+    let mut centroids = seed_plus_plus(items, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, item) in items.iter().enumerate() {
+            let best = nearest_centroid(item, &centroids);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, item) in items.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(item) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid to keep k clusters alive.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_euclidean(&items[a], &centroids[assignments[a]]);
+                        let db = sq_euclidean(&items[b], &centroids[assignments[b]]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centroids[c] = items[far].clone();
+            } else {
+                for (cd, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cd = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| sq_euclidean(it, &centroids[assignments[i]]))
+        .sum();
+    KMeansResult { assignments, centroids, inertia, iterations }
+}
+
+fn nearest_centroid(item: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = sq_euclidean(item, cent);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids drawn
+/// with probability proportional to squared distance from the nearest
+/// already-chosen centroid.
+fn seed_plus_plus<R: Rng>(items: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let n = items.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(items[rng.gen_range(0..n)].clone());
+    let mut dists: Vec<f64> = items
+        .iter()
+        .map(|it| sq_euclidean(it, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(items[next].clone());
+        for (i, it) in items.iter().enumerate() {
+            let d = sq_euclidean(it, centroids.last().unwrap());
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut items = Vec::new();
+        for i in 0..10 {
+            items.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            items.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        items
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = kmeans(&two_blobs(), 2, 100, &mut rng);
+        // All even indices (blob A) share a label; odd indices share the other.
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..20 {
+            assert_eq!(r.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&items, 10, 50, &mut rng);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = kmeans(&[], 3, 50, &mut rng);
+        assert!(r.assignments.is_empty());
+        assert!(r.centroids.is_empty());
+    }
+
+    #[test]
+    fn k_equals_one_centroid_is_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(&items, 1, 50, &mut rng);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((r.inertia - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_points_converge_immediately() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = vec![vec![5.0, 5.0]; 8];
+        let r = kmeans(&items, 3, 50, &mut rng);
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let r1 = kmeans(&two_blobs(), 2, 100, &mut StdRng::seed_from_u64(42));
+        let r2 = kmeans(&two_blobs(), 2, 100, &mut StdRng::seed_from_u64(42));
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.inertia, r2.inertia);
+    }
+}

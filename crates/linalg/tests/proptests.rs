@@ -1,0 +1,128 @@
+//! Property tests for the numeric substrate: SVD factorization
+//! invariants on arbitrary matrices, LSI self-consistency, K-means
+//! partition properties.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartstore_linalg::{jacobi_svd, kmeans, Lsi, LsiConfig, Matrix};
+
+fn small_entries() -> impl Strategy<Value = f64> {
+    // Bounded magnitudes keep conditioning sane without losing coverage.
+    (-100i32..100).prop_map(|v| v as f64 / 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn svd_reconstructs_any_matrix(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        seed in any::<u32>(),
+    ) {
+        // Deterministic fill from the seed so shrinking is stable.
+        let mut s = seed as u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64) * 10.0 - 5.0
+        };
+        let a = Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect());
+        let svd = jacobi_svd(&a);
+        let err = a.sub(&svd.reconstruct()).frobenius_norm();
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(err / scale < 1e-8, "relative reconstruction error {}", err / scale);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        data in prop::collection::vec(small_entries(), 64),
+    ) {
+        let a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let svd = jacobi_svd(&a);
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1], "singular values must be descending");
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+        // Frobenius norm identity: ‖A‖² = Σ σᵢ².
+        let fro2 = a.frobenius_norm().powi(2);
+        let sig2: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sig2).abs() <= 1e-6 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn truncation_error_is_tail_energy(
+        rows in 2usize..8,
+        data in prop::collection::vec(small_entries(), 64),
+        p in 1usize..4,
+    ) {
+        let cols = 6usize;
+        let a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let svd = jacobi_svd(&a);
+        let t = svd.truncate(p);
+        let err2 = a.sub(&t.reconstruct()).frobenius_norm().powi(2);
+        let tail2: f64 = svd.sigma.iter().skip(t.rank()).map(|s| s * s).sum();
+        prop_assert!(
+            (err2 - tail2).abs() <= 1e-6 * (tail2.max(1.0)),
+            "Eckart–Young: truncation error {err2} vs tail energy {tail2}"
+        );
+    }
+
+    #[test]
+    fn lsi_similarity_is_symmetric_and_bounded(
+        items in prop::collection::vec(
+            prop::collection::vec(small_entries(), 4),
+            2..30
+        ),
+    ) {
+        let lsi = Lsi::fit_items(&items, LsiConfig { rank: 2, standardize: true });
+        for i in 0..items.len() {
+            for j in 0..items.len() {
+                let s_ij = lsi.similarity(i, j);
+                let s_ji = lsi.similarity(j, i);
+                prop_assert!((s_ij - s_ji).abs() < 1e-9);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s_ij));
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_is_a_partition_with_valid_labels(
+        items in prop::collection::vec(
+            prop::collection::vec(small_entries(), 3),
+            1..60
+        ),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = kmeans(&items, k, 50, &mut rng);
+        prop_assert_eq!(r.assignments.len(), items.len());
+        let k_eff = k.min(items.len());
+        prop_assert_eq!(r.centroids.len(), k_eff);
+        for &a in &r.assignments {
+            prop_assert!(a < k_eff);
+        }
+        prop_assert!(r.inertia >= 0.0);
+    }
+
+    #[test]
+    fn kmeans_inertia_no_worse_than_single_cluster(
+        items in prop::collection::vec(
+            prop::collection::vec(small_entries(), 2),
+            2..50
+        ),
+        k in 2usize..6,
+    ) {
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let multi = kmeans(&items, k, 60, &mut rng_a);
+        let single = kmeans(&items, 1, 60, &mut rng_b);
+        prop_assert!(
+            multi.inertia <= single.inertia + 1e-9,
+            "k={k} clusters must fit at least as well as one"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Classic Guttman R-tree (SIGMOD '84), the spatial substrate of
+//! SmartStore.
+//!
+//! SmartStore uses R-tree machinery in two places:
+//!
+//! * the **semantic R-tree** (the paper's contribution) reuses the
+//!   Minimum Bounding Rectangle algebra and the split/merge algorithms
+//!   ("The operations of splitting and merging nodes in semantic R-tree
+//!   follow the classical algorithms in R-tree", §4.1);
+//! * the **non-semantic R-tree baseline** of §5.1 indexes every file by
+//!   its raw multi-dimensional attributes in a single centralized R-tree.
+//!
+//! The implementation is arena-based (nodes live in a `Vec`, children are
+//! indices) with runtime dimensionality, quadratic split, `CondenseTree`
+//! deletion, iterative range search, best-first k-nearest-neighbour
+//! search, and Sort-Tile-Recursive bulk loading.
+
+pub mod bulk;
+pub mod rect;
+pub mod tree;
+
+pub use rect::Rect;
+pub use tree::{RTree, RTreeConfig, RTreeStats};

@@ -1,0 +1,882 @@
+//! Dynamic R-tree: insert, quadratic split, delete with CondenseTree,
+//! range search, and best-first k-nearest-neighbour search.
+
+use crate::rect::Rect;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Fan-out configuration.
+///
+/// The paper (§4.1): "A node will be split when the number of child nodes
+/// of a parent node is larger than a predetermined threshold M. … a node
+/// is merged with its adjacent neighbor when the number of child nodes …
+/// is smaller than another predetermined threshold m", with `m ≤ M/2`.
+#[derive(Clone, Copy, Debug)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (M).
+    pub max_entries: usize,
+    /// Minimum entries per node (m ≤ M/2).
+    pub min_entries: usize,
+}
+
+impl RTreeConfig {
+    /// Creates a configuration, validating `2 ≤ m ≤ M/2`.
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries >= 4, "RTreeConfig: M must be at least 4");
+        assert!(
+            (2..=max_entries / 2).contains(&min_entries),
+            "RTreeConfig: require 2 <= m <= M/2 (m={min_entries}, M={max_entries})"
+        );
+        Self { max_entries, min_entries }
+    }
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self { max_entries: 16, min_entries: 6 }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Entry<T> {
+    /// Internal entry pointing at a child node.
+    Child { rect: Rect, node: usize },
+    /// Leaf entry holding a payload.
+    Item { rect: Rect, item: T },
+}
+
+impl<T> Entry<T> {
+    fn rect(&self) -> &Rect {
+        match self {
+            Entry::Child { rect, .. } | Entry::Item { rect, .. } => rect,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    /// 0 for leaves; parents of leaves are level 1, etc.
+    level: u32,
+    entries: Vec<Entry<T>>,
+}
+
+impl<T> Node<T> {
+    fn mbr(&self) -> Option<Rect> {
+        let mut it = self.entries.iter();
+        let mut acc = it.next()?.rect().clone();
+        for e in it {
+            acc.union_in_place(e.rect());
+        }
+        Some(acc)
+    }
+}
+
+/// Structural statistics, used by the space-overhead experiment (Fig. 7).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RTreeStats {
+    /// Total nodes (internal + leaf).
+    pub node_count: usize,
+    /// Leaf nodes only.
+    pub leaf_count: usize,
+    /// Tree height (1 = a single leaf root).
+    pub height: usize,
+    /// Stored items.
+    pub len: usize,
+}
+
+/// A dynamic R-tree over payloads of type `T` with runtime dimensionality.
+#[derive(Clone, Debug)]
+pub struct RTree<T> {
+    dim: usize,
+    cfg: RTreeConfig,
+    nodes: Vec<Node<T>>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree for `dim`-dimensional rectangles.
+    pub fn new(dim: usize, cfg: RTreeConfig) -> Self {
+        assert!(dim > 0, "RTree: dimension must be positive");
+        let root = 0;
+        Self {
+            dim,
+            cfg,
+            nodes: vec![Node { level: 0, entries: Vec::new() }],
+            free: Vec::new(),
+            root,
+            len: 0,
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of indexed rectangles.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Fan-out configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.cfg
+    }
+
+    /// MBR of the whole tree, or `None` when empty.
+    pub fn root_mbr(&self) -> Option<Rect> {
+        self.nodes[self.root].mbr()
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> RTreeStats {
+        let mut node_count = 0;
+        let mut leaf_count = 0;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            node_count += 1;
+            let node = &self.nodes[n];
+            if node.level == 0 {
+                leaf_count += 1;
+            } else {
+                for e in &node.entries {
+                    if let Entry::Child { node, .. } = e {
+                        stack.push(*node);
+                    }
+                }
+            }
+        }
+        RTreeStats {
+            node_count,
+            leaf_count,
+            height: self.nodes[self.root].level as usize + 1,
+            len: self.len,
+        }
+    }
+
+    fn alloc(&mut self, node: Node<T>) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Inserts an item with its bounding rectangle.
+    ///
+    /// # Panics
+    /// If `rect.dim() != self.dim()`.
+    pub fn insert(&mut self, rect: Rect, item: T) {
+        assert_eq!(rect.dim(), self.dim, "RTree::insert: dimension mismatch");
+        self.insert_entry(Entry::Item { rect, item }, 0);
+        self.len += 1;
+    }
+
+    /// Inserts an entry at the given level (0 = leaf). Used both by
+    /// public insertion and by CondenseTree re-insertion.
+    fn insert_entry(&mut self, entry: Entry<T>, level: u32) {
+        // Descend from the root picking least-enlargement children until
+        // reaching `level`.
+        let mut path = Vec::new();
+        let mut current = self.root;
+        while self.nodes[current].level > level {
+            let rect = entry.rect();
+            let chosen = self.choose_subtree(current, rect);
+            path.push(current);
+            current = chosen;
+        }
+        self.nodes[current].entries.push(entry);
+
+        // Split overflowing nodes bottom-up, updating MBRs along the path.
+        let mut split_of: Option<(usize, Rect, Rect)> = None; // (new node, old mbr, new mbr)
+        if self.nodes[current].entries.len() > self.cfg.max_entries {
+            split_of = Some(self.split(current));
+        }
+        let mut child = current;
+        while let Some(parent) = path.pop() {
+            // Refresh the rect of `child` inside `parent`.
+            let child_mbr = self.nodes[child].mbr().expect("non-empty child");
+            for e in &mut self.nodes[parent].entries {
+                if let Entry::Child { node, rect } = e {
+                    if *node == child {
+                        *rect = child_mbr.clone();
+                        break;
+                    }
+                }
+            }
+            if let Some((new_node, _old_mbr, new_mbr)) = split_of.take() {
+                self.nodes[parent]
+                    .entries
+                    .push(Entry::Child { rect: new_mbr, node: new_node });
+                if self.nodes[parent].entries.len() > self.cfg.max_entries {
+                    split_of = Some(self.split(parent));
+                }
+            }
+            child = parent;
+        }
+        // Root split: grow the tree by one level.
+        if let Some((new_node, old_mbr, new_mbr)) = split_of {
+            let old_root = self.root;
+            let level = self.nodes[old_root].level + 1;
+            let new_root = self.alloc(Node {
+                level,
+                entries: vec![
+                    Entry::Child { rect: old_mbr, node: old_root },
+                    Entry::Child { rect: new_mbr, node: new_node },
+                ],
+            });
+            self.root = new_root;
+        }
+    }
+
+    /// Guttman ChooseLeaf step: child needing least enlargement, ties
+    /// broken by smaller area.
+    fn choose_subtree(&self, node: usize, rect: &Rect) -> usize {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for e in &self.nodes[node].entries {
+            if let Entry::Child { rect: crect, node: child } = e {
+                let enl = crect.enlargement(rect);
+                let area = crect.area();
+                let better = match &best {
+                    None => true,
+                    Some((_, be, ba)) => {
+                        enl < *be || (enl == *be && area < *ba)
+                    }
+                };
+                if better {
+                    best = Some((*child, enl, area));
+                }
+            }
+        }
+        best.expect("choose_subtree: internal node with no children").0
+    }
+
+    /// Quadratic split (Guttman §3.5.2). Returns
+    /// `(new_node_index, mbr_of_split_node, mbr_of_new_node)`.
+    fn split(&mut self, node: usize) -> (usize, Rect, Rect) {
+        let level = self.nodes[node].level;
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        let n = entries.len();
+        debug_assert!(n > self.cfg.max_entries);
+
+        // PickSeeds: pair wasting the most area when combined.
+        let mut seed_a = 0;
+        let mut seed_b = 1;
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ri = entries[i].rect();
+                let rj = entries[j].rect();
+                let waste = ri.union(rj).area() - ri.area() - rj.area();
+                if waste > worst {
+                    worst = waste;
+                    seed_a = i;
+                    seed_b = j;
+                }
+            }
+        }
+
+        let mut group_a: Vec<Entry<T>> = Vec::with_capacity(n);
+        let mut group_b: Vec<Entry<T>> = Vec::with_capacity(n);
+        let mut mbr_a = entries[seed_a].rect().clone();
+        let mut mbr_b = entries[seed_b].rect().clone();
+        let mut rest: Vec<Entry<T>> = Vec::with_capacity(n - 2);
+        for (i, e) in entries.into_iter().enumerate() {
+            if i == seed_a {
+                group_a.push(e);
+            } else if i == seed_b {
+                group_b.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+
+        // PickNext: assign the entry with the strongest preference first.
+        while !rest.is_empty() {
+            let remaining = rest.len();
+            let min = self.cfg.min_entries;
+            // Force assignment if one group must take all the rest to
+            // reach the minimum.
+            if group_a.len() + remaining == min {
+                for e in rest.drain(..) {
+                    mbr_a.union_in_place(e.rect());
+                    group_a.push(e);
+                }
+                break;
+            }
+            if group_b.len() + remaining == min {
+                for e in rest.drain(..) {
+                    mbr_b.union_in_place(e.rect());
+                    group_b.push(e);
+                }
+                break;
+            }
+            let mut pick = 0;
+            let mut pick_diff = f64::NEG_INFINITY;
+            for (i, e) in rest.iter().enumerate() {
+                let da = mbr_a.enlargement(e.rect());
+                let db = mbr_b.enlargement(e.rect());
+                let diff = (da - db).abs();
+                if diff > pick_diff {
+                    pick_diff = diff;
+                    pick = i;
+                }
+            }
+            let e = rest.swap_remove(pick);
+            let da = mbr_a.enlargement(e.rect());
+            let db = mbr_b.enlargement(e.rect());
+            let to_a = match da.partial_cmp(&db).unwrap() {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => {
+                    // Tie-break: smaller area, then fewer entries.
+                    (mbr_a.area(), group_a.len()) <= (mbr_b.area(), group_b.len())
+                }
+            };
+            if to_a {
+                mbr_a.union_in_place(e.rect());
+                group_a.push(e);
+            } else {
+                mbr_b.union_in_place(e.rect());
+                group_b.push(e);
+            }
+        }
+
+        self.nodes[node].entries = group_a;
+        let new_node = self.alloc(Node { level, entries: group_b });
+        (new_node, mbr_a, mbr_b)
+    }
+
+    /// Collects references to all items whose rectangles intersect
+    /// `query`.
+    pub fn range(&self, query: &Rect) -> Vec<&T> {
+        self.range_with_stats(query).0
+    }
+
+    /// Range search that also reports the number of nodes visited — the
+    /// unit of work the latency cost model charges for.
+    pub fn range_with_stats(&self, query: &Rect) -> (Vec<&T>, usize) {
+        assert_eq!(query.dim(), self.dim, "RTree::range: dimension mismatch");
+        let mut out = Vec::new();
+        let mut visited = 0;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            visited += 1;
+            for e in &self.nodes[n].entries {
+                match e {
+                    Entry::Child { rect, node } => {
+                        if rect.intersects(query) {
+                            stack.push(*node);
+                        }
+                    }
+                    Entry::Item { rect, item } => {
+                        if rect.intersects(query) {
+                            out.push(item);
+                        }
+                    }
+                }
+            }
+        }
+        (out, visited)
+    }
+
+    /// k-nearest-neighbour search around `point` by MBR center distance
+    /// lower bound (best-first / branch-and-bound). Returns up to `k`
+    /// items with their squared distances, nearest first.
+    pub fn knn(&self, point: &[f64], k: usize) -> Vec<(&T, f64)> {
+        self.knn_with_stats(point, k).0
+    }
+
+    /// k-NN that also reports nodes visited.
+    pub fn knn_with_stats(&self, point: &[f64], k: usize) -> (Vec<(&T, f64)>, usize) {
+        assert_eq!(point.len(), self.dim, "RTree::knn: dimension mismatch");
+        #[derive(PartialEq)]
+        enum Cand {
+            Node(usize),
+            Item(usize, usize), // (node, entry index)
+        }
+        struct HeapEntry {
+            dist: f64,
+            cand: Cand,
+        }
+        impl PartialEq for HeapEntry {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl Eq for HeapEntry {}
+        impl PartialOrd for HeapEntry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapEntry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap by distance.
+                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut out: Vec<(&T, f64)> = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return (out, 0);
+        }
+        let mut visited = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, cand: Cand::Node(self.root) });
+        while let Some(HeapEntry { dist, cand }) = heap.pop() {
+            if out.len() == k && dist > out.last().map_or(f64::INFINITY, |&(_, d)| d) {
+                break;
+            }
+            match cand {
+                Cand::Node(n) => {
+                    visited += 1;
+                    for (i, e) in self.nodes[n].entries.iter().enumerate() {
+                        let d = e.rect().min_sq_dist(point);
+                        match e {
+                            Entry::Child { node, .. } => {
+                                heap.push(HeapEntry { dist: d, cand: Cand::Node(*node) })
+                            }
+                            Entry::Item { .. } => {
+                                heap.push(HeapEntry { dist: d, cand: Cand::Item(n, i) })
+                            }
+                        }
+                    }
+                }
+                Cand::Item(n, i) => {
+                    if let Entry::Item { item, .. } = &self.nodes[n].entries[i] {
+                        if out.len() < k {
+                            out.push((item, dist));
+                            out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                        } else if dist < out.last().unwrap().1 {
+                            out.pop();
+                            out.push((item, dist));
+                            out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+        (out, visited)
+    }
+
+    /// Iterates over all `(rect, item)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> {
+        let mut stack = vec![self.root];
+        let mut leaves = Vec::new();
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if node.level == 0 {
+                leaves.push(n);
+            } else {
+                for e in &node.entries {
+                    if let Entry::Child { node, .. } = e {
+                        stack.push(*node);
+                    }
+                }
+            }
+        }
+        leaves.into_iter().flat_map(move |n| {
+            self.nodes[n].entries.iter().filter_map(|e| match e {
+                Entry::Item { rect, item } => Some((rect, item)),
+                Entry::Child { .. } => None,
+            })
+        })
+    }
+
+    /// Validates structural invariants (entry counts, MBR containment,
+    /// level consistency). Intended for tests; O(n).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = 0usize;
+        let mut stack = vec![(self.root, None::<Rect>)];
+        while let Some((n, parent_rect)) = stack.pop() {
+            let node = &self.nodes[n];
+            if n != self.root
+                && node.entries.len() < self.cfg.min_entries {
+                    return Err(format!(
+                        "node {n} underflow: {} < {}",
+                        node.entries.len(),
+                        self.cfg.min_entries
+                    ));
+                }
+            if node.entries.len() > self.cfg.max_entries {
+                return Err(format!(
+                    "node {n} overflow: {} > {}",
+                    node.entries.len(),
+                    self.cfg.max_entries
+                ));
+            }
+            if let (Some(pr), Some(mbr)) = (&parent_rect, node.mbr()) {
+                if !pr.contains_rect(&mbr) {
+                    return Err(format!("node {n}: parent rect does not contain MBR"));
+                }
+            }
+            for e in &node.entries {
+                match e {
+                    Entry::Child { rect, node: child } => {
+                        if node.level == 0 {
+                            return Err(format!("leaf {n} has child entry"));
+                        }
+                        if self.nodes[*child].level + 1 != node.level {
+                            return Err(format!("node {n}: child level mismatch"));
+                        }
+                        stack.push((*child, Some(rect.clone())));
+                    }
+                    Entry::Item { .. } => {
+                        if node.level != 0 {
+                            return Err(format!("internal node {n} has item entry"));
+                        }
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        if seen != self.len {
+            return Err(format!("len mismatch: counted {seen}, recorded {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+impl<T: PartialEq> RTree<T> {
+    /// Removes one item equal to `item` whose stored rectangle intersects
+    /// `rect`. Returns the removed payload, or `None` if not found.
+    ///
+    /// Implements Guttman's `Delete` + `CondenseTree`: underflowing nodes
+    /// along the path are dissolved and their entries re-inserted at
+    /// their original level.
+    pub fn delete(&mut self, rect: &Rect, item: &T) -> Option<T> {
+        assert_eq!(rect.dim(), self.dim, "RTree::delete: dimension mismatch");
+        // FindLeaf: DFS over nodes whose rect intersects.
+        let mut path = Vec::new();
+        let found = self.find_leaf(self.root, rect, item, &mut path)?;
+        let (leaf, entry_idx) = found;
+        let removed = match self.nodes[leaf].entries.swap_remove(entry_idx) {
+            Entry::Item { item, .. } => item,
+            Entry::Child { .. } => unreachable!("find_leaf returned a child entry"),
+        };
+        self.len -= 1;
+        self.condense(path);
+        Some(removed)
+    }
+
+    /// DFS locating the leaf and entry index holding `item`; fills `path`
+    /// with the node indices from root to the leaf (leaf included).
+    fn find_leaf(
+        &self,
+        node: usize,
+        rect: &Rect,
+        item: &T,
+        path: &mut Vec<usize>,
+    ) -> Option<(usize, usize)> {
+        path.push(node);
+        let n = &self.nodes[node];
+        if n.level == 0 {
+            for (i, e) in n.entries.iter().enumerate() {
+                if let Entry::Item { rect: r, item: it } = e {
+                    if it == item && r.intersects(rect) {
+                        return Some((node, i));
+                    }
+                }
+            }
+        } else {
+            for e in &n.entries {
+                if let Entry::Child { rect: r, node: child } = e {
+                    if r.intersects(rect) {
+                        if let Some(found) = self.find_leaf(*child, rect, item, path) {
+                            return Some(found);
+                        }
+                    }
+                }
+            }
+        }
+        path.pop();
+        None
+    }
+
+    /// CondenseTree: dissolve underflowing nodes on the root-to-leaf
+    /// path, re-insert orphaned entries, and shrink the root if needed.
+    fn condense(&mut self, mut path: Vec<usize>) {
+        let mut orphans: Vec<(Entry<T>, u32)> = Vec::new();
+        while path.len() > 1 {
+            let node = path.pop().unwrap();
+            let parent = *path.last().unwrap();
+            let underflow = self.nodes[node].entries.len() < self.cfg.min_entries;
+            if underflow {
+                // Remove from parent and orphan all entries.
+                self.nodes[parent]
+                    .entries
+                    .retain(|e| !matches!(e, Entry::Child { node: c, .. } if *c == node));
+                let level = self.nodes[node].level;
+                for e in std::mem::take(&mut self.nodes[node].entries) {
+                    orphans.push((e, level));
+                }
+                self.free.push(node);
+            } else {
+                // Tighten the parent's rect for this child.
+                if let Some(mbr) = self.nodes[node].mbr() {
+                    for e in &mut self.nodes[parent].entries {
+                        if let Entry::Child { node: c, rect } = e {
+                            if *c == node {
+                                *rect = mbr.clone();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Shrink the root while it is an internal node with one child.
+        while self.nodes[self.root].level > 0 && self.nodes[self.root].entries.len() == 1 {
+            let old_root = self.root;
+            if let Entry::Child { node, .. } = &self.nodes[old_root].entries[0] {
+                self.root = *node;
+                self.nodes[old_root].entries.clear();
+                self.free.push(old_root);
+            }
+        }
+        // An empty internal root (all children dissolved) degenerates to
+        // an empty leaf.
+        if self.nodes[self.root].entries.is_empty() {
+            self.nodes[self.root].level = 0;
+        }
+        // Re-insert orphans at their original level.
+        for (entry, level) in orphans {
+            match entry {
+                Entry::Item { rect, item } => {
+                    self.insert_entry(Entry::Item { rect, item }, 0);
+                }
+                e @ Entry::Child { .. } => {
+                    // A child of a dissolved node at level L re-parents
+                    // into a node at exactly level L. If the tree shrank
+                    // below that level, the subtree's items must be
+                    // re-inserted individually instead.
+                    if self.nodes[self.root].level >= level {
+                        self.insert_entry(e, level);
+                    } else if let Entry::Child { node, .. } = e {
+                        self.reinsert_subtree(node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recursively re-inserts every item stored under `node`.
+    fn reinsert_subtree(&mut self, node: usize) {
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        self.free.push(node);
+        for e in entries {
+            match e {
+                Entry::Item { rect, item } => {
+                    self.insert_entry(Entry::Item { rect, item }, 0);
+                }
+                Entry::Child { node, .. } => self.reinsert_subtree(node),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::point(&[x, y])
+    }
+
+    fn grid_tree(n: usize) -> RTree<usize> {
+        let mut t = RTree::new(2, RTreeConfig::new(8, 3));
+        let mut id = 0;
+        for x in 0..n {
+            for y in 0..n {
+                t.insert(pt(x as f64, y as f64), id);
+                id += 1;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let t = grid_tree(10);
+        assert_eq!(t.len(), 100);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_query_matches_grid() {
+        let t = grid_tree(10);
+        let q = Rect::new(vec![2.0, 2.0], vec![4.0, 4.0]);
+        let mut hits = t.range(&q);
+        hits.sort();
+        // 3x3 block of grid points.
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn range_query_empty_region() {
+        let t = grid_tree(5);
+        let q = Rect::new(vec![100.0, 100.0], vec![101.0, 101.0]);
+        assert!(t.range(&q).is_empty());
+    }
+
+    #[test]
+    fn knn_returns_nearest() {
+        let t = grid_tree(10);
+        let res = t.knn(&[0.2, 0.2], 1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(*res[0].0, 0, "nearest to origin corner is item 0");
+        let res4 = t.knn(&[0.5, 0.5], 4);
+        assert_eq!(res4.len(), 4);
+        let ids: Vec<usize> = res4.iter().map(|&(i, _)| *i).collect();
+        // the four corners of the unit cell: (0,0)=0, (0,1)=1, (1,0)=10, (1,1)=11
+        for want in [0, 1, 10, 11] {
+            assert!(ids.contains(&want), "missing {want} in {ids:?}");
+        }
+    }
+
+    #[test]
+    fn knn_distances_sorted_ascending() {
+        let t = grid_tree(8);
+        let res = t.knn(&[3.3, 3.3], 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_len() {
+        let t = grid_tree(2);
+        assert_eq!(t.knn(&[0.0, 0.0], 100).len(), 4);
+    }
+
+    #[test]
+    fn knn_on_empty_tree() {
+        let t: RTree<u32> = RTree::new(2, RTreeConfig::default());
+        assert!(t.knn(&[0.0, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn delete_removes_and_keeps_invariants() {
+        let mut t = grid_tree(10);
+        for x in 0..10 {
+            for y in 0..10 {
+                let id = x * 10 + y;
+                if (x + y) % 2 == 0 {
+                    let removed = t.delete(&pt(x as f64, y as f64), &id);
+                    assert_eq!(removed, Some(id));
+                    t.check_invariants().unwrap();
+                }
+            }
+        }
+        assert_eq!(t.len(), 50);
+        // Remaining items still findable.
+        let q = Rect::new(vec![0.0, 0.0], vec![9.0, 9.0]);
+        assert_eq!(t.range(&q).len(), 50);
+    }
+
+    #[test]
+    fn delete_missing_returns_none() {
+        let mut t = grid_tree(3);
+        assert_eq!(t.delete(&pt(50.0, 50.0), &12345), None);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn delete_everything_empties_tree() {
+        let mut t = grid_tree(5);
+        for x in 0..5 {
+            for y in 0..5 {
+                assert!(t.delete(&pt(x as f64, y as f64), &(x * 5 + y)).is_some());
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+        // Tree remains usable.
+        t.insert(pt(1.0, 1.0), 999);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.range(&pt(1.0, 1.0)).len(), 1);
+    }
+
+    #[test]
+    fn root_mbr_covers_all_points() {
+        let t = grid_tree(6);
+        let mbr = t.root_mbr().unwrap();
+        assert!(mbr.contains_point(&[0.0, 0.0]));
+        assert!(mbr.contains_point(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let t = grid_tree(10);
+        let s = t.stats();
+        assert_eq!(s.len, 100);
+        assert!(s.height >= 2, "100 items with M=8 must have height >= 2");
+        assert!(s.leaf_count >= 100 / 8);
+        assert!(s.node_count > s.leaf_count);
+    }
+
+    #[test]
+    fn iter_yields_all_items() {
+        let t = grid_tree(7);
+        let mut ids: Vec<usize> = t.iter().map(|(_, &i)| i).collect();
+        ids.sort();
+        assert_eq!(ids, (0..49).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rect_items_supported() {
+        // Non-degenerate rectangles as payload bounds.
+        let mut t = RTree::new(2, RTreeConfig::new(4, 2));
+        t.insert(Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]), "a");
+        t.insert(Rect::new(vec![1.0, 1.0], vec![3.0, 3.0]), "b");
+        t.insert(Rect::new(vec![10.0, 10.0], vec![11.0, 11.0]), "c");
+        let q = Rect::new(vec![1.5, 1.5], vec![1.6, 1.6]);
+        let mut hits = t.range(&q);
+        hits.sort();
+        assert_eq!(hits, vec![&"a", &"b"]);
+    }
+
+    #[test]
+    fn duplicate_points_all_stored_and_deletable() {
+        let mut t = RTree::new(1, RTreeConfig::new(4, 2));
+        for i in 0..10 {
+            t.insert(Rect::point(&[1.0]), i);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.range(&Rect::point(&[1.0])).len(), 10);
+        for i in 0..10 {
+            assert_eq!(t.delete(&Rect::point(&[1.0]), &i), Some(i));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut t: RTree<u32> = RTree::new(2, RTreeConfig::default());
+        t.insert(Rect::point(&[1.0]), 1);
+    }
+
+    #[test]
+    fn high_dimensional_tree() {
+        let mut t = RTree::new(8, RTreeConfig::new(10, 4));
+        for i in 0..200 {
+            let p: Vec<f64> = (0..8).map(|d| ((i * (d + 3)) % 17) as f64).collect();
+            t.insert(Rect::point(&p), i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 200);
+        let whole = Rect::new(vec![0.0; 8], vec![17.0; 8]);
+        assert_eq!(t.range(&whole).len(), 200);
+    }
+}

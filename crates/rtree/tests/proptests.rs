@@ -1,0 +1,132 @@
+//! Property-based tests: the R-tree must agree with brute-force linear
+//! scans on every query, under arbitrary interleavings of inserts and
+//! deletes.
+
+use proptest::prelude::*;
+use smartstore_rtree::{Rect, RTree, RTreeConfig};
+
+fn pt(p: &[f64]) -> Rect {
+    Rect::point(p)
+}
+
+/// Coordinates drawn from a small grid so duplicates and boundary hits
+/// are common (the adversarial cases for tree pruning).
+fn coord() -> impl Strategy<Value = f64> {
+    (0i32..20).prop_map(|v| v as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_matches_linear_scan(
+        points in prop::collection::vec((coord(), coord()), 1..200),
+        qx0 in coord(), qx1 in coord(), qy0 in coord(), qy1 in coord(),
+    ) {
+        let mut tree = RTree::new(2, RTreeConfig::new(8, 3));
+        for (i, &(x, y)) in points.iter().enumerate() {
+            tree.insert(pt(&[x, y]), i);
+        }
+        tree.check_invariants().unwrap();
+        let (lo_x, hi_x) = (qx0.min(qx1), qx0.max(qx1));
+        let (lo_y, hi_y) = (qy0.min(qy1), qy0.max(qy1));
+        let q = Rect::new(vec![lo_x, lo_y], vec![hi_x, hi_y]);
+        let mut got: Vec<usize> = tree.range(&q).into_iter().copied().collect();
+        got.sort();
+        let mut want: Vec<usize> = points.iter().enumerate()
+            .filter(|(_, &(x, y))| lo_x <= x && x <= hi_x && lo_y <= y && y <= hi_y)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_brute_force(
+        points in prop::collection::vec((coord(), coord()), 1..150),
+        qx in coord(), qy in coord(),
+        k in 1usize..10,
+    ) {
+        let mut tree = RTree::new(2, RTreeConfig::new(8, 3));
+        for (i, &(x, y)) in points.iter().enumerate() {
+            tree.insert(pt(&[x, y]), i);
+        }
+        let got = tree.knn(&[qx, qy], k);
+        // Brute force distances.
+        let mut dists: Vec<f64> = points.iter()
+            .map(|&(x, y)| (x - qx).powi(2) + (y - qy).powi(2))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect_k = k.min(points.len());
+        prop_assert_eq!(got.len(), expect_k);
+        // Distance multiset must match (ids may differ under ties).
+        for (i, &(_, d)) in got.iter().enumerate() {
+            prop_assert!((d - dists[i]).abs() < 1e-9,
+                "knn dist {} at rank {} != brute force {}", d, i, dists[i]);
+        }
+    }
+
+    #[test]
+    fn insert_delete_interleaving_preserves_invariants(
+        ops in prop::collection::vec((any::<bool>(), coord(), coord()), 1..300),
+    ) {
+        let mut tree = RTree::new(2, RTreeConfig::new(6, 2));
+        let mut live: Vec<(f64, f64, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for (is_insert, x, y) in ops {
+            if is_insert || live.is_empty() {
+                tree.insert(pt(&[x, y]), next_id);
+                live.push((x, y, next_id));
+                next_id += 1;
+            } else {
+                let (dx, dy, id) = live.swap_remove(live.len() / 2);
+                let removed = tree.delete(&pt(&[dx, dy]), &id);
+                prop_assert_eq!(removed, Some(id));
+            }
+            tree.check_invariants().unwrap();
+            prop_assert_eq!(tree.len(), live.len());
+        }
+        // Every surviving item is findable.
+        for &(x, y, id) in &live {
+            let hits = tree.range(&pt(&[x, y]));
+            prop_assert!(hits.contains(&&id));
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_insertion_results(
+        points in prop::collection::vec((coord(), coord()), 0..200),
+        qx0 in coord(), qx1 in coord(), qy0 in coord(), qy1 in coord(),
+    ) {
+        let items: Vec<(Rect, usize)> = points.iter().enumerate()
+            .map(|(i, &(x, y))| (pt(&[x, y]), i)).collect();
+        let bulk = smartstore_rtree::bulk::str_bulk_load(2, RTreeConfig::new(8, 3), items);
+        let mut incr = RTree::new(2, RTreeConfig::new(8, 3));
+        for (i, &(x, y)) in points.iter().enumerate() {
+            incr.insert(pt(&[x, y]), i);
+        }
+        let q = Rect::new(
+            vec![qx0.min(qx1), qy0.min(qy1)],
+            vec![qx0.max(qx1), qy0.max(qy1)],
+        );
+        let mut a: Vec<usize> = bulk.range(&q).into_iter().copied().collect();
+        let mut b: Vec<usize> = incr.range(&q).into_iter().copied().collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_mbr_contains_every_point(
+        points in prop::collection::vec((coord(), coord()), 1..100),
+    ) {
+        let mut tree = RTree::new(2, RTreeConfig::default());
+        for (i, &(x, y)) in points.iter().enumerate() {
+            tree.insert(pt(&[x, y]), i);
+        }
+        let mbr = tree.root_mbr().unwrap();
+        for &(x, y) in &points {
+            prop_assert!(mbr.contains_point(&[x, y]));
+        }
+    }
+}

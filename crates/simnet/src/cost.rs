@@ -1,0 +1,71 @@
+//! The latency cost model.
+//!
+//! Charges are in nanoseconds and deliberately simple: a query's
+//! simulated latency is dominated by (a) how many network hops it
+//! crosses and (b) how many index nodes / records / Bloom filters it
+//! touches. These are exactly the quantities SmartStore's design
+//! minimizes relative to the baselines, so the model preserves the
+//! paper's comparative structure.
+
+/// Nanosecond charges for simulated operations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One-way network latency per message (ns). Default 100 µs — a
+    /// commodity-Ethernet RPC in the 2009 era the paper targets.
+    pub hop_latency_ns: u64,
+    /// Per-byte wire cost (ns/byte). Default ≈ 1 Gb/s.
+    pub per_byte_ns: f64,
+    /// CPU cost to dispatch/handle one message (ns).
+    pub per_msg_cpu_ns: u64,
+    /// Cost to probe one index node (R-tree node or B+-tree node).
+    pub per_index_node_ns: u64,
+    /// Cost to examine one metadata record.
+    pub per_record_ns: u64,
+    /// Cost to probe one Bloom filter.
+    pub per_filter_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            hop_latency_ns: 100_000, // 100 µs RPC
+            per_byte_ns: 1.0,        // ~1 GB/s effective
+            per_msg_cpu_ns: 5_000,
+            per_index_node_ns: 2_000,
+            per_record_ns: 200,
+            per_filter_ns: 500,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total wire time for a message of `bytes` bytes.
+    pub fn wire_ns(&self, bytes: usize) -> u64 {
+        self.hop_latency_ns + (self.per_byte_ns * bytes as f64) as u64
+    }
+
+    /// Local processing time for probing `nodes` index nodes and
+    /// scanning `records` records.
+    pub fn probe_ns(&self, nodes: usize, records: usize) -> u64 {
+        self.per_index_node_ns * nodes as u64 + self.per_record_ns * records as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_cost_scales_with_bytes() {
+        let c = CostModel::default();
+        assert_eq!(c.wire_ns(0), 100_000);
+        assert_eq!(c.wire_ns(1000), 101_000);
+    }
+
+    #[test]
+    fn probe_cost_linear() {
+        let c = CostModel::default();
+        assert_eq!(c.probe_ns(0, 0), 0);
+        assert_eq!(c.probe_ns(3, 10), 3 * 2_000 + 10 * 200);
+    }
+}

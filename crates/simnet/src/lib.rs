@@ -1,0 +1,25 @@
+//! Deterministic discrete-event cluster simulator.
+//!
+//! The paper's prototype runs on "a cluster of 60 storage units", each
+//! an Intel Core 2 Duo with 2 GB RAM and "high-speed network
+//! connections" (§5.1). This crate is the testbed substitute: a
+//! discrete-event simulation of N storage-unit servers exchanging
+//! messages over a uniform-latency network, with a calibrated cost model
+//! for message dispatch, index probes and record scans.
+//!
+//! Absolute times do not (and are not meant to) match the authors'
+//! hardware; the experiments compare *systems on the same simulator*, so
+//! relative orderings — the paper's actual findings — carry over.
+//! See DESIGN.md §2.
+//!
+//! * [`CostModel`] — nanosecond charges per hop / message / probe;
+//! * [`Simulator`] — event queue, per-node busy tracking, message and
+//!   byte counters;
+//! * [`Simulator::run`]-style usage: callers pump events with a handler
+//!   closure and read [`NetStats`] + completion times afterwards.
+
+pub mod cost;
+pub mod sim;
+
+pub use cost::CostModel;
+pub use sim::{Delivery, NetStats, NodeId, SimTime, Simulator};

@@ -1,0 +1,109 @@
+//! Simulator validation: the event-driven kernel must agree with
+//! closed-form FIFO queueing on batch workloads, and replay must be
+//! deterministic under permuted (but time-equivalent) schedules.
+
+use smartstore_simnet::{CostModel, Simulator};
+
+#[derive(Clone, Debug)]
+struct QueryJob {
+    id: usize,
+    service_ns: u64,
+}
+
+/// Closed-form FIFO completion times for jobs arriving at t=0 on one
+/// server with per-message dispatch cost.
+fn analytic_fifo(jobs: &[QueryJob], dispatch: u64, arrival: u64) -> Vec<u64> {
+    let mut t = 0u64;
+    let mut out = Vec::new();
+    for j in jobs {
+        let start = arrival.max(t);
+        t = start + dispatch + j.service_ns;
+        out.push(t);
+    }
+    out
+}
+
+#[test]
+fn event_kernel_matches_analytic_fifo() {
+    let cost = CostModel::default();
+    let jobs: Vec<QueryJob> = (0..20)
+        .map(|i| QueryJob { id: i, service_ns: 1_000 * (i as u64 % 7 + 1) })
+        .collect();
+
+    let mut sim: Simulator<QueryJob> = Simulator::new(2, cost);
+    for j in &jobs {
+        sim.send(0, 1, j.clone(), 64);
+    }
+    let mut completions = vec![0u64; jobs.len()];
+    sim.run(|_, d| {
+        let service = d.msg.service_ns;
+        completions[d.msg.id] = d.at + cost.per_msg_cpu_ns + service;
+        service
+    });
+
+    let arrival = cost.wire_ns(64);
+    let expect = analytic_fifo(&jobs, cost.per_msg_cpu_ns, arrival);
+    assert_eq!(completions, expect, "kernel must reproduce FIFO queueing exactly");
+}
+
+#[test]
+fn parallel_servers_overlap_work() {
+    let cost = CostModel::default();
+    let mut sim: Simulator<QueryJob> = Simulator::new(9, cost);
+    // One job per server (sent from node 0 to 1..9).
+    for i in 0..8usize {
+        sim.send(0, i + 1, QueryJob { id: i, service_ns: 50_000 }, 0);
+    }
+    let mut last_done = 0u64;
+    sim.run(|s, d| {
+        let done = d.at + s.cost().per_msg_cpu_ns + d.msg.service_ns;
+        last_done = last_done.max(done);
+        d.msg.service_ns
+    });
+    // All jobs overlap: makespan ≈ one wire + dispatch + service.
+    let serial_estimate = 8 * (cost.per_msg_cpu_ns + 50_000);
+    assert!(
+        last_done < serial_estimate,
+        "parallel servers must beat serial time: {last_done} vs {serial_estimate}"
+    );
+    assert_eq!(last_done, cost.wire_ns(0) + cost.per_msg_cpu_ns + 50_000);
+}
+
+#[test]
+fn message_and_byte_accounting_is_exact() {
+    let cost = CostModel::default();
+    let mut sim: Simulator<u32> = Simulator::new(4, cost);
+    sim.send(0, 1, 1, 100);
+    sim.send(1, 2, 2, 200);
+    sim.send(2, 2, 3, 999); // self-send: free
+    sim.multicast(0, &[1, 2, 3], &7, 10);
+    sim.run(|_, _| 0);
+    let stats = sim.stats();
+    assert_eq!(stats.messages, 5);
+    assert_eq!(stats.bytes, 100 + 200 + 3 * 10);
+}
+
+#[test]
+fn identical_schedules_replay_identically() {
+    let run = || {
+        let mut sim: Simulator<usize> = Simulator::new(3, CostModel::default());
+        for i in 0..50 {
+            sim.send_at((i * 997) as u64, 0, 1 + i % 2, i, i % 13);
+        }
+        let mut order = Vec::new();
+        sim.run(|s, d| {
+            order.push((d.msg, d.at));
+            // Every 5th original message triggers one follow-up
+            // (follow-ups themselves, ≥1000, do not cascade).
+            if d.msg % 5 == 0 && d.msg < 1000 {
+                s.send(d.to, (d.to + 1) % 3, d.msg + 1000, 8);
+            }
+            1_000
+        });
+        (order, sim.stats())
+    };
+    let (a, sa) = run();
+    let (b, sb) = run();
+    assert_eq!(a, b, "event order and timing must be deterministic");
+    assert_eq!(sa, sb);
+}

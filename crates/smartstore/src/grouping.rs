@@ -1,0 +1,690 @@
+//! LSI-driven semantic grouping (§3.1).
+//!
+//! Two grouping problems appear in the paper and both are solved here:
+//!
+//! 1. **File placement** — partition file metadata into `N` storage
+//!    units of approximately equal size such that intra-unit correlation
+//!    beats inter-unit correlation (Statement 1, §3.1.1). Implemented as
+//!    K-means over LSI semantic coordinates followed by a balancing pass
+//!    ([`partition_balanced`]).
+//! 2. **Unit aggregation** — iteratively merge storage units (and then
+//!    groups) whose pairwise LSI correlation exceeds the per-level
+//!    admission threshold εᵢ, "the one with the largest correlation
+//!    value will be chosen" (§3.1.2), producing the level structure of
+//!    the semantic R-tree ([`group_level`], [`build_hierarchy`]).
+//!
+//! The paper's semantic-correlation measure `Σᵢ Σ_{fⱼ∈Gᵢ} (fⱼ − Cᵢ)²`
+//! ([`wcss`]) drives the optimal-threshold search of Fig. 11
+//! ([`optimal_threshold`]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartstore_linalg::{kmeans, sq_euclidean, Lsi, LsiConfig};
+
+/// One level of grouping: which input items belong to which group.
+#[derive(Clone, Debug)]
+pub struct LevelGrouping {
+    /// `groups[g]` lists the input-item indexes in group `g`.
+    pub groups: Vec<Vec<usize>>,
+    /// Raw-attribute centroid of each group.
+    pub centroids: Vec<Vec<f64>>,
+    /// The admission threshold used.
+    pub epsilon: f64,
+}
+
+/// The full bottom-up hierarchy: `levels[0]` groups the leaf items,
+/// `levels[1]` groups the level-0 groups, … the last level has exactly
+/// one group (the root).
+#[derive(Clone, Debug)]
+pub struct GroupingHierarchy {
+    /// Per-level groupings, bottom-up.
+    pub levels: Vec<LevelGrouping>,
+}
+
+/// Centroid (arithmetic mean) of a set of vectors.
+fn centroid(vectors: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
+    let d = vectors[members[0]].len();
+    let mut c = vec![0.0; d];
+    for &m in members {
+        for (ci, &x) in c.iter_mut().zip(&vectors[m]) {
+            *ci += x;
+        }
+    }
+    for ci in &mut c {
+        *ci /= members.len() as f64;
+    }
+    c
+}
+
+/// Within-group sum of squares — the paper's semantic-correlation
+/// measure `Σᵢ Σ_{fⱼ∈Gᵢ} (fⱼ − Cᵢ)²` (§1.1).
+pub fn wcss(vectors: &[Vec<f64>], groups: &[Vec<usize>]) -> f64 {
+    groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let c = centroid(vectors, g);
+            g.iter().map(|&m| sq_euclidean(&vectors[m], &c)).sum::<f64>()
+        })
+        .sum()
+}
+
+/// Groups items whose pairwise LSI correlation exceeds `epsilon`.
+///
+/// Greedy agglomeration in descending correlation order: for each item
+/// the partner with the largest correlation is preferred (§3.2.1), and
+/// merges respect `max_group_size` so that "group sizes are
+/// approximately equal" (Statement 1).
+#[allow(clippy::needless_range_loop)] // i<j pair enumeration reads best as indices
+pub fn group_level(
+    vectors: &[Vec<f64>],
+    epsilon: f64,
+    lsi_rank: usize,
+    max_group_size: usize,
+) -> LevelGrouping {
+    let n = vectors.len();
+    assert!(n > 0, "group_level: no items");
+    assert!(max_group_size >= 2, "group_level: max_group_size must allow merging");
+    if n == 1 {
+        return LevelGrouping {
+            groups: vec![vec![0]],
+            centroids: vec![vectors[0].clone()],
+            epsilon,
+        };
+    }
+
+    let sims = kernel_similarities(vectors, lsi_rank);
+    // All pairs above the threshold, sorted by correlation descending.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let c = sims[i][j];
+            if c > epsilon {
+                pairs.push((i, j, c));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+
+    // Union-find with size caps.
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (i, j, _) in pairs {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri != rj && size[ri] + size[rj] <= max_group_size {
+            parent[rj] = ri;
+            size[ri] += size[rj];
+        }
+    }
+
+    let mut by_root: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        by_root.entry(r).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+    // Deterministic order: by smallest member.
+    groups.sort_by_key(|g| g[0]);
+    let centroids = groups.iter().map(|g| centroid(vectors, g)).collect();
+    LevelGrouping { groups, centroids, epsilon }
+}
+
+/// Builds the full hierarchy bottom-up: level `i` groups the centroids
+/// of level `i−1` with threshold εᵢ, "recursively aggregated until all
+/// of them form a single one, the root" (§3.1.2).
+///
+/// If a level makes no progress under its threshold, the most correlated
+/// pairs are force-merged so the recursion is guaranteed to reach a
+/// single root.
+pub fn build_hierarchy(
+    leaf_vectors: &[Vec<f64>],
+    thresholds: impl Fn(usize) -> f64,
+    lsi_rank: usize,
+    fanout: usize,
+) -> GroupingHierarchy {
+    assert!(!leaf_vectors.is_empty(), "build_hierarchy: no leaves");
+    let mut levels = Vec::new();
+    let mut current: Vec<Vec<f64>> = leaf_vectors.to_vec();
+    let mut level_idx = 1;
+    while current.len() > 1 {
+        let eps = thresholds(level_idx);
+        let mut grouped = group_level(&current, eps, lsi_rank, fanout);
+        if grouped.groups.len() == current.len() {
+            // No merges happened: force-pair nearest centroids so the
+            // hierarchy always terminates at a root.
+            grouped = force_pair(&current, eps, lsi_rank, fanout);
+        }
+        let centroids = grouped.centroids.clone();
+        levels.push(grouped);
+        current = centroids;
+        level_idx += 1;
+        assert!(level_idx < 64, "build_hierarchy: runaway recursion");
+    }
+    if levels.is_empty() {
+        // Single leaf: root == leaf.
+        levels.push(LevelGrouping {
+            groups: vec![vec![0]],
+            centroids: vec![leaf_vectors[0].clone()],
+            epsilon: thresholds(1),
+        });
+    }
+    GroupingHierarchy { levels }
+}
+
+/// Pairwise similarity in the LSI semantic subspace via a Gaussian
+/// kernel on Euclidean distance: `exp(-d²/(2·median_d²))`, mapped to
+/// [0, 1]. Compared with the raw inner product this respects
+/// *locality* — items with nearby semantic coordinates score high, items
+/// merely pointing in the same direction do not — which is what the
+/// admission-threshold semantics of §3.1.2 need.
+fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
+    use rayon::prelude::*;
+    let n = vectors.len();
+    let lsi = Lsi::fit_items(vectors, LsiConfig { rank: lsi_rank, standardize: true });
+    let coords: Vec<&[f64]> = (0..n).map(|i| lsi.item_coords(i)).collect();
+    // O(n²) pairwise distances, parallel over rows.
+    let d2: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| (0..n).map(|j| sq_euclidean(coords[i], coords[j])).collect())
+        .collect();
+    let mut all: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+    for (i, row) in d2.iter().enumerate() {
+        all.extend_from_slice(&row[i + 1..]);
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = all.get(all.len() / 2).copied().unwrap_or(1.0).max(1e-12);
+    d2.into_par_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.into_iter()
+                .enumerate()
+                .map(|(j, d)| if i == j { 1.0 } else { (-d / (2.0 * median)).exp() })
+                .collect()
+        })
+        .collect()
+}
+
+/// Pairs items with their best partner regardless of the threshold
+/// (greedy matching by descending correlation), capped by `fanout`.
+#[allow(clippy::needless_range_loop)] // i<j pair enumeration reads best as indices
+fn force_pair(
+    vectors: &[Vec<f64>],
+    epsilon: f64,
+    lsi_rank: usize,
+    fanout: usize,
+) -> LevelGrouping {
+    let n = vectors.len();
+    let sims = kernel_similarities(vectors, lsi_rank);
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((i, j, sims[i][j]));
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    let mut assigned = vec![false; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, j, _) in pairs {
+        if !assigned[i] && !assigned[j] {
+            assigned[i] = true;
+            assigned[j] = true;
+            groups.push(vec![i, j]);
+        }
+    }
+    for i in 0..n {
+        if !assigned[i] {
+            // Attach leftovers to the smallest existing group with room,
+            // or start a singleton.
+            if let Some(g) = groups
+                .iter_mut()
+                .filter(|g| g.len() < fanout)
+                .min_by_key(|g| g.len())
+            {
+                g.push(i);
+            } else {
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups.sort_by_key(|g| g[0]);
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    let centroids = groups.iter().map(|g| centroid(vectors, g)).collect();
+    LevelGrouping { groups, centroids, epsilon }
+}
+
+/// Partitions items into `n_parts` balanced semantic groups: K-means
+/// over LSI coordinates, then overflow rebalancing so that every part
+/// holds `len/n_parts` items ±1 ("group sizes are approximately equal",
+/// Statement 1). Returns `assignment[i] = part`.
+pub fn partition_balanced(
+    vectors: &[Vec<f64>],
+    n_parts: usize,
+    lsi_rank: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let n = vectors.len();
+    assert!(n_parts > 0, "partition_balanced: need at least one part");
+    assert!(n >= n_parts, "partition_balanced: more parts than items");
+    let lsi = Lsi::fit_items(vectors, LsiConfig { rank: lsi_rank, standardize: true });
+    let coords: Vec<Vec<f64>> = (0..n).map(|i| lsi.item_coords(i).to_vec()).collect();
+    partition_coords(vectors.len(), &coords, n_parts, seed)
+}
+
+/// [`partition_balanced`] without the LSI projection: K-means directly
+/// on standardized raw attribute vectors. Used by the grouping ablation
+/// to isolate what the semantic projection buys.
+pub fn partition_balanced_raw(vectors: &[Vec<f64>], n_parts: usize, seed: u64) -> Vec<usize> {
+    let n = vectors.len();
+    assert!(n_parts > 0, "partition_balanced_raw: need at least one part");
+    assert!(n >= n_parts, "partition_balanced_raw: more parts than items");
+    let d = vectors[0].len();
+    // Standardize per dimension so heterogeneous scales don't dominate.
+    let mut mean = vec![0.0; d];
+    let mut var = vec![0.0; d];
+    for v in vectors {
+        for (m, &x) in mean.iter_mut().zip(v) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    for v in vectors {
+        for ((s, &m), &x) in var.iter_mut().zip(&mean).zip(v) {
+            *s += (x - m) * (x - m);
+        }
+    }
+    let coords: Vec<Vec<f64>> = vectors
+        .iter()
+        .map(|v| {
+            v.iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    let sd = (var[i] / n as f64).sqrt();
+                    if sd > 1e-12 {
+                        (x - mean[i]) / sd
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    partition_coords(n, &coords, n_parts, seed)
+}
+
+/// Shared balanced-K-means core over precomputed coordinates.
+fn partition_coords(n: usize, coords: &[Vec<f64>], n_parts: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let km = kmeans(coords, n_parts, 100, &mut rng);
+    let mut assignment = km.assignments;
+
+    // Balance: cap = ceil(n / n_parts); move farthest members of
+    // overfull parts to the nearest underfull part.
+    let cap = n.div_ceil(n_parts);
+    let mut counts = vec![0usize; n_parts];
+    for &a in &assignment {
+        counts[a] += 1;
+    }
+    while let Some(over) = (0..n_parts).find(|&p| counts[p] > cap) {
+        // The member of `over` farthest from its centroid moves.
+        let (victim, _) = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == over)
+            .map(|(i, _)| (i, sq_euclidean(&coords[i], &km.centroids[over])))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("overfull part has members");
+        let dest = (0..n_parts)
+            .filter(|&p| counts[p] < cap)
+            .min_by(|&a, &b| {
+                let da = sq_euclidean(&coords[victim], &km.centroids[a]);
+                let db = sq_euclidean(&coords[victim], &km.centroids[b]);
+                da.partial_cmp(&db).unwrap()
+            })
+            .expect("some part must be under cap");
+        assignment[victim] = dest;
+        counts[over] -= 1;
+        counts[dest] += 1;
+    }
+    assignment
+}
+
+/// Partitions items into `n_parts` equal-size, spatially coherent
+/// semantic groups by recursive sort-and-tile over LSI coordinates
+/// (the Sort-Tile-Recursive idea applied to the semantic subspace).
+///
+/// Compared with [`partition_balanced`] (K-means), tiling guarantees
+/// both exact balance and contiguity in the semantic space, which keeps
+/// each latent file cluster inside one or two storage units — the
+/// property the paper's grouping efficiency (Fig. 8) depends on. This is
+/// the default placement used by `SmartStoreSystem::build`.
+pub fn partition_tiled(vectors: &[Vec<f64>], n_parts: usize, lsi_rank: usize) -> Vec<usize> {
+    let n = vectors.len();
+    assert!(n_parts > 0, "partition_tiled: need at least one part");
+    assert!(n >= n_parts, "partition_tiled: more parts than items");
+    let lsi = Lsi::fit_items(vectors, LsiConfig { rank: lsi_rank, standardize: true });
+    let coords: Vec<Vec<f64>> = (0..n).map(|i| lsi.item_coords(i).to_vec()).collect();
+    let cap = n.div_ceil(n_parts);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut runs: Vec<Vec<usize>> = Vec::with_capacity(n_parts);
+    tile_rec(&coords, &mut order, 0, cap, &mut runs);
+
+    // Gap-aware cuts make the run count approximate; normalize to
+    // exactly `n_parts` non-empty runs by merging the smallest adjacent
+    // pairs (too many runs) or splitting the largest runs at their
+    // widest internal gap (too few).
+    while runs.len() > n_parts {
+        let (idx, _) = runs
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| (i, w[0].len() + w[1].len()))
+            .min_by_key(|&(_, s)| s)
+            .expect("at least two runs");
+        let merged = runs.remove(idx + 1);
+        runs[idx].extend(merged);
+    }
+    while runs.len() < n_parts {
+        let idx = (0..runs.len())
+            .max_by_key(|&i| runs[i].len())
+            .expect("non-empty runs");
+        let run = runs.remove(idx);
+        debug_assert!(run.len() >= 2, "cannot split a singleton run");
+        // Split at the widest gap on the last tiling axis (runs are
+        // sorted by it), keeping halves within ±cap/3 of even.
+        let axis = coords[0].len() - 1;
+        let target = run.len() / 2;
+        let window = (run.len() / 3).max(1);
+        let cut = snap_to_gap(&coords, &run, axis, target, window, 0, run.len())
+            .clamp(1, run.len() - 1);
+        let (a, b) = run.split_at(cut);
+        runs.insert(idx, b.to_vec());
+        runs.insert(idx, a.to_vec());
+    }
+
+    let mut assignment = vec![0usize; n];
+    for (part, run) in runs.iter().enumerate() {
+        for &i in run {
+            assignment[i] = part;
+        }
+    }
+    assignment
+}
+
+/// Recursively sorts `items` (indices into `coords`) by the current axis
+/// and cuts into slabs until runs fit within `cap`.
+///
+/// Cuts are *gap-aware*: near each nominal cut position the largest
+/// coordinate gap within a ±`cap/3` window is chosen, so tight semantic
+/// clusters (which show up as dense runs separated by gaps) are not
+/// split across slabs. Run sizes therefore vary around `cap` but stay
+/// within ±a third of it ("group sizes are approximately equal").
+fn tile_rec(
+    coords: &[Vec<f64>],
+    items: &mut [usize],
+    axis: usize,
+    cap: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
+    let n = items.len();
+    let dim = coords.first().map_or(1, |c| c.len().max(1));
+    if n <= cap {
+        out.push(items.to_vec());
+        return;
+    }
+    let axis = axis.min(dim - 1);
+    items.sort_by(|&a, &b| {
+        coords[a][axis]
+            .partial_cmp(&coords[b][axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let last_axis = axis + 1 >= dim;
+    let parts_needed = n.div_ceil(cap);
+    let slabs = if last_axis {
+        parts_needed
+    } else {
+        let remaining_axes = (dim - axis) as f64;
+        (parts_needed as f64).powf(1.0 / remaining_axes).ceil().max(1.0) as usize
+    };
+    let nominal = if last_axis {
+        cap
+    } else {
+        // Whole multiples of cap so deeper splits stay balanced.
+        (n.div_ceil(slabs)).div_ceil(cap) * cap
+    };
+    let window = cap / 3;
+    let mut start = 0;
+    while start < n {
+        let target = (start + nominal).min(n);
+        let end = if target >= n {
+            n
+        } else {
+            snap_to_gap(coords, items, axis, target, window, start, n)
+        };
+        if last_axis {
+            // Final runs still may exceed cap when the gap snap pushed
+            // outward; split plainly in that case.
+            let mut s = start;
+            while s < end {
+                let e = (s + cap).min(end);
+                out.push(items[s..e].to_vec());
+                s = e;
+            }
+        } else {
+            tile_rec(coords, &mut items[start..end], axis + 1, cap, out);
+        }
+        start = end;
+    }
+}
+
+/// Picks the cut index in `[target-window, target+window]` (clamped to
+/// `(lo, hi)`) with the largest coordinate gap between neighbours.
+fn snap_to_gap(
+    coords: &[Vec<f64>],
+    items: &[usize],
+    axis: usize,
+    target: usize,
+    window: usize,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    let from = target.saturating_sub(window).max(lo + 1);
+    let to = (target + window).min(hi - 1);
+    if from > to {
+        return target.min(hi);
+    }
+    let mut best = target.min(hi);
+    let mut best_gap = f64::NEG_INFINITY;
+    for cut in from..=to {
+        let gap = coords[items[cut]][axis] - coords[items[cut - 1]][axis];
+        if gap > best_gap {
+            best_gap = gap;
+            best = cut;
+        }
+    }
+    best
+}
+
+/// Sweeps the admission threshold and returns `(best_epsilon, best_j)`
+/// minimizing the normalized objective
+/// `WCSS(ε)/WCSS(one group) + α · n_groups(ε)/N` — tight groups are
+/// good, but a grouping that degenerates into singletons is penalized.
+/// This is the quantity behind the "optimal threshold" curves of
+/// Fig. 11.
+pub fn optimal_threshold(
+    vectors: &[Vec<f64>],
+    lsi_rank: usize,
+    max_group_size: usize,
+    alpha: f64,
+) -> (f64, f64) {
+    let n = vectors.len();
+    assert!(n > 1, "optimal_threshold: need at least two items");
+    let all: Vec<usize> = (0..n).collect();
+    let base = wcss(vectors, &[all]).max(1e-12);
+    let mut best = (0.0, f64::INFINITY);
+    let mut eps = 0.50;
+    while eps < 0.995 {
+        let g = group_level(vectors, eps, lsi_rank, max_group_size);
+        let j = wcss(vectors, &g.groups) / base + alpha * g.groups.len() as f64 / n as f64;
+        if j < best.1 {
+            best = (eps, j);
+        }
+        eps += 0.02;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs of 4-D vectors, `per` items each.
+    fn blobs(per: usize) -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        let centers = [
+            [0.0, 0.0, 0.0, 0.0],
+            [10.0, 10.0, 0.0, 0.0],
+            [0.0, 0.0, 10.0, 10.0],
+        ];
+        for (b, c) in centers.iter().enumerate() {
+            for i in 0..per {
+                let jit = 0.05 * ((i * 7 + b) % 5) as f64;
+                v.push(vec![c[0] + jit, c[1] - jit, c[2] + jit, c[3] - jit]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn grouping_is_a_partition() {
+        let v = blobs(6);
+        let g = group_level(&v, 0.9, 2, 8);
+        let mut seen = vec![false; v.len()];
+        for grp in &g.groups {
+            for &m in grp {
+                assert!(!seen[m], "item {m} in two groups");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some item unassigned");
+    }
+
+    #[test]
+    fn blobs_group_together() {
+        let v = blobs(5);
+        let g = group_level(&v, 0.9, 2, 8);
+        // Each blob's items must share a group with blob-mates only.
+        for grp in &g.groups {
+            let blob_of = |i: usize| i / 5;
+            let b0 = blob_of(grp[0]);
+            assert!(
+                grp.iter().all(|&m| blob_of(m) == b0),
+                "group mixes blobs: {grp:?}"
+            );
+        }
+        assert!(g.groups.len() <= 6, "15 items in 3 blobs should form few groups");
+    }
+
+    #[test]
+    fn max_group_size_respected() {
+        let v = blobs(10);
+        let g = group_level(&v, 0.5, 2, 4);
+        assert!(g.groups.iter().all(|grp| grp.len() <= 4));
+    }
+
+    #[test]
+    fn epsilon_one_yields_singletons() {
+        let v = blobs(4);
+        let g = group_level(&v, 1.0, 2, 8);
+        assert_eq!(g.groups.len(), v.len(), "nothing exceeds correlation 1.0");
+    }
+
+    #[test]
+    fn hierarchy_reaches_single_root() {
+        let v = blobs(7);
+        let h = build_hierarchy(&v, |l| 0.9 * 0.9f64.powi(l as i32 - 1), 2, 5);
+        assert_eq!(h.levels.last().unwrap().groups.len(), 1);
+        // Level item counts strictly decrease.
+        let mut prev = v.len();
+        for lvl in &h.levels {
+            let total: usize = lvl.groups.iter().map(|g| g.len()).sum();
+            assert_eq!(total, prev, "level must partition previous level");
+            assert!(lvl.groups.len() < prev || prev == 1);
+            prev = lvl.groups.len();
+        }
+    }
+
+    #[test]
+    fn hierarchy_single_leaf() {
+        let h = build_hierarchy(&[vec![1.0, 2.0]], |_| 0.9, 2, 4);
+        assert_eq!(h.levels.len(), 1);
+        assert_eq!(h.levels[0].groups, vec![vec![0]]);
+    }
+
+    #[test]
+    fn wcss_zero_for_singletons() {
+        let v = blobs(3);
+        let singles: Vec<Vec<usize>> = (0..v.len()).map(|i| vec![i]).collect();
+        assert!(wcss(&v, &singles) < 1e-12);
+    }
+
+    #[test]
+    fn wcss_smaller_for_true_clusters_than_random() {
+        let v = blobs(8);
+        let true_groups: Vec<Vec<usize>> =
+            (0..3).map(|b| (b * 8..(b + 1) * 8).collect()).collect();
+        let random_groups: Vec<Vec<usize>> =
+            (0..3).map(|r| (0..24).filter(|i| i % 3 == r).collect()).collect();
+        assert!(wcss(&v, &true_groups) < wcss(&v, &random_groups) * 0.1);
+    }
+
+    #[test]
+    fn partition_balanced_is_balanced() {
+        let v = blobs(20); // 60 items
+        let parts = partition_balanced(&v, 6, 2, 42);
+        let mut counts = vec![0usize; 6];
+        for &p in &parts {
+            counts[p] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 60);
+        assert!(counts.iter().all(|&c| c == 10), "parts {counts:?} not balanced");
+    }
+
+    #[test]
+    fn partition_balanced_respects_semantics() {
+        // 3 blobs of 10, 3 parts ⇒ each part should be one blob.
+        let v = blobs(10);
+        let parts = partition_balanced(&v, 3, 2, 1);
+        for b in 0..3 {
+            let first = parts[b * 10];
+            for i in 0..10 {
+                assert_eq!(parts[b * 10 + i], first, "blob {b} split across parts");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_threshold_in_sweep_range() {
+        let v = blobs(6);
+        let (eps, j) = optimal_threshold(&v, 2, 8, 0.5);
+        assert!((0.5..1.0).contains(&eps));
+        assert!(j.is_finite());
+    }
+
+    #[test]
+    fn deterministic_grouping() {
+        let v = blobs(6);
+        let a = group_level(&v, 0.85, 2, 8);
+        let b = group_level(&v, 0.85, 2, 8);
+        assert_eq!(a.groups, b.groups);
+    }
+}

@@ -1,0 +1,529 @@
+//! The assembled SmartStore system (§5's unit of evaluation).
+//!
+//! Gluing it together: a population of file metadata is partitioned into
+//! `N` storage units by balanced semantic clustering; the semantic
+//! R-tree aggregates units into groups; index units are mapped onto
+//! storage units; queries route through the tree (on-line or off-line)
+//! and are evaluated by the target units; metadata changes flow through
+//! version chains; lazy updates re-synchronize stale index replicas.
+//!
+//! Every query returns a [`QueryOutcome`] carrying both the answer and
+//! its simulated cost, which the benchmark harness aggregates into the
+//! paper's tables and figures.
+
+use crate::config::SmartStoreConfig;
+use crate::grouping::partition_tiled;
+use crate::mapping::{map_index_units, IndexMapping};
+use crate::routing::{complex_query_cost, point_query_cost, QueryCost, RouteMode};
+use crate::tree::{NodeId, SemanticRTree};
+use crate::unit::{LocalWork, StorageUnit};
+use crate::versioning::{Change, VersionStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartstore_simnet::CostModel;
+use smartstore_trace::{FileMetadata, ATTR_DIMS};
+use std::collections::HashMap;
+
+/// The answer and cost of one query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// Matching file ids (for point queries, at most one per hit unit).
+    pub file_ids: Vec<u64>,
+    /// Simulated cost.
+    pub cost: QueryCost,
+}
+
+/// System-level structure statistics (Fig. 7 inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemStats {
+    /// Number of storage units.
+    pub n_units: usize,
+    /// First-level semantic groups.
+    pub n_groups: usize,
+    /// Semantic R-tree height.
+    pub tree_height: usize,
+    /// Index bytes of the distributed semantic R-tree.
+    pub tree_index_bytes: usize,
+    /// Per-unit local index bytes (Bloom + summaries), averaged.
+    pub per_unit_index_bytes: usize,
+    /// Version-chain bytes across all groups.
+    pub version_bytes: usize,
+}
+
+/// A complete SmartStore deployment over simulated storage units.
+#[derive(Clone, Debug)]
+pub struct SmartStoreSystem {
+    /// Configuration in force.
+    pub cfg: SmartStoreConfig,
+    /// Cost model for latency accounting.
+    pub cost: CostModel,
+    units: Vec<StorageUnit>,
+    tree: SemanticRTree,
+    mapping: IndexMapping,
+    /// file id → owning unit.
+    owner: HashMap<u64, usize>,
+    /// Per-group version chains (keyed by first-level index node id).
+    versions: HashMap<NodeId, VersionStore>,
+    /// Changes since the last lazy replica update, per group.
+    pending: HashMap<NodeId, usize>,
+    versioning_enabled: bool,
+    /// Messages spent on replica maintenance (lazy updates, version
+    /// multicasts) — background traffic, reported separately.
+    pub maintenance_messages: u64,
+    rng: StdRng,
+}
+
+impl SmartStoreSystem {
+    /// Builds a system of `n_units` storage units from a set of file
+    /// metadata, using balanced semantic partitioning for placement.
+    pub fn build(
+        files: Vec<FileMetadata>,
+        n_units: usize,
+        cfg: SmartStoreConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(n_units > 0, "build: need at least one unit");
+        assert!(
+            files.len() >= n_units,
+            "build: fewer files ({}) than units ({n_units})",
+            files.len()
+        );
+        // Placement clusters on the grouping predicate (the attribute
+        // subset of Statement 1), not the full D-dim space — the noisy
+        // dimensions would otherwise swamp the semantic correlation.
+        let vectors: Vec<Vec<f64>> =
+            files.iter().map(|f| f.attr_subset(&cfg.grouping_dims)).collect();
+        let assignment = partition_tiled(&vectors, n_units, cfg.lsi_rank);
+        Self::build_with_assignment(files, &assignment, n_units, cfg, seed)
+    }
+
+    /// Builds with an explicit file→unit placement (used by the grouping
+    /// ablation to compare LSI placement against K-means-on-raw and
+    /// random placement).
+    pub fn build_with_assignment(
+        files: Vec<FileMetadata>,
+        assignment: &[usize],
+        n_units: usize,
+        cfg: SmartStoreConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(files.len(), assignment.len(), "placement length mismatch");
+        let mut buckets: Vec<Vec<FileMetadata>> = vec![Vec::new(); n_units];
+        let mut owner = HashMap::with_capacity(files.len());
+        for (f, &a) in files.into_iter().zip(assignment.iter()) {
+            owner.insert(f.file_id, a);
+            buckets[a].push(f);
+        }
+        let units: Vec<StorageUnit> = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, fs)| StorageUnit::new(i, cfg.bloom_bits, cfg.bloom_hashes, fs))
+            .collect();
+        let tree = SemanticRTree::build(&units, &cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5afe);
+        let mapping = map_index_units(&tree, &mut rng);
+        let mut versions = HashMap::new();
+        for g in tree.first_level_index_units() {
+            versions.insert(g, VersionStore::new(cfg.version_ratio));
+        }
+        Self {
+            cfg,
+            cost: CostModel::default(),
+            units,
+            tree,
+            mapping,
+            owner,
+            versions,
+            pending: HashMap::new(),
+            versioning_enabled: true,
+            maintenance_messages: 0,
+            rng,
+        }
+    }
+
+    /// Enables or disables versioning (Tables 5–6 compare both).
+    pub fn set_versioning(&mut self, enabled: bool) {
+        self.versioning_enabled = enabled;
+    }
+
+    /// The storage units.
+    pub fn units(&self) -> &[StorageUnit] {
+        &self.units
+    }
+
+    /// The semantic R-tree.
+    pub fn tree(&self) -> &SemanticRTree {
+        &self.tree
+    }
+
+    /// The index-unit mapping.
+    pub fn mapping(&self) -> &IndexMapping {
+        &self.mapping
+    }
+
+    /// Every file currently stored, in unit order (ground truth for
+    /// recall measurements).
+    pub fn current_files(&self) -> Vec<FileMetadata> {
+        self.units.iter().flat_map(|u| u.files().iter().cloned()).collect()
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> SystemStats {
+        let per_unit: usize =
+            self.units.iter().map(|u| u.index_size_bytes()).sum::<usize>() / self.units.len();
+        SystemStats {
+            n_units: self.units.len(),
+            n_groups: self.tree.first_level_index_units().len(),
+            tree_height: self.tree.height(),
+            tree_index_bytes: self.tree.index_size_bytes(),
+            per_unit_index_bytes: per_unit,
+            version_bytes: self.versions.values().map(|v| v.size_bytes()).sum(),
+        }
+    }
+
+    /// Version-chain space per group (Fig. 14(a)); empty when versioning
+    /// is off.
+    pub fn version_space_per_group(&self) -> f64 {
+        if self.versions.is_empty() {
+            return 0.0;
+        }
+        self.versions.values().map(|v| v.size_bytes()).sum::<usize>() as f64
+            / self.versions.len() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Multi-dimensional range query over the projected attribute space.
+    pub fn range_query(&mut self, lo: &[f64], hi: &[f64], mode: RouteMode) -> QueryOutcome {
+        assert_eq!(lo.len(), ATTR_DIMS, "range_query: lo dims");
+        assert_eq!(hi.len(), ATTR_DIMS, "range_query: hi dims");
+        let route = self.tree.route_range(lo, hi);
+        let mut results = Vec::new();
+        let mut work: Vec<(usize, LocalWork)> = Vec::new();
+        let mut bearing_units = Vec::new();
+        for &u in &route.target_units {
+            let (ids, w) = self.units[u].range_query(lo, hi);
+            if !ids.is_empty() {
+                bearing_units.push(u);
+            }
+            results.extend(ids);
+            work.push((u, w));
+        }
+        let n_groups = self.tree.first_level_index_units().len();
+        let mut cost =
+            complex_query_cost(mode, &self.tree, &self.mapping, &route, &work, n_groups, &self.cost);
+        // Fig. 8's routing distance counts the groups where results were
+        // *obtained* — MBR pre-checks at index-unit hosts are not group
+        // visits.
+        cost.group_hops = self.hops_of_units(&bearing_units);
+        if self.versioning_enabled {
+            let scanned = self.apply_versions_to_range(lo, hi, &mut results);
+            cost.latency_ns += self.version_scan_ns(scanned);
+        }
+        results.sort_unstable();
+        results.dedup();
+        QueryOutcome { file_ids: results, cost }
+    }
+
+    /// Top-k query with the paper's MaxD pruning (§3.3.2): units are
+    /// probed in best-first MBR order; probing stops once the next
+    /// unit's lower bound exceeds the current k-th best distance (MaxD).
+    pub fn topk_query(&mut self, point: &[f64], k: usize, mode: RouteMode) -> QueryOutcome {
+        assert_eq!(point.len(), ATTR_DIMS, "topk_query: point dims");
+        let (order, nodes_visited) = self.tree.route_topk(point);
+        let mut best: Vec<(u64, f64)> = Vec::new();
+        let mut work: Vec<(usize, LocalWork)> = Vec::new();
+        let mut visited_units = Vec::new();
+        for &(u, lower_bound) in &order {
+            let max_d = if best.len() == k {
+                best.last().map(|&(_, d)| d).unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+            if lower_bound > max_d {
+                break; // MaxD pruning: no better result can exist here.
+            }
+            let (top, w) = self.units[u].topk_query(point, k);
+            work.push((u, w));
+            visited_units.push(u);
+            for (id, d) in top {
+                best.push((id, d));
+            }
+            best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            best.truncate(k);
+        }
+        // Routing structure for cost purposes: the units actually probed.
+        let route = crate::tree::Route {
+            target_units: visited_units.clone(),
+            nodes_visited,
+            filters_probed: 0,
+            group_hops: self.hops_of_units(&visited_units),
+        };
+        let n_groups = self.tree.first_level_index_units().len();
+        let mut cost =
+            complex_query_cost(mode, &self.tree, &self.mapping, &route, &work, n_groups, &self.cost);
+        if self.versioning_enabled {
+            let scanned = self.apply_versions_to_topk(point, k, &mut best);
+            cost.latency_ns += self.version_scan_ns(scanned);
+        }
+        // Fig. 8 semantics: hops over the units that contributed to the
+        // final answer, not every unit the MaxD walk grazed.
+        let contributing: Vec<usize> = visited_units
+            .iter()
+            .copied()
+            .filter(|&u| {
+                best.iter().any(|&(id, _)| {
+                    self.owner.get(&id).copied() == Some(u)
+                })
+            })
+            .collect();
+        cost.group_hops = self.hops_of_units(&contributing);
+        QueryOutcome { file_ids: best.into_iter().map(|(id, _)| id).collect(), cost }
+    }
+
+    /// Filename point query via the Bloom-filter hierarchy (§3.3.3).
+    pub fn point_query(&mut self, name: &str) -> QueryOutcome {
+        let route = self.tree.route_point(name);
+        let mut results = Vec::new();
+        let mut work = Vec::new();
+        for &u in &route.target_units {
+            let (hit, w) = self.units[u].point_query(name);
+            if let Some(f) = hit {
+                results.push(f.file_id);
+            }
+            work.push((u, w));
+        }
+        let mut cost = point_query_cost(&route, &work, &self.cost);
+        if self.versioning_enabled && results.is_empty() {
+            // Staleness recovery: a file created after the last replica
+            // refresh is found in the version chains.
+            let mut scanned = 0;
+            for vs in self.versions.values() {
+                let (effective, s) = vs.effective_changes();
+                scanned += s;
+                for ch in effective {
+                    match ch {
+                        Change::Insert(f) | Change::Modify(f) if f.name == name => {
+                            results.push(f.file_id);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            cost.latency_ns += self.version_scan_ns(scanned);
+        }
+        results.sort_unstable();
+        results.dedup();
+        QueryOutcome { file_ids: results, cost }
+    }
+
+    /// Latency of rolling the version chains backwards: each change
+    /// record costs a record probe and each version crossed costs a
+    /// header probe — comprehensive versioning (ratio 1) therefore pays
+    /// the most (Fig. 14(b)).
+    fn version_scan_ns(&self, scanned: usize) -> u64 {
+        let version_headers: usize =
+            self.versions.values().map(|v| v.version_count()).sum();
+        self.cost.per_record_ns * scanned as u64
+            + self.cost.per_record_ns * version_headers as u64
+    }
+
+    fn hops_of_units(&self, units: &[usize]) -> usize {
+        if units.len() <= 1 {
+            return 0;
+        }
+        let mut groups: Vec<NodeId> = units
+            .iter()
+            .filter_map(|&u| self.tree.leaf_of_unit(u))
+            .map(|l| self.tree.group_of_leaf(l))
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len().saturating_sub(1)
+    }
+
+    // ------------------------------------------------------------------
+    // Change stream & consistency (§4.4)
+    // ------------------------------------------------------------------
+
+    /// Applies a metadata change to the system. Storage units mutate
+    /// immediately (they are the source of truth); the *index* — tree
+    /// summaries and replicated vectors — stays stale until a lazy
+    /// update fires, and version chains record the change for query-time
+    /// recovery when versioning is enabled.
+    pub fn apply_change(&mut self, change: Change) {
+        let unit = match &change {
+            Change::Insert(f) => {
+                // Place by semantic correlation: most correlated group,
+                // least loaded unit within it.
+                let g = self.tree.most_correlated_group(&f.attr_vector());
+                let members = self.tree.descendant_units(g);
+                let u = members
+                    .into_iter()
+                    .min_by_key(|&u| self.units[u].len())
+                    .expect("group has units");
+                self.owner.insert(f.file_id, u);
+                self.units[u].insert_file_raw(f.clone());
+                u
+            }
+            Change::Delete(id) => {
+                let Some(u) = self.owner.remove(id) else {
+                    return;
+                };
+                self.units[u].remove_file_raw(*id);
+                u
+            }
+            Change::Modify(f) => {
+                let Some(&u) = self.owner.get(&f.file_id) else {
+                    return;
+                };
+                self.units[u].modify_file_raw(f.clone());
+                u
+            }
+        };
+        let group = self
+            .tree
+            .leaf_of_unit(unit)
+            .map(|l| self.tree.group_of_leaf(l))
+            .unwrap_or_else(|| self.tree.root());
+        if self.versioning_enabled {
+            self.versions
+                .entry(group)
+                .or_insert_with(|| VersionStore::new(self.cfg.version_ratio))
+                .record(change);
+        }
+        // Lazy update accounting (§3.4): once a group accumulates more
+        // than `lazy_update_threshold` × its file count of changes, its
+        // units re-publish summaries and the index refreshes.
+        let counter = self.pending.entry(group).or_insert(0);
+        *counter += 1;
+        let group_files: usize = self
+            .tree
+            .descendant_units(group)
+            .iter()
+            .map(|&u| self.units[u].len())
+            .sum();
+        if (*counter as f64) > self.cfg.lazy_update_threshold * group_files.max(1) as f64 {
+            self.pending.insert(group, 0);
+            self.lazy_refresh_group(group);
+        }
+    }
+
+    /// Re-synchronizes all leaf summaries of a group and multicasts the
+    /// fresh replica (counted as maintenance traffic).
+    fn lazy_refresh_group(&mut self, group: NodeId) {
+        for u in self.tree.descendant_units(group) {
+            self.units[u].recompute_summaries();
+            let unit = self.units[u].clone();
+            self.tree.update_leaf_summary(&unit);
+        }
+        // Replica multicast to every storage unit (§3.4).
+        self.maintenance_messages += self.units.len() as u64;
+        // Version chains covered by the refreshed index are folded in.
+        if let Some(vs) = self.versions.get_mut(&group) {
+            let mut scratch = Vec::new();
+            let bytes = vs.flush_into(&mut scratch);
+            let _ = bytes;
+            // Multicast of the flushed versions to remote replicas.
+            self.maintenance_messages += self.units.len() as u64;
+        }
+    }
+
+    /// Forces a full index rebuild (reconfiguration): recomputes unit
+    /// summaries, rebuilds the tree and mapping, clears version chains.
+    pub fn reconfigure(&mut self) {
+        for u in &mut self.units {
+            u.recompute_summaries();
+        }
+        self.tree = SemanticRTree::build(&self.units, &self.cfg);
+        self.mapping = map_index_units(&self.tree, &mut self.rng);
+        self.versions.clear();
+        for g in self.tree.first_level_index_units() {
+            self.versions.insert(g, VersionStore::new(self.cfg.version_ratio));
+        }
+        self.pending.clear();
+    }
+
+    fn apply_versions_to_range(&self, lo: &[f64], hi: &[f64], results: &mut Vec<u64>) -> usize {
+        let mut scanned = 0;
+        for vs in self.versions.values() {
+            let (effective, s) = vs.effective_changes();
+            scanned += s;
+            for ch in effective {
+                match ch {
+                    Change::Insert(f) | Change::Modify(f) => {
+                        let v = f.attr_vector();
+                        let inside = v
+                            .iter()
+                            .zip(lo.iter().zip(hi))
+                            .all(|(&x, (&l, &h))| l <= x && x <= h);
+                        if inside {
+                            results.push(f.file_id);
+                        } else {
+                            results.retain(|&id| id != f.file_id);
+                        }
+                    }
+                    Change::Delete(id) => results.retain(|&x| x != *id),
+                }
+            }
+        }
+        scanned
+    }
+
+    fn apply_versions_to_topk(
+        &self,
+        point: &[f64],
+        k: usize,
+        best: &mut Vec<(u64, f64)>,
+    ) -> usize {
+        let mut scanned = 0;
+        for vs in self.versions.values() {
+            let (effective, s) = vs.effective_changes();
+            scanned += s;
+            for ch in effective {
+                match ch {
+                    Change::Insert(f) | Change::Modify(f) => {
+                        let d = f
+                            .attr_vector()
+                            .iter()
+                            .zip(point)
+                            .map(|(&a, &q)| (a - q) * (a - q))
+                            .sum::<f64>();
+                        best.retain(|&(id, _)| id != f.file_id);
+                        best.push((f.file_id, d));
+                    }
+                    Change::Delete(id) => best.retain(|&(x, _)| x != *id),
+                }
+            }
+        }
+        best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        best.truncate(k);
+        scanned
+    }
+
+    /// Inserts a whole storage unit into the running system (§3.2.1).
+    pub fn add_unit(&mut self, files: Vec<FileMetadata>) -> usize {
+        let id = self.units.len();
+        for f in &files {
+            self.owner.insert(f.file_id, id);
+        }
+        let unit = StorageUnit::new(id, self.cfg.bloom_bits, self.cfg.bloom_hashes, files);
+        self.tree.insert_unit(&unit);
+        self.units.push(unit);
+        // Group membership may have changed: make sure every group has a
+        // version chain.
+        for g in self.tree.first_level_index_units() {
+            self.versions
+                .entry(g)
+                .or_insert_with(|| VersionStore::new(self.cfg.version_ratio));
+        }
+        id
+    }
+
+    /// Random home unit for a query (the paper's entry point, §2.2).
+    pub fn random_home(&mut self) -> usize {
+        self.rng.gen_range(0..self.units.len())
+    }
+}

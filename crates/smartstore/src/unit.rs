@@ -1,0 +1,359 @@
+//! Storage units — the leaf nodes of the semantic R-tree.
+//!
+//! "Each metadata server is a leaf node in our semantic R-tree … we
+//! refer to the semantic R-tree leaf nodes as storage units" (§2.3).
+//! A storage unit holds the metadata of its files, a Bloom filter over
+//! their filenames, the unit's semantic vector (attribute centroid) and
+//! its MBR in attribute space.
+
+use smartstore_bloom::BloomFilter;
+use smartstore_rtree::Rect;
+use smartstore_trace::{FileMetadata, ATTR_DIMS};
+
+/// Work performed by a local query, for latency accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalWork {
+    /// Metadata records examined.
+    pub records: usize,
+    /// Bloom filters probed.
+    pub filters: usize,
+}
+
+/// One metadata server's local state.
+#[derive(Clone, Debug)]
+pub struct StorageUnit {
+    /// Stable unit id (also its simulator node id).
+    pub id: usize,
+    files: Vec<FileMetadata>,
+    bloom: BloomFilter,
+    centroid: Vec<f64>,
+    mbr: Option<Rect>,
+}
+
+impl StorageUnit {
+    /// Creates a unit with the given Bloom geometry and initial files.
+    pub fn new(id: usize, bloom_bits: usize, bloom_hashes: usize, files: Vec<FileMetadata>) -> Self {
+        let mut unit = Self {
+            id,
+            files: Vec::new(),
+            bloom: BloomFilter::new(bloom_bits, bloom_hashes),
+            centroid: vec![0.0; ATTR_DIMS],
+            mbr: None,
+        };
+        for f in files {
+            unit.insert_file(f);
+        }
+        unit
+    }
+
+    /// Number of files stored.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the unit holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// The unit's files.
+    pub fn files(&self) -> &[FileMetadata] {
+        &self.files
+    }
+
+    /// The unit's filename Bloom filter.
+    pub fn bloom(&self) -> &BloomFilter {
+        &self.bloom
+    }
+
+    /// The unit's semantic vector: the centroid of its files' attribute
+    /// vectors ("Each node can be summarized by a geometric centroid of
+    /// all metadata it represents", §3.1.1).
+    pub fn centroid(&self) -> &[f64] {
+        &self.centroid
+    }
+
+    /// The unit's MBR in attribute space, `None` when empty.
+    pub fn mbr(&self) -> Option<&Rect> {
+        self.mbr.as_ref()
+    }
+
+    /// Adds a file, updating Bloom filter, centroid and MBR.
+    pub fn insert_file(&mut self, file: FileMetadata) {
+        self.bloom.insert(file.name.as_bytes());
+        let v = file.attr_vector();
+        let n = self.files.len() as f64;
+        for (c, &x) in self.centroid.iter_mut().zip(v.iter()) {
+            *c = (*c * n + x) / (n + 1.0);
+        }
+        let point = Rect::point(&v);
+        self.mbr = Some(match self.mbr.take() {
+            Some(m) => m.union(&point),
+            None => point,
+        });
+        self.files.push(file);
+    }
+
+    /// Removes a file by id. The Bloom filter keeps the stale name (a
+    /// standard Bloom limitation; the paper accepts "false positives and
+    /// false negatives … identified when the target metadata is
+    /// accessed", §5.4.1); the centroid and MBR are recomputed.
+    pub fn remove_file(&mut self, file_id: u64) -> Option<FileMetadata> {
+        let pos = self.files.iter().position(|f| f.file_id == file_id)?;
+        let removed = self.files.remove(pos);
+        self.recompute_summaries();
+        Some(removed)
+    }
+
+    /// Adds a file *without* refreshing the unit's summaries — the
+    /// change stream mutates data immediately while index summaries
+    /// (Bloom/centroid/MBR) stay stale until a lazy update
+    /// ([`Self::recompute_summaries`]) fires, per §3.4/§4.4.
+    pub fn insert_file_raw(&mut self, file: FileMetadata) {
+        self.files.push(file);
+    }
+
+    /// Removes a file by id without refreshing summaries.
+    pub fn remove_file_raw(&mut self, file_id: u64) -> Option<FileMetadata> {
+        let pos = self.files.iter().position(|f| f.file_id == file_id)?;
+        Some(self.files.remove(pos))
+    }
+
+    /// Replaces a file's metadata in place without refreshing summaries;
+    /// inserts if absent.
+    pub fn modify_file_raw(&mut self, file: FileMetadata) {
+        match self.files.iter_mut().find(|f| f.file_id == file.file_id) {
+            Some(slot) => *slot = file,
+            None => self.files.push(file),
+        }
+    }
+
+    /// Rebuilds centroid, MBR and Bloom filter from current contents
+    /// (used after bulk changes and version flushes).
+    pub fn recompute_summaries(&mut self) {
+        let n = self.files.len();
+        self.centroid = vec![0.0; ATTR_DIMS];
+        self.mbr = None;
+        self.bloom.clear();
+        if n == 0 {
+            return;
+        }
+        for f in &self.files {
+            let v = f.attr_vector();
+            for (c, &x) in self.centroid.iter_mut().zip(v.iter()) {
+                *c += x;
+            }
+            let p = Rect::point(&v);
+            self.mbr = Some(match self.mbr.take() {
+                Some(m) => m.union(&p),
+                None => p,
+            });
+        }
+        for c in &mut self.centroid {
+            *c /= n as f64;
+        }
+        for f in &self.files {
+            self.bloom.insert(f.name.as_bytes());
+        }
+    }
+
+    /// Local point query: probe the Bloom filter, and on a positive hit
+    /// scan for the exact filename.
+    pub fn point_query(&self, name: &str) -> (Option<&FileMetadata>, LocalWork) {
+        let mut work = LocalWork { records: 0, filters: 1 };
+        if !self.bloom.contains(name.as_bytes()) {
+            return (None, work);
+        }
+        for f in &self.files {
+            work.records += 1;
+            if f.name == name {
+                return (Some(f), work);
+            }
+        }
+        (None, work)
+    }
+
+    /// Local range query over the projected attribute space.
+    pub fn range_query(&self, lo: &[f64], hi: &[f64]) -> (Vec<u64>, LocalWork) {
+        let mut out = Vec::new();
+        let mut work = LocalWork::default();
+        // MBR pre-check: disjoint units do no record work.
+        if let Some(m) = &self.mbr {
+            let q = Rect::new(lo.to_vec(), hi.to_vec());
+            if !m.intersects(&q) {
+                return (out, work);
+            }
+        }
+        for f in &self.files {
+            work.records += 1;
+            let v = f.attr_vector();
+            if v.iter().zip(lo.iter().zip(hi)).all(|(&x, (&l, &h))| l <= x && x <= h) {
+                out.push(f.file_id);
+            }
+        }
+        (out, work)
+    }
+
+    /// Local top-k: the unit's k nearest files to `point`, with squared
+    /// distances (for cross-unit merge).
+    pub fn topk_query(&self, point: &[f64], k: usize) -> (Vec<(u64, f64)>, LocalWork) {
+        let mut scored: Vec<(u64, f64)> = self
+            .files
+            .iter()
+            .map(|f| {
+                let d = f
+                    .attr_vector()
+                    .iter()
+                    .zip(point)
+                    .map(|(&a, &q)| (a - q) * (a - q))
+                    .sum::<f64>();
+                (f.file_id, d)
+            })
+            .collect();
+        let work = LocalWork { records: self.files.len(), filters: 0 };
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        (scored, work)
+    }
+
+    /// Approximate resident bytes of the unit's index state (Bloom
+    /// filter + centroid + MBR), excluding the metadata records
+    /// themselves — the quantity Fig. 7 compares across systems.
+    pub fn index_size_bytes(&self) -> usize {
+        self.bloom.size_bytes() + ATTR_DIMS * 8 * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartstore_trace::{GeneratorConfig, MetadataPopulation};
+
+    fn unit_with(n: usize) -> StorageUnit {
+        let pop = MetadataPopulation::generate(GeneratorConfig {
+            n_files: n,
+            n_clusters: 3,
+            seed: 5,
+            ..GeneratorConfig::default()
+        });
+        StorageUnit::new(0, 1024, 7, pop.files)
+    }
+
+    #[test]
+    fn centroid_is_mean_of_vectors() {
+        let u = unit_with(50);
+        let mut mean = vec![0.0; ATTR_DIMS];
+        for f in u.files() {
+            for (m, v) in mean.iter_mut().zip(f.attr_vector()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= 50.0;
+        }
+        for (a, b) in u.centroid().iter().zip(&mean) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mbr_contains_every_file_vector() {
+        let u = unit_with(80);
+        let mbr = u.mbr().unwrap();
+        for f in u.files() {
+            assert!(mbr.contains_point(&f.attr_vector()));
+        }
+    }
+
+    #[test]
+    fn point_query_hits_own_files() {
+        let u = unit_with(30);
+        let name = u.files()[17].name.clone();
+        let (hit, work) = u.point_query(&name);
+        assert_eq!(hit.unwrap().name, name);
+        assert_eq!(work.filters, 1);
+        assert!(work.records >= 1);
+    }
+
+    #[test]
+    fn point_query_misses_cheaply_via_bloom() {
+        let u = unit_with(30);
+        let (hit, work) = u.point_query("definitely_not_here_123456");
+        assert!(hit.is_none());
+        // With overwhelming probability the Bloom filter prunes the scan.
+        assert_eq!(work.records, 0, "bloom should prune the record scan");
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let u = unit_with(100);
+        let (lo, hi) = {
+            let m = u.mbr().unwrap();
+            (m.lo().to_vec(), m.hi().to_vec())
+        };
+        let (all, _) = u.range_query(&lo, &hi);
+        assert_eq!(all.len(), 100, "whole-domain range returns everything");
+        // Disjoint query does zero record work.
+        let far_lo: Vec<f64> = hi.iter().map(|&x| x + 100.0).collect();
+        let far_hi: Vec<f64> = hi.iter().map(|&x| x + 200.0).collect();
+        let (none, work) = u.range_query(&far_lo, &far_hi);
+        assert!(none.is_empty());
+        assert_eq!(work.records, 0);
+    }
+
+    #[test]
+    fn topk_returns_sorted_k() {
+        let u = unit_with(60);
+        let q = u.files()[10].attr_vector();
+        let (top, work) = u.topk_query(&q, 5);
+        assert_eq!(top.len(), 5);
+        assert_eq!(work.records, 60);
+        assert_eq!(top[0].0, u.files()[10].file_id, "query at a file finds it first");
+        for w in top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut u = unit_with(10);
+        let extra = {
+            let mut f = u.files()[0].clone();
+            f.file_id = 9999;
+            f.name = "extra_file".into();
+            f
+        };
+        u.insert_file(extra);
+        assert_eq!(u.len(), 11);
+        assert!(u.point_query("extra_file").0.is_some());
+        let removed = u.remove_file(9999).unwrap();
+        assert_eq!(removed.name, "extra_file");
+        assert_eq!(u.len(), 10);
+        assert!(u.point_query("extra_file").0.is_none());
+    }
+
+    #[test]
+    fn empty_unit_behaviour() {
+        let u = StorageUnit::new(3, 128, 3, vec![]);
+        assert!(u.is_empty());
+        assert!(u.mbr().is_none());
+        let (r, _) = u.range_query(&[0.0; ATTR_DIMS], &[1.0; ATTR_DIMS]);
+        assert!(r.is_empty());
+        let (t, _) = u.topk_query(&[0.0; ATTR_DIMS], 4);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn recompute_after_bulk_mutation() {
+        let mut u = unit_with(20);
+        let before_mbr = u.mbr().unwrap().clone();
+        // Remove half the files.
+        let ids: Vec<u64> = u.files()[..10].iter().map(|f| f.file_id).collect();
+        for id in ids {
+            u.remove_file(id);
+        }
+        assert_eq!(u.len(), 10);
+        let after = u.mbr().unwrap();
+        assert!(before_mbr.contains_rect(after), "MBR must tighten, not grow");
+    }
+}

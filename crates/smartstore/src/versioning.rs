@@ -1,0 +1,286 @@
+//! Consistency via versioning (§4.4).
+//!
+//! SmartStore replicates index information (first-level index vectors,
+//! the root) and accepts staleness between original and replica.
+//! Consistency is recovered with *versions*: "from tᵢ₋₁ to tᵢ, updates
+//! are aggregated into the tᵢ-th version that is attached to its
+//! correlated index unit. These updates include insertion, deletion and
+//! modification of file metadata." Queries "first check the original
+//! information and then its versions from tᵢ to t₀" — rolled
+//! *backwards*, newest first, so fresh changes win; removal applies the
+//! aggregated changes and multicasts them to remote replicas.
+//!
+//! The *version ratio* (file modifications per version, Fig. 14)
+//! controls aggregation: ratio 1 is comprehensive versioning (every
+//! change is its own version, maximum space), larger ratios aggregate.
+
+use smartstore_trace::FileMetadata;
+use std::collections::HashSet;
+
+/// One aggregated metadata change.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Change {
+    /// A file was created.
+    Insert(FileMetadata),
+    /// A file was deleted.
+    Delete(u64),
+    /// A file's metadata changed (new state carried in full).
+    Modify(FileMetadata),
+}
+
+impl Change {
+    /// The file id this change concerns.
+    pub fn file_id(&self) -> u64 {
+        match self {
+            Change::Insert(f) | Change::Modify(f) => f.file_id,
+            Change::Delete(id) => *id,
+        }
+    }
+
+    /// Approximate wire/memory size of the change record.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            // file id + 8 attrs + name estimate.
+            Change::Insert(f) | Change::Modify(f) => 8 + 8 * 8 + f.name.len(),
+            Change::Delete(_) => 8,
+        }
+    }
+}
+
+/// A sealed version: changes aggregated between two reconfiguration
+/// points.
+#[derive(Clone, Debug, Default)]
+pub struct Version {
+    /// Changes in arrival order.
+    pub changes: Vec<Change>,
+}
+
+impl Version {
+    /// Bytes attributable to this version (header + payload).
+    pub fn size_bytes(&self) -> usize {
+        Self::HEADER_BYTES + self.changes.iter().map(Change::size_bytes).sum::<usize>()
+    }
+
+    /// Fixed per-version bookkeeping cost (timestamps, links, labels).
+    pub const HEADER_BYTES: usize = 64;
+}
+
+/// The version chain attached to one (first-level) index unit.
+#[derive(Clone, Debug)]
+pub struct VersionStore {
+    version_ratio: u32,
+    open: Version,
+    sealed: Vec<Version>,
+}
+
+impl VersionStore {
+    /// Creates an empty chain with the given modification-to-version
+    /// ratio.
+    ///
+    /// # Panics
+    /// If `version_ratio == 0`.
+    pub fn new(version_ratio: u32) -> Self {
+        assert!(version_ratio > 0, "VersionStore: ratio must be positive");
+        Self { version_ratio, open: Version::default(), sealed: Vec::new() }
+    }
+
+    /// Records a change; seals the open version when it reaches the
+    /// ratio.
+    pub fn record(&mut self, change: Change) {
+        self.open.changes.push(change);
+        if self.open.changes.len() >= self.version_ratio as usize {
+            self.sealed.push(std::mem::take(&mut self.open));
+        }
+    }
+
+    /// Number of sealed versions.
+    pub fn version_count(&self) -> usize {
+        self.sealed.len() + usize::from(!self.open.changes.is_empty())
+    }
+
+    /// Total recorded changes (sealed + open).
+    pub fn change_count(&self) -> usize {
+        self.sealed.iter().map(|v| v.changes.len()).sum::<usize>() + self.open.changes.len()
+    }
+
+    /// Memory footprint of the chain (Fig. 14(a)).
+    pub fn size_bytes(&self) -> usize {
+        let open = if self.open.changes.is_empty() { 0 } else { self.open.size_bytes() };
+        self.sealed.iter().map(Version::size_bytes).sum::<usize>() + open
+    }
+
+    /// Rolls the chain *backwards* (newest change first) and returns the
+    /// effective latest state per file: the first occurrence of each
+    /// file id wins ("version tᵢ usually contains newer information than
+    /// version tᵢ₋₁"). Also returns the number of change records
+    /// scanned, which the cost model converts into the extra latency of
+    /// Fig. 14(b).
+    pub fn effective_changes(&self) -> (Vec<&Change>, usize) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut out = Vec::new();
+        let mut scanned = 0;
+        let newest_first = std::iter::once(&self.open)
+            .chain(self.sealed.iter().rev())
+            .flat_map(|v| v.changes.iter().rev());
+        for ch in newest_first {
+            scanned += 1;
+            if seen.insert(ch.file_id()) {
+                out.push(ch);
+            }
+        }
+        (out, scanned)
+    }
+
+    /// Applies all changes to a base set of files and clears the chain —
+    /// the reconfiguration step ("We first apply the changes of a
+    /// version into its attached original index unit"). Returns the
+    /// aggregate bytes that would be multicast to remote replicas.
+    pub fn flush_into(&mut self, files: &mut Vec<FileMetadata>) -> usize {
+        let bytes = self.size_bytes();
+        let (effective, _) = self.effective_changes();
+        // Clone the decisions out before mutating self.
+        let decisions: Vec<Change> = effective.into_iter().cloned().collect();
+        for ch in decisions {
+            match ch {
+                // Insert and Modify both upsert: the backward roll keeps
+                // only the *newest* change per file, so an Insert that
+                // follows a (shadowed) Delete must still replace the
+                // base record — it carries the newest state.
+                Change::Insert(f) | Change::Modify(f) => {
+                    if let Some(slot) = files.iter_mut().find(|x| x.file_id == f.file_id) {
+                        *slot = f;
+                    } else {
+                        files.push(f);
+                    }
+                }
+                Change::Delete(id) => files.retain(|x| x.file_id != id),
+            }
+        }
+        self.sealed.clear();
+        self.open = Version::default();
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64, size: u64) -> FileMetadata {
+        FileMetadata {
+            file_id: id,
+            name: format!("f{id}"),
+            dir: "/d".into(),
+            owner: 0,
+            size,
+            ctime: 0.0,
+            mtime: 0.0,
+            atime: 0.0,
+            read_bytes: 0,
+            write_bytes: 0,
+            access_count: 1,
+            proc_id: 0,
+            truth_cluster: None,
+        }
+    }
+
+    #[test]
+    fn ratio_one_is_comprehensive() {
+        let mut vs = VersionStore::new(1);
+        for i in 0..5 {
+            vs.record(Change::Insert(meta(i, 10)));
+        }
+        assert_eq!(vs.version_count(), 5, "every change its own version");
+    }
+
+    #[test]
+    fn larger_ratio_aggregates() {
+        let mut vs = VersionStore::new(4);
+        for i in 0..8 {
+            vs.record(Change::Insert(meta(i, 10)));
+        }
+        assert_eq!(vs.version_count(), 2);
+    }
+
+    #[test]
+    fn space_decreases_with_ratio() {
+        let sized = |ratio: u32| {
+            let mut vs = VersionStore::new(ratio);
+            for i in 0..64 {
+                vs.record(Change::Modify(meta(i, 1)));
+            }
+            vs.size_bytes()
+        };
+        let s1 = sized(1);
+        let s8 = sized(8);
+        let s32 = sized(32);
+        assert!(s1 > s8 && s8 > s32, "space must fall with ratio: {s1} {s8} {s32}");
+    }
+
+    #[test]
+    fn backward_roll_newest_wins() {
+        let mut vs = VersionStore::new(2);
+        vs.record(Change::Modify(meta(7, 100)));
+        vs.record(Change::Modify(meta(7, 200)));
+        vs.record(Change::Modify(meta(7, 300)));
+        let (eff, scanned) = vs.effective_changes();
+        assert_eq!(eff.len(), 1);
+        match eff[0] {
+            Change::Modify(f) => assert_eq!(f.size, 300, "newest modification wins"),
+            _ => panic!("unexpected change kind"),
+        }
+        assert_eq!(scanned, 3);
+    }
+
+    #[test]
+    fn delete_shadows_older_insert() {
+        let mut vs = VersionStore::new(8);
+        vs.record(Change::Insert(meta(3, 10)));
+        vs.record(Change::Delete(3));
+        let (eff, _) = vs.effective_changes();
+        assert_eq!(eff.len(), 1);
+        assert!(matches!(eff[0], Change::Delete(3)));
+    }
+
+    #[test]
+    fn flush_applies_and_clears() {
+        let mut vs = VersionStore::new(4);
+        let mut files = vec![meta(1, 10), meta(2, 20)];
+        vs.record(Change::Modify(meta(1, 111)));
+        vs.record(Change::Delete(2));
+        vs.record(Change::Insert(meta(3, 30)));
+        let bytes = vs.flush_into(&mut files);
+        assert!(bytes > 0);
+        assert_eq!(vs.version_count(), 0);
+        assert_eq!(vs.change_count(), 0);
+        let ids: Vec<u64> = files.iter().map(|f| f.file_id).collect();
+        assert!(ids.contains(&1) && ids.contains(&3) && !ids.contains(&2));
+        assert_eq!(files.iter().find(|f| f.file_id == 1).unwrap().size, 111);
+    }
+
+    #[test]
+    fn flush_modify_of_unknown_file_inserts() {
+        let mut vs = VersionStore::new(4);
+        let mut files = Vec::new();
+        vs.record(Change::Modify(meta(9, 99)));
+        vs.flush_into(&mut files);
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].size, 99);
+    }
+
+    #[test]
+    fn empty_chain_is_free() {
+        let vs = VersionStore::new(4);
+        assert_eq!(vs.size_bytes(), 0);
+        assert_eq!(vs.version_count(), 0);
+        let (eff, scanned) = vs.effective_changes();
+        assert!(eff.is_empty());
+        assert_eq!(scanned, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ratio_panics() {
+        VersionStore::new(0);
+    }
+}

@@ -1,0 +1,409 @@
+//! End-to-end tests of the assembled SmartStore system: build, query
+//! correctness/recall, change streams, versioning, reconfiguration.
+
+use smartstore::routing::RouteMode;
+use smartstore::versioning::Change;
+use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_trace::query_gen::{recall, QueryGenConfig};
+use smartstore_trace::{
+    GeneratorConfig, MetadataPopulation, QueryDistribution, QueryWorkload,
+};
+
+fn population(n: usize, seed: u64) -> MetadataPopulation {
+    MetadataPopulation::generate(GeneratorConfig {
+        n_files: n,
+        n_clusters: 24,
+        seed,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn system(n_files: usize, n_units: usize, seed: u64) -> (SmartStoreSystem, MetadataPopulation) {
+    let pop = population(n_files, seed);
+    let sys = SmartStoreSystem::build(
+        pop.files.clone(),
+        n_units,
+        SmartStoreConfig::default(),
+        seed,
+    );
+    (sys, pop)
+}
+
+#[test]
+fn build_preserves_every_file() {
+    let (sys, pop) = system(2000, 20, 7);
+    let mut stored: Vec<u64> = sys.current_files().iter().map(|f| f.file_id).collect();
+    stored.sort_unstable();
+    let mut expected: Vec<u64> = pop.files.iter().map(|f| f.file_id).collect();
+    expected.sort_unstable();
+    assert_eq!(stored, expected);
+    sys.tree().check_invariants().unwrap();
+}
+
+#[test]
+fn units_are_balanced() {
+    // Gap-aware tiling trades exact balance for cluster integrity:
+    // "group sizes are approximately equal" (Statement 1) — every unit
+    // non-empty and within ±50% of the even share.
+    let (sys, _) = system(2000, 20, 8);
+    let even = 2000 / 20;
+    let min = sys.units().iter().map(|u| u.len()).min().unwrap();
+    let max = sys.units().iter().map(|u| u.len()).max().unwrap();
+    assert!(min > 0, "no unit may be empty");
+    assert!(
+        min * 2 >= even && max <= even * 2,
+        "approximately balanced: min {min}, max {max}, even {even}"
+    );
+}
+
+#[test]
+fn range_query_has_perfect_recall_on_fresh_index() {
+    let (mut sys, pop) = system(2000, 20, 9);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_range: 40,
+            n_topk: 0,
+            n_point: 0,
+            distribution: QueryDistribution::Zipf,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    for q in &w.ranges {
+        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        let r = recall(&q.ideal, &out.file_ids);
+        assert!(
+            r > 0.999,
+            "fresh index must answer ranges exactly, recall {r}"
+        );
+        // And no spurious results either.
+        for id in &out.file_ids {
+            assert!(q.ideal.contains(id), "spurious id {id}");
+        }
+    }
+}
+
+#[test]
+fn topk_query_recall_on_fresh_index() {
+    let (mut sys, pop) = system(2000, 20, 10);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_range: 0,
+            n_topk: 40,
+            n_point: 0,
+            k: 8,
+            distribution: QueryDistribution::Zipf,
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    let mut total = 0.0;
+    for q in &w.topks {
+        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        assert_eq!(out.file_ids.len(), 8);
+        total += recall(&q.ideal, &out.file_ids);
+    }
+    let avg = total / 40.0;
+    assert!(avg > 0.999, "MaxD-pruned top-k must equal exhaustive, got {avg}");
+}
+
+#[test]
+fn point_query_finds_files_and_rejects_ghosts() {
+    let (mut sys, pop) = system(1500, 15, 11);
+    let mut hits = 0;
+    for f in pop.files.iter().step_by(37) {
+        let out = sys.point_query(&f.name);
+        if out.file_ids.contains(&f.file_id) {
+            hits += 1;
+        }
+    }
+    let probed = pop.files.iter().step_by(37).count();
+    assert!(
+        hits as f64 / probed as f64 > 0.88,
+        "paper's point-query hit rate floor: {hits}/{probed}"
+    );
+    let ghost = sys.point_query("ghost_file_does_not_exist");
+    assert!(ghost.file_ids.is_empty());
+}
+
+#[test]
+fn topk_visits_few_units_thanks_to_maxd() {
+    let (mut sys, pop) = system(3000, 30, 12);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_topk: 30,
+            n_range: 0,
+            n_point: 0,
+            distribution: QueryDistribution::Zipf,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let mut total_units = 0;
+    for q in &w.topks {
+        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        total_units += out.cost.units_probed;
+    }
+    let avg = total_units as f64 / 30.0;
+    assert!(
+        avg < 30.0 * 0.8,
+        "MaxD pruning should avoid probing most of the 30 units (avg {avg})"
+    );
+}
+
+#[test]
+fn versioning_recovers_recall_after_changes() {
+    let (mut sys_v, pop) = system(2000, 20, 13);
+    let (mut sys_nv, _) = system(2000, 20, 13);
+    sys_v.set_versioning(true);
+    sys_nv.set_versioning(false);
+
+    // Mutate 10% of files: push them to a far corner of attribute space
+    // so stale MBRs miss them.
+    let mut current = pop.files.clone();
+    for f in current.iter_mut().step_by(10) {
+        f.size = f.size.saturating_mul(1000).max(1 << 30);
+        f.mtime = (f.mtime * 2.0).max(1.0);
+        let ch = Change::Modify(f.clone());
+        sys_v.apply_change(ch.clone());
+        sys_nv.apply_change(ch);
+    }
+
+    // Re-derive ideal answers on the mutated state.
+    let scratch = MetadataPopulation { files: current.clone(), config: pop.config.clone() };
+    let w = QueryWorkload::generate(
+        &scratch,
+        &QueryGenConfig {
+            n_range: 40,
+            n_topk: 0,
+            n_point: 0,
+            distribution: QueryDistribution::Zipf,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let (mut rec_v, mut rec_nv) = (0.0, 0.0);
+    for q in &w.ranges {
+        rec_v += recall(&q.ideal, &sys_v.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids);
+        rec_nv += recall(&q.ideal, &sys_nv.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids);
+    }
+    rec_v /= 40.0;
+    rec_nv /= 40.0;
+    assert!(
+        rec_v >= rec_nv,
+        "versioning must not hurt recall: {rec_v} vs {rec_nv}"
+    );
+    assert!(rec_v > 0.95, "versioned recall should be high, got {rec_v}");
+}
+
+#[test]
+fn versioning_costs_extra_latency_and_space() {
+    let (mut sys, pop) = system(1000, 10, 14);
+    sys.set_versioning(true);
+    // Record a batch of modifications.
+    for f in pop.files.iter().step_by(5) {
+        let mut g = f.clone();
+        g.access_count += 1;
+        sys.apply_change(Change::Modify(g));
+    }
+    assert!(sys.version_space_per_group() > 0.0, "versions occupy space");
+    let stats = sys.stats();
+    assert!(stats.version_bytes > 0);
+}
+
+#[test]
+fn insert_change_places_semantically() {
+    let (mut sys, pop) = system(1000, 10, 15);
+    let mut newf = pop.files[0].clone();
+    newf.file_id = 1_000_000;
+    newf.name = "fresh_file".into();
+    sys.apply_change(Change::Insert(newf.clone()));
+    let total: usize = sys.units().iter().map(|u| u.len()).sum();
+    assert_eq!(total, 1001);
+    // Point query finds it via version recovery even though the tree's
+    // Bloom replicas predate it.
+    let out = sys.point_query("fresh_file");
+    assert!(out.file_ids.contains(&1_000_000));
+}
+
+#[test]
+fn delete_change_removes_file() {
+    let (mut sys, pop) = system(1000, 10, 16);
+    let victim = pop.files[123].file_id;
+    sys.apply_change(Change::Delete(victim));
+    assert!(sys.current_files().iter().all(|f| f.file_id != victim));
+    // Range covering everything must not return the deleted id.
+    let files = sys.current_files();
+    let pop2 = MetadataPopulation { files, config: pop.config.clone() };
+    let (lo, hi) = pop2.attr_bounds();
+    let out = sys.range_query(&lo, &hi, RouteMode::Offline);
+    assert!(!out.file_ids.contains(&victim));
+}
+
+#[test]
+fn reconfigure_clears_versions_and_restores_recall() {
+    let (mut sys, pop) = system(1500, 15, 17);
+    for f in pop.files.iter().step_by(7) {
+        let mut g = f.clone();
+        g.size *= 3;
+        sys.apply_change(Change::Modify(g));
+    }
+    sys.reconfigure();
+    assert_eq!(sys.stats().version_bytes, 0, "reconfigure clears chains");
+    sys.tree().check_invariants().unwrap();
+    // Fresh index answers exactly again — even with versioning off.
+    sys.set_versioning(false);
+    let files = sys.current_files();
+    let scratch = MetadataPopulation { files, config: pop.config.clone() };
+    let w = QueryWorkload::generate(
+        &scratch,
+        &QueryGenConfig { n_range: 20, n_topk: 0, n_point: 0, seed: 5, ..Default::default() },
+    );
+    for q in &w.ranges {
+        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        assert!(recall(&q.ideal, &out.file_ids) > 0.999);
+    }
+}
+
+#[test]
+fn add_unit_integrates_into_tree() {
+    let (mut sys, _) = system(1000, 10, 18);
+    let extra = population(80, 999);
+    let mut files = extra.files;
+    for (i, f) in files.iter_mut().enumerate() {
+        f.file_id = 2_000_000 + i as u64;
+    }
+    let id = sys.add_unit(files);
+    assert_eq!(id, 10);
+    sys.tree().check_invariants().unwrap();
+    assert_eq!(sys.units().len(), 11);
+    let name = sys.units()[10].files()[0].name.clone();
+    let expect = sys.units()[10].files()[0].file_id;
+    let out = sys.point_query(&name);
+    assert!(out.file_ids.contains(&expect));
+}
+
+#[test]
+fn online_vs_offline_cost_shape() {
+    let (mut sys, pop) = system(2000, 24, 19);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_range: 25,
+            n_topk: 0,
+            n_point: 0,
+            distribution: QueryDistribution::Zipf,
+            seed: 6,
+            ..Default::default()
+        },
+    );
+    let (mut on_msgs, mut off_msgs, mut on_lat, mut off_lat) = (0u64, 0u64, 0u64, 0u64);
+    for q in &w.ranges {
+        let on = sys.range_query(&q.lo, &q.hi, RouteMode::Online);
+        let off = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        on_msgs += on.cost.messages;
+        off_msgs += off.cost.messages;
+        on_lat += on.cost.latency_ns;
+        off_lat += off.cost.latency_ns;
+        // Same answers regardless of routing mode.
+        assert_eq!(on.file_ids, off.file_ids);
+    }
+    assert!(on_msgs > off_msgs, "Fig. 13(b): online messages {on_msgs} > offline {off_msgs}");
+    assert!(on_lat >= off_lat, "Fig. 13(a): online latency >= offline");
+}
+
+#[test]
+fn most_queries_are_zero_hop() {
+    // The headline grouping-efficiency claim (Fig. 8): most complex
+    // queries are served inside a single semantic group.
+    let (mut sys, pop) = system(3000, 30, 20);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_range: 50,
+            n_topk: 50,
+            n_point: 0,
+            distribution: QueryDistribution::Zipf,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let mut zero = 0;
+    let mut total = 0;
+    for q in &w.ranges {
+        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        if out.cost.group_hops == 0 {
+            zero += 1;
+        }
+        total += 1;
+    }
+    for q in &w.topks {
+        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        if out.cost.group_hops == 0 {
+            zero += 1;
+        }
+        total += 1;
+    }
+    let frac = zero as f64 / total as f64;
+    assert!(
+        frac > 0.5,
+        "majority of Zipf queries should be 0-hop, got {frac} ({zero}/{total})"
+    );
+}
+
+#[test]
+fn lazy_refresh_fires_after_threshold_and_counts_maintenance() {
+    let (mut sys, pop) = system(1000, 10, 21);
+    assert_eq!(sys.maintenance_messages, 0);
+    // Push well past the 5% lazy-update threshold with modifications.
+    for f in pop.files.iter().take(200) {
+        let mut g = f.clone();
+        g.access_count += 1;
+        sys.apply_change(Change::Modify(g));
+    }
+    assert!(
+        sys.maintenance_messages > 0,
+        "20% churn must trigger lazy replica multicasts"
+    );
+    // Lazy refresh folds version chains back into the index, so the
+    // retained version space stays bounded.
+    let retained = sys.stats().version_bytes;
+    let mut frozen = SmartStoreConfig::default();
+    frozen.lazy_update_threshold = f64::INFINITY;
+    let mut sys_frozen =
+        SmartStoreSystem::build(pop.files.clone(), 10, frozen, 21);
+    for f in pop.files.iter().take(200) {
+        let mut g = f.clone();
+        g.access_count += 1;
+        sys_frozen.apply_change(Change::Modify(g));
+    }
+    assert!(
+        retained < sys_frozen.stats().version_bytes,
+        "lazy refresh must flush version chains ({retained} vs {})",
+        sys_frozen.stats().version_bytes
+    );
+}
+
+#[test]
+fn random_home_is_in_range_and_seed_deterministic() {
+    let (mut a, _) = system(500, 5, 30);
+    let (mut b, _) = system(500, 5, 30);
+    let ha: Vec<usize> = (0..20).map(|_| a.random_home()).collect();
+    let hb: Vec<usize> = (0..20).map(|_| b.random_home()).collect();
+    assert_eq!(ha, hb, "same seed, same home sequence");
+    assert!(ha.iter().all(|&h| h < 5));
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let (sys, _) = system(1500, 15, 31);
+    let s = sys.stats();
+    assert_eq!(s.n_units, 15);
+    assert!(s.n_groups >= 1 && s.n_groups <= 15);
+    assert!(s.tree_height >= 2);
+    assert!(s.tree_index_bytes > 0);
+    assert!(s.per_unit_index_bytes >= sys.cfg.bloom_bits / 8);
+}

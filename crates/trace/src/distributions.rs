@@ -1,0 +1,208 @@
+//! Samplers for the distributions the paper's evaluation draws from.
+//!
+//! §5.1: "it is reasonable and justifiable for us to utilize random
+//! numbers as the coordinates of queried points that are assumed to
+//! follow either the Uniform, Gauss, or Zipf distribution". File
+//! popularity and sizes additionally need Zipf and log-normal shapes to
+//! match the skew reported by the trace studies the paper cites
+//! (Filecules: 45% of requests visit 6.5% of files; Leung et al.: <1% of
+//! clients issue 50% of requests).
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampling uses the rejection-inversion method of Hörmann & Derflinger,
+/// which is O(1) per sample and exact for all `s > 0, s ≠ 1` as well as
+/// `s = 1`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    dense: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(s > 0.0, "Zipf: exponent must be positive");
+        let h_x1 = Self::h_static(1.5, s) - 1.0;
+        let h_n = Self::h_static(n as f64 + 0.5, s);
+        let dense = Self::h_inv_static(h_x1, s);
+        Self { n, s, h_x1, h_n, dense }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// H(x) = ((x)^(1-s) - 1) / (1-s), or ln(x) for s = 1.
+    fn h_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h_inv_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        Self::h_static(x, self.s)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_static(x, self.s)
+    }
+
+    /// Draws a rank in `1..=n`; rank 1 is the most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.dense || u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8's core has no Gaussian).
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn sample_normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * sample_standard_normal(rng)
+}
+
+/// Log-normal: `exp(N(mu, sigma))` — the canonical file-size shape.
+pub fn sample_log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    sample_normal(rng, mu, sigma).exp()
+}
+
+/// Normal clamped into `[lo, hi]` (the paper's Gauss query coordinates
+/// must stay inside the attribute domain).
+pub fn sample_clamped_normal<R: Rng>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    sample_normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1001];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[10] && counts[10] > counts[100],
+            "zipf must be monotone in popularity: {} {} {}", counts[1], counts[10], counts[100]);
+        // Rank-1 frequency for s=1, n=1000: 1/H(1000) ≈ 0.133.
+        let f1 = counts[1] as f64 / 50_000.0;
+        assert!((f1 - 0.133).abs() < 0.02, "rank-1 frequency {f1}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(50, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_n_one_always_one() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_heavy_tail_vs_light_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let heavy = Zipf::new(10_000, 1.5);
+        let light = Zipf::new(10_000, 0.5);
+        let n = 20_000;
+        let heavy_top10 = (0..n).filter(|_| heavy.sample(&mut rng) <= 10).count();
+        let light_top10 = (0..n).filter(|_| light.sample(&mut rng) <= 10).count();
+        assert!(heavy_top10 > light_top10 * 5,
+            "s=1.5 must concentrate far more mass on top ranks ({heavy_top10} vs {light_top10})");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<f64> = (0..10_000).map(|_| sample_log_normal(&mut rng, 10.0, 2.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median * 2.0, "log-normal mean ≫ median ({mean} vs {median})");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = sample_clamped_normal(&mut rng, 0.0, 100.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_zero_n_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

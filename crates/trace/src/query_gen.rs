@@ -1,0 +1,397 @@
+//! Complex-query workload generation.
+//!
+//! §5.1: "we use a synthetic approach to generating complex queries
+//! within the multidimensional attribute space … a range query is formed
+//! by points along multiple attribute dimensions and a top-k query must
+//! specify the multi-dimensional coordinate of a given point and the k
+//! value … utilize random numbers as the coordinates of queried points
+//! that are assumed to follow either the Uniform, Gauss, or Zipf
+//! distribution."
+//!
+//! The generators here draw query coordinates under those three
+//! distributions inside a population's attribute bounds, and compute the
+//! *ideal* answer sets by exhaustive scan so recall can be measured
+//! exactly as the paper defines it (§5.4.2).
+
+use crate::distributions::{sample_clamped_normal, Zipf};
+use crate::generator::MetadataPopulation;
+use crate::metadata::{AttributeKind, FileMetadata, ATTR_DIMS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Coordinate distribution for synthetic queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryDistribution {
+    /// Coordinates uniform over each attribute's domain.
+    Uniform,
+    /// Coordinates normal around the domain center (σ = domain/6).
+    Gauss,
+    /// Coordinates Zipf-skewed toward attribute values of popular files.
+    Zipf,
+}
+
+impl QueryDistribution {
+    /// All three distributions, in the paper's order.
+    pub const ALL: [QueryDistribution; 3] = [
+        QueryDistribution::Uniform,
+        QueryDistribution::Gauss,
+        QueryDistribution::Zipf,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryDistribution::Uniform => "Uniform",
+            QueryDistribution::Gauss => "Gauss",
+            QueryDistribution::Zipf => "Zipf",
+        }
+    }
+}
+
+/// A multi-dimensional range query with its ideal answer.
+#[derive(Clone, Debug)]
+pub struct RangeQuery {
+    /// Per-dimension lower bounds (projected attribute space).
+    pub lo: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub hi: Vec<f64>,
+    /// File ids satisfying all constraints (exhaustive scan).
+    pub ideal: Vec<u64>,
+}
+
+/// A top-k query with its ideal answer.
+#[derive(Clone, Debug)]
+pub struct TopKQuery {
+    /// Query point (projected attribute space).
+    pub point: Vec<f64>,
+    /// Number of neighbours requested.
+    pub k: usize,
+    /// The k nearest file ids by Euclidean distance (exhaustive scan).
+    pub ideal: Vec<u64>,
+}
+
+/// A filename point query.
+#[derive(Clone, Debug)]
+pub struct PointQuery {
+    /// Queried filename.
+    pub name: String,
+    /// The id of the file if it exists.
+    pub expected: Option<u64>,
+}
+
+/// A batch of synthetic queries over one population.
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    /// Range queries.
+    pub ranges: Vec<RangeQuery>,
+    /// Top-k queries.
+    pub topks: Vec<TopKQuery>,
+    /// Point queries.
+    pub points: Vec<PointQuery>,
+    /// The distribution the coordinates were drawn from.
+    pub distribution: QueryDistribution,
+}
+
+/// Builder for query workloads.
+#[derive(Clone, Debug)]
+pub struct QueryGenConfig {
+    /// Number of range queries.
+    pub n_range: usize,
+    /// Number of top-k queries.
+    pub n_topk: usize,
+    /// Number of point queries.
+    pub n_point: usize,
+    /// `k` for top-k queries (the paper uses k = 8 in Fig. 10 and
+    /// Tables 5–6).
+    pub k: usize,
+    /// Fraction of each attribute's domain a range query spans
+    /// (per-dimension width ratio).
+    pub range_width: f64,
+    /// Which attribute dimensions a range query constrains; the rest are
+    /// unconstrained. The paper's example range query (§5.1) constrains
+    /// exactly three attributes — last-revision time, read volume and
+    /// write volume — which is the default here.
+    pub range_dims: Vec<AttributeKind>,
+    /// Fraction of point queries probing files that do not exist.
+    pub point_miss_fraction: f64,
+    /// Coordinate distribution.
+    pub distribution: QueryDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        Self {
+            n_range: 100,
+            n_topk: 100,
+            n_point: 100,
+            k: 8,
+            range_width: 0.05,
+            range_dims: vec![
+                AttributeKind::ModificationTime,
+                AttributeKind::ReadBytes,
+                AttributeKind::WriteBytes,
+            ],
+            point_miss_fraction: 0.1,
+            distribution: QueryDistribution::Zipf,
+            seed: 0xbeef,
+        }
+    }
+}
+
+impl QueryWorkload {
+    /// Generates a workload over `pop` with exhaustively computed ideal
+    /// answers.
+    pub fn generate(pop: &MetadataPopulation, cfg: &QueryGenConfig) -> Self {
+        assert!(!pop.files.is_empty(), "QueryWorkload: empty population");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (lo_b, hi_b) = pop.attr_bounds();
+        let popularity = Zipf::new(pop.files.len() as u64, 1.0);
+
+        let ranges = (0..cfg.n_range)
+            .map(|_| {
+                let center = sample_point(pop, cfg.distribution, &lo_b, &hi_b, &popularity, &mut rng);
+                // Constrain only the configured dimensions; the rest of
+                // the box spans the whole attribute domain.
+                let (lo, hi): (Vec<f64>, Vec<f64>) = (0..ATTR_DIMS)
+                    .map(|d| {
+                        if cfg.range_dims.iter().any(|k| k.index() == d) {
+                            let half = (hi_b[d] - lo_b[d]) * cfg.range_width * 0.5;
+                            (center[d] - half, center[d] + half)
+                        } else {
+                            (lo_b[d] - 1.0, hi_b[d] + 1.0)
+                        }
+                    })
+                    .unzip();
+                let ideal = pop
+                    .files
+                    .iter()
+                    .filter(|f| in_range(f, &lo, &hi))
+                    .map(|f| f.file_id)
+                    .collect();
+                RangeQuery { lo, hi, ideal }
+            })
+            .collect();
+
+        let topks = (0..cfg.n_topk)
+            .map(|_| {
+                let point =
+                    sample_point(pop, cfg.distribution, &lo_b, &hi_b, &popularity, &mut rng);
+                let ideal = exhaustive_topk(&pop.files, &point, cfg.k);
+                TopKQuery { point, k: cfg.k, ideal }
+            })
+            .collect();
+
+        let points = (0..cfg.n_point)
+            .map(|_| {
+                if rng.gen::<f64>() < cfg.point_miss_fraction {
+                    PointQuery { name: format!("ghost_{:08}", rng.gen::<u32>()), expected: None }
+                } else {
+                    let rank = popularity.sample(&mut rng) as usize - 1;
+                    let f = &pop.files[rank % pop.files.len()];
+                    PointQuery { name: f.name.clone(), expected: Some(f.file_id) }
+                }
+            })
+            .collect();
+
+        Self { ranges, topks, points, distribution: cfg.distribution }
+    }
+}
+
+fn in_range(f: &FileMetadata, lo: &[f64], hi: &[f64]) -> bool {
+    f.attr_vector()
+        .iter()
+        .zip(lo.iter().zip(hi))
+        .all(|(&v, (&l, &h))| l <= v && v <= h)
+}
+
+/// Exhaustive k-NN over the population (the recall ground truth).
+pub fn exhaustive_topk(files: &[FileMetadata], point: &[f64], k: usize) -> Vec<u64> {
+    let mut scored: Vec<(u64, f64)> = files
+        .iter()
+        .map(|f| {
+            let d = f
+                .attr_vector()
+                .iter()
+                .zip(point)
+                .map(|(&a, &q)| (a - q) * (a - q))
+                .sum::<f64>();
+            (f.file_id, d)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored.into_iter().map(|(id, _)| id).collect()
+}
+
+fn sample_point(
+    pop: &MetadataPopulation,
+    dist: QueryDistribution,
+    lo: &[f64],
+    hi: &[f64],
+    popularity: &Zipf,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    match dist {
+        QueryDistribution::Uniform => (0..ATTR_DIMS)
+            .map(|d| lo[d] + rng.gen::<f64>() * (hi[d] - lo[d]))
+            .collect(),
+        QueryDistribution::Gauss => (0..ATTR_DIMS)
+            .map(|d| {
+                let mean = 0.5 * (lo[d] + hi[d]);
+                let sd = (hi[d] - lo[d]) / 6.0;
+                sample_clamped_normal(rng, mean, sd, lo[d], hi[d])
+            })
+            .collect(),
+        QueryDistribution::Zipf => {
+            // Query near a popular file's attributes with small jitter —
+            // "files are mutually associated with a higher degree" under
+            // Zipf (§5.4.2 discussion of Fig. 10).
+            let rank = popularity.sample(rng) as usize - 1;
+            let base = pop.files[rank % pop.files.len()].attr_vector();
+            (0..ATTR_DIMS)
+                .map(|d| {
+                    let jitter = (hi[d] - lo[d]) * 0.01 * (rng.gen::<f64>() - 0.5);
+                    (base[d] + jitter).clamp(lo[d], hi[d])
+                })
+                .collect()
+        }
+    }
+}
+
+/// Recall of an answer set against the ideal set:
+/// `|T(q) ∩ A(q)| / |T(q)|` (§5.4.2).
+pub fn recall(ideal: &[u64], actual: &[u64]) -> f64 {
+    if ideal.is_empty() {
+        return 1.0;
+    }
+    let hit = ideal.iter().filter(|id| actual.contains(id)).count();
+    hit as f64 / ideal.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorConfig;
+
+    fn pop() -> MetadataPopulation {
+        MetadataPopulation::generate(GeneratorConfig {
+            n_files: 1000,
+            n_clusters: 8,
+            seed: 21,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn workload_sizes_match_config() {
+        let p = pop();
+        let w = QueryWorkload::generate(&p, &QueryGenConfig::default());
+        assert_eq!(w.ranges.len(), 100);
+        assert_eq!(w.topks.len(), 100);
+        assert_eq!(w.points.len(), 100);
+    }
+
+    #[test]
+    fn range_ideals_are_correct_by_construction() {
+        let p = pop();
+        let w = QueryWorkload::generate(&p, &QueryGenConfig { n_range: 20, ..Default::default() });
+        for q in &w.ranges {
+            for f in &p.files {
+                let inside = in_range(f, &q.lo, &q.hi);
+                assert_eq!(inside, q.ideal.contains(&f.file_id));
+            }
+        }
+    }
+
+    #[test]
+    fn topk_ideal_has_k_members_sorted_by_distance() {
+        let p = pop();
+        let w = QueryWorkload::generate(&p, &QueryGenConfig { n_topk: 10, k: 8, ..Default::default() });
+        for q in &w.topks {
+            assert_eq!(q.ideal.len(), 8);
+            // Verify monotone distance.
+            let d = |id: u64| {
+                let f = &p.files[id as usize];
+                f.attr_vector().iter().zip(&q.point).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>()
+            };
+            for w2 in q.ideal.windows(2) {
+                assert!(d(w2[0]) <= d(w2[1]) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_mix_hits_and_misses() {
+        let p = pop();
+        let w = QueryWorkload::generate(
+            &p,
+            &QueryGenConfig { n_point: 200, point_miss_fraction: 0.3, ..Default::default() },
+        );
+        let misses = w.points.iter().filter(|q| q.expected.is_none()).count();
+        assert!((30..90).contains(&misses), "misses {misses} out of 200 at 30%");
+    }
+
+    #[test]
+    fn zipf_queries_hit_denser_regions_than_uniform() {
+        let p = pop();
+        let mk = |dist| {
+            QueryWorkload::generate(
+                &p,
+                &QueryGenConfig { n_range: 150, distribution: dist, seed: 4, ..Default::default() },
+            )
+        };
+        let zipf_hits: usize = mk(QueryDistribution::Zipf).ranges.iter().map(|q| q.ideal.len()).sum();
+        let unif_hits: usize = mk(QueryDistribution::Uniform).ranges.iter().map(|q| q.ideal.len()).sum();
+        assert!(
+            zipf_hits > unif_hits,
+            "zipf queries target populated space: {zipf_hits} vs {unif_hits}"
+        );
+    }
+
+    #[test]
+    fn gauss_coordinates_concentrate_centrally() {
+        let p = pop();
+        let (lo, hi) = p.attr_bounds();
+        let w = QueryWorkload::generate(
+            &p,
+            &QueryGenConfig {
+                n_topk: 300,
+                distribution: QueryDistribution::Gauss,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        // Dimension 1 (ctime): most Gauss draws must land in the middle
+        // third of the domain.
+        let mid_lo = lo[1] + (hi[1] - lo[1]) / 3.0;
+        let mid_hi = lo[1] + 2.0 * (hi[1] - lo[1]) / 3.0;
+        let central = w
+            .topks
+            .iter()
+            .filter(|q| q.point[1] >= mid_lo && q.point[1] <= mid_hi)
+            .count();
+        assert!(central > 200, "only {central}/300 Gauss points central");
+    }
+
+    #[test]
+    fn recall_definition() {
+        assert_eq!(recall(&[1, 2, 3, 4], &[1, 2]), 0.5);
+        assert_eq!(recall(&[], &[1]), 1.0);
+        assert_eq!(recall(&[5], &[]), 0.0);
+        assert_eq!(recall(&[1, 2], &[2, 1, 9]), 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = pop();
+        let a = QueryWorkload::generate(&p, &QueryGenConfig::default());
+        let b = QueryWorkload::generate(&p, &QueryGenConfig::default());
+        assert_eq!(a.ranges.len(), b.ranges.len());
+        for (x, y) in a.ranges.iter().zip(&b.ranges) {
+            assert_eq!(x.lo, y.lo);
+            assert_eq!(x.ideal, y.ideal);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Trace Intensifying Factor (TIF) scale-up.
+//!
+//! §5.1: "a trace is decomposed into sub-traces. We add a unique
+//! sub-trace ID to all files to intentionally increase the working set.
+//! The start time of all sub-traces is set to zero so that they are
+//! replayed concurrently. The chronological order among all requests
+//! within a sub-trace is faithfully preserved. The combined trace
+//! contains the same histogram of file system calls as the original one
+//! but presents a heavier workload."
+//!
+//! Two artifacts come out of this module: the arithmetic scale-up of the
+//! nominal statistics (what Tables 1–3 actually print) and the concrete
+//! scale-up of a generated population (what the query experiments run
+//! against).
+
+use crate::generator::MetadataPopulation;
+use crate::metadata::FileMetadata;
+use crate::workloads::{NominalStats, TraceKind, WorkloadModel};
+
+/// Nominal statistics scaled by a TIF — one column of Tables 1–3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaledNominal {
+    /// The trace being scaled.
+    pub kind: TraceKind,
+    /// The intensifying factor applied.
+    pub tif: u32,
+    /// Original stats.
+    pub original: NominalStats,
+    /// Scaled stats (every count multiplied by `tif`; durations scale
+    /// too because sub-traces replayed concurrently multiply offered
+    /// load per unit time — the paper's Table 2 reports 600 hours for
+    /// TIF=100 × 6 hours).
+    pub scaled: NominalStats,
+}
+
+/// Scales a workload model's nominal statistics by `tif` (the pure
+/// arithmetic of Tables 1–3).
+pub fn scale_nominal(model: &WorkloadModel, tif: u32) -> ScaledNominal {
+    let f = tif as f64;
+    let n = &model.nominal;
+    let mul = |x: Option<f64>| x.map(|v| v * f);
+    let mul_u = |x: Option<u64>| x.map(|v| v * tif as u64);
+    ScaledNominal {
+        kind: model.kind,
+        tif,
+        original: n.clone(),
+        scaled: NominalStats {
+            requests_m: mul(n.requests_m),
+            active_users: mul_u(n.active_users),
+            user_accounts: mul_u(n.user_accounts),
+            active_files_m: mul(n.active_files_m),
+            total_files_m: mul(n.total_files_m),
+            reads_m: mul(n.reads_m),
+            writes_m: mul(n.writes_m),
+            read_gb: mul(n.read_gb),
+            write_gb: mul(n.write_gb),
+            duration_hours: mul(n.duration_hours),
+            total_ops_m: mul(n.total_ops_m),
+        },
+    }
+}
+
+/// A concretely scaled-up population: `tif` sub-traces replayed
+/// concurrently.
+#[derive(Clone, Debug)]
+pub struct ScaledTrace {
+    /// All file records across sub-traces; `file_id`s are re-assigned to
+    /// stay unique.
+    pub files: Vec<FileMetadata>,
+    /// TIF used.
+    pub tif: u32,
+    /// Files per sub-trace.
+    pub sub_trace_len: usize,
+}
+
+/// Concretely scales up a population by `tif`: each sub-trace is a copy
+/// of the original with a unique sub-trace id woven into file identity
+/// (ids, names, directories) while timestamps are preserved — all
+/// sub-traces start at zero and replay concurrently, exactly as §5.1
+/// prescribes.
+///
+/// # Panics
+/// If `tif == 0`.
+pub fn scale_up(pop: &MetadataPopulation, tif: u32) -> ScaledTrace {
+    assert!(tif > 0, "scale_up: TIF must be positive");
+    let n = pop.files.len();
+    let mut files = Vec::with_capacity(n * tif as usize);
+    for sub in 0..tif {
+        for f in &pop.files {
+            let mut g = f.clone();
+            g.file_id = sub as u64 * n as u64 + f.file_id;
+            g.name = format!("st{sub:03}_{}", f.name);
+            g.dir = format!("/st{sub:03}{}", f.dir);
+            // Distinct sub-traces must not merge into one semantic
+            // cluster: offset the truth label namespace.
+            g.truth_cluster = f
+                .truth_cluster
+                .map(|c| sub * pop.config.n_clusters as u32 + c);
+            files.push(g);
+        }
+    }
+    ScaledTrace { files, tif, sub_trace_len: n }
+}
+
+impl ScaledTrace {
+    /// Total files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Checks the paper's invariant: the per-sub-trace histogram of any
+    /// attribute matches the original's (same shape, heavier workload).
+    /// Returns the per-sub-trace counts of files with `ctime` in the
+    /// lower half of the domain — equal across sub-traces by
+    /// construction.
+    pub fn half_domain_histogram(&self, duration: f64) -> Vec<usize> {
+        (0..self.tif as usize)
+            .map(|sub| {
+                self.files[sub * self.sub_trace_len..(sub + 1) * self.sub_trace_len]
+                    .iter()
+                    .filter(|f| f.ctime < duration / 2.0)
+                    .count()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorConfig;
+
+    #[test]
+    fn table1_hp_scaled_values() {
+        let m = WorkloadModel::new(TraceKind::Hp);
+        let s = scale_nominal(&m, 80);
+        // Table 1, TIF=80 column.
+        assert_eq!(s.scaled.requests_m, Some(7576.0));
+        assert_eq!(s.scaled.active_users, Some(2560));
+        assert_eq!(s.scaled.user_accounts, Some(16560));
+        assert!((s.scaled.active_files_m.unwrap() - 77.52).abs() < 1e-9);
+        assert_eq!(s.scaled.total_files_m, Some(320.0));
+    }
+
+    #[test]
+    fn table2_msn_scaled_values() {
+        let m = WorkloadModel::new(TraceKind::Msn);
+        let s = scale_nominal(&m, 100);
+        // Table 2, TIF=100 column.
+        assert_eq!(s.scaled.total_files_m, Some(125.0));
+        assert!((s.scaled.reads_m.unwrap() - 330.0).abs() < 1e-9);
+        assert!((s.scaled.writes_m.unwrap() - 117.0).abs() < 1e-9);
+        assert_eq!(s.scaled.duration_hours, Some(600.0));
+        assert!((s.scaled.total_ops_m.unwrap() - 447.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_eecs_scaled_values() {
+        let m = WorkloadModel::new(TraceKind::Eecs);
+        let s = scale_nominal(&m, 150);
+        // Table 3, TIF=150 column.
+        assert!((s.scaled.reads_m.unwrap() - 69.0).abs() < 1e-9);
+        assert_eq!(s.scaled.read_gb, Some(765.0));
+        assert!((s.scaled.writes_m.unwrap() - 100.05).abs() < 1e-6);
+        assert_eq!(s.scaled.write_gb, Some(1365.0));
+        assert!((s.scaled.total_ops_m.unwrap() - 666.0).abs() < 1e-9);
+    }
+
+    fn tiny_pop() -> MetadataPopulation {
+        MetadataPopulation::generate(GeneratorConfig {
+            n_files: 100,
+            n_clusters: 4,
+            seed: 7,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn scale_up_multiplies_files() {
+        let pop = tiny_pop();
+        let scaled = scale_up(&pop, 5);
+        assert_eq!(scaled.len(), 500);
+        assert_eq!(scaled.tif, 5);
+    }
+
+    #[test]
+    fn file_ids_unique_after_scale_up() {
+        let pop = tiny_pop();
+        let scaled = scale_up(&pop, 8);
+        let mut ids: Vec<u64> = scaled.files.iter().map(|f| f.file_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
+    }
+
+    #[test]
+    fn sub_trace_ids_in_names() {
+        let pop = tiny_pop();
+        let scaled = scale_up(&pop, 3);
+        assert!(scaled.files[0].name.starts_with("st000_"));
+        assert!(scaled.files[100].name.starts_with("st001_"));
+        assert!(scaled.files[200].name.starts_with("st002_"));
+    }
+
+    #[test]
+    fn timestamps_preserved_per_sub_trace() {
+        // "The start time of all sub-traces is set to zero" — each copy
+        // keeps the original timestamps (concurrent replay).
+        let pop = tiny_pop();
+        let scaled = scale_up(&pop, 4);
+        for sub in 0..4usize {
+            for (i, orig) in pop.files.iter().enumerate() {
+                let copy = &scaled.files[sub * 100 + i];
+                assert_eq!(copy.ctime, orig.ctime);
+                assert_eq!(copy.mtime, orig.mtime);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_identical_across_sub_traces() {
+        let pop = tiny_pop();
+        let scaled = scale_up(&pop, 6);
+        let h = scaled.half_domain_histogram(pop.config.duration);
+        assert_eq!(h.len(), 6);
+        assert!(h.windows(2).all(|w| w[0] == w[1]), "histograms differ: {h:?}");
+    }
+
+    #[test]
+    fn truth_clusters_disjoint_across_sub_traces() {
+        let pop = tiny_pop();
+        let scaled = scale_up(&pop, 2);
+        let c0: Vec<u32> = scaled.files[..100]
+            .iter()
+            .filter_map(|f| f.truth_cluster)
+            .collect();
+        let c1: Vec<u32> = scaled.files[100..]
+            .iter()
+            .filter_map(|f| f.truth_cluster)
+            .collect();
+        assert!(c0.iter().all(|c| !c1.contains(c)), "cluster label collision");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tif_panics() {
+        scale_up(&tiny_pop(), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The HP / MSN / EECS workload models.
+//!
+//! Each model carries the *nominal statistics* of the original trace as
+//! published in Tables 1–3 of the paper (the "Original" columns) and a
+//! recipe for generating a concrete, down-sampled metadata population
+//! with the matching skew. The tables themselves are pure arithmetic on
+//! the nominal statistics (multiplication by the TIF), which is exactly
+//! what the paper reports; the concrete populations feed the query
+//! experiments.
+
+use crate::generator::{GeneratorConfig, MetadataPopulation};
+
+/// Which trace a workload models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// HP file-system trace (Riedel et al., FAST '02) — Table 1.
+    Hp,
+    /// MSN production Windows-server storage trace (Kavalanekar et al.,
+    /// IISWC '08) — Table 2.
+    Msn,
+    /// EECS NFS trace of email/research workloads (Ellard et al.,
+    /// FAST '03) — Table 3.
+    Eecs,
+}
+
+impl TraceKind {
+    /// All trace kinds.
+    pub const ALL: [TraceKind; 3] = [TraceKind::Hp, TraceKind::Msn, TraceKind::Eecs];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Hp => "HP",
+            TraceKind::Msn => "MSN",
+            TraceKind::Eecs => "EECS",
+        }
+    }
+
+    /// The TIF the paper uses for this trace's scale-up table.
+    pub fn paper_tif(self) -> u32 {
+        match self {
+            TraceKind::Hp => 80,
+            TraceKind::Msn => 100,
+            TraceKind::Eecs => 150,
+        }
+    }
+}
+
+/// Nominal per-trace statistics (the "Original" columns of Tables 1–3).
+///
+/// Units follow the paper: counts in millions where noted, sizes in GB,
+/// duration in hours. Fields that a given table does not report are
+/// `None`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NominalStats {
+    /// Total requests, millions (Table 1: 94.7).
+    pub requests_m: Option<f64>,
+    /// Active users (Table 1: 32).
+    pub active_users: Option<u64>,
+    /// User accounts (Table 1: 207).
+    pub user_accounts: Option<u64>,
+    /// Active files, millions (Table 1: 0.969).
+    pub active_files_m: Option<f64>,
+    /// Total files, millions (Table 1: 4; Table 2: 1.25).
+    pub total_files_m: Option<f64>,
+    /// Total READ operations, millions (Tables 2–3).
+    pub reads_m: Option<f64>,
+    /// Total WRITE operations, millions (Tables 2–3).
+    pub writes_m: Option<f64>,
+    /// READ volume, GB (Table 3: 5.1).
+    pub read_gb: Option<f64>,
+    /// WRITE volume, GB (Table 3: 9.1).
+    pub write_gb: Option<f64>,
+    /// Trace duration, hours (Table 2: 6).
+    pub duration_hours: Option<f64>,
+    /// Total I/O or total operations, millions (Table 2: 4.47;
+    /// Table 3: 4.44).
+    pub total_ops_m: Option<f64>,
+}
+
+/// A workload model: nominal stats + generator recipe.
+#[derive(Clone, Debug)]
+pub struct WorkloadModel {
+    /// Which trace this models.
+    pub kind: TraceKind,
+    /// Published original statistics.
+    pub nominal: NominalStats,
+}
+
+impl WorkloadModel {
+    /// The model for a given trace.
+    pub fn new(kind: TraceKind) -> Self {
+        let nominal = match kind {
+            TraceKind::Hp => NominalStats {
+                requests_m: Some(94.7),
+                active_users: Some(32),
+                user_accounts: Some(207),
+                active_files_m: Some(0.969),
+                total_files_m: Some(4.0),
+                reads_m: None,
+                writes_m: None,
+                read_gb: None,
+                write_gb: None,
+                duration_hours: None,
+                total_ops_m: None,
+            },
+            TraceKind::Msn => NominalStats {
+                requests_m: None,
+                active_users: None,
+                user_accounts: None,
+                active_files_m: None,
+                total_files_m: Some(1.25),
+                reads_m: Some(3.30),
+                writes_m: Some(1.17),
+                read_gb: None,
+                write_gb: None,
+                duration_hours: Some(6.0),
+                total_ops_m: Some(4.47),
+            },
+            TraceKind::Eecs => NominalStats {
+                requests_m: None,
+                active_users: None,
+                user_accounts: None,
+                active_files_m: None,
+                total_files_m: None,
+                reads_m: Some(0.46),
+                writes_m: Some(0.667),
+                read_gb: Some(5.1),
+                write_gb: Some(9.1),
+                duration_hours: None,
+                total_ops_m: Some(4.44),
+            },
+        };
+        Self { kind, nominal }
+    }
+
+    /// Generator configuration for a concrete population of `n_files`
+    /// files preserving this trace's character (R/W mix, duration,
+    /// skew). `n_files` is the *simulation* population, not the nominal
+    /// file count — attribute distributions, not absolute counts, drive
+    /// the query experiments.
+    pub fn generator_config(&self, n_files: usize, seed: u64) -> GeneratorConfig {
+        match self.kind {
+            // HP: general-purpose engineering workload; many users,
+            // moderate clustering, week-long horizon.
+            TraceKind::Hp => GeneratorConfig {
+                n_files,
+                n_clusters: (n_files / 150).max(8),
+                clustered_fraction: 0.90,
+                duration: 86_400.0 * 7.0,
+                size_mu: 9.0,
+                size_sigma: 2.2,
+                popularity_exponent: 1.0,
+                n_users: 207,
+                n_procs: 128,
+                seed,
+            },
+            // MSN: production server, 6-hour window, hot working set,
+            // read-dominated (3.30M R vs 1.17M W).
+            TraceKind::Msn => GeneratorConfig {
+                n_files,
+                n_clusters: (n_files / 100).max(8),
+                clustered_fraction: 0.95,
+                duration: 3600.0 * 6.0,
+                size_mu: 10.5,
+                size_sigma: 2.0,
+                popularity_exponent: 1.2,
+                n_users: 64,
+                n_procs: 48,
+                seed: seed ^ 0x4d534e, // "MSN"
+            },
+            // EECS: NFS email+research, write-heavy (0.667M W vs 0.46M R,
+            // 9.1 GB written vs 5.1 GB read), small files.
+            TraceKind::Eecs => GeneratorConfig {
+                n_files,
+                n_clusters: (n_files / 120).max(8),
+                clustered_fraction: 0.88,
+                duration: 86_400.0,
+                size_mu: 8.0,
+                size_sigma: 1.8,
+                popularity_exponent: 0.9,
+                n_users: 150,
+                n_procs: 96,
+                seed: seed ^ 0x45454353, // "EECS"
+            },
+        }
+    }
+
+    /// Generates a concrete population for experiments.
+    pub fn generate(&self, n_files: usize, seed: u64) -> MetadataPopulation {
+        let mut pop = MetadataPopulation::generate(self.generator_config(n_files, seed));
+        // Impose the trace's read/write volume ratio on the population so
+        // the ReadBytes/WriteBytes dimensions carry trace identity.
+        if let Some(r) = self.read_write_ratio() {
+            for f in &mut pop.files {
+                let total = f.read_bytes + f.write_bytes;
+                // Blend per-file ratio toward the trace-level ratio.
+                let per_file = r * 0.6
+                    + 0.4 * (f.read_bytes as f64 / (total.max(1)) as f64);
+                f.read_bytes = (total as f64 * per_file) as u64;
+                f.write_bytes = total - f.read_bytes;
+            }
+        }
+        pop
+    }
+
+    /// READ share of total I/O volume from the nominal stats, if known.
+    fn read_write_ratio(&self) -> Option<f64> {
+        match (self.nominal.read_gb, self.nominal.write_gb) {
+            (Some(r), Some(w)) => Some(r / (r + w)),
+            _ => match (self.nominal.reads_m, self.nominal.writes_m) {
+                (Some(r), Some(w)) => Some(r / (r + w)),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_stats_match_paper_tables() {
+        let hp = WorkloadModel::new(TraceKind::Hp);
+        assert_eq!(hp.nominal.requests_m, Some(94.7));
+        assert_eq!(hp.nominal.active_users, Some(32));
+        assert_eq!(hp.nominal.user_accounts, Some(207));
+        assert_eq!(hp.nominal.active_files_m, Some(0.969));
+        assert_eq!(hp.nominal.total_files_m, Some(4.0));
+
+        let msn = WorkloadModel::new(TraceKind::Msn);
+        assert_eq!(msn.nominal.total_files_m, Some(1.25));
+        assert_eq!(msn.nominal.reads_m, Some(3.30));
+        assert_eq!(msn.nominal.writes_m, Some(1.17));
+        assert_eq!(msn.nominal.duration_hours, Some(6.0));
+        assert_eq!(msn.nominal.total_ops_m, Some(4.47));
+
+        let eecs = WorkloadModel::new(TraceKind::Eecs);
+        assert_eq!(eecs.nominal.reads_m, Some(0.46));
+        assert_eq!(eecs.nominal.read_gb, Some(5.1));
+        assert_eq!(eecs.nominal.writes_m, Some(0.667));
+        assert_eq!(eecs.nominal.write_gb, Some(9.1));
+        assert_eq!(eecs.nominal.total_ops_m, Some(4.44));
+    }
+
+    #[test]
+    fn paper_tifs() {
+        assert_eq!(TraceKind::Hp.paper_tif(), 80);
+        assert_eq!(TraceKind::Msn.paper_tif(), 100);
+        assert_eq!(TraceKind::Eecs.paper_tif(), 150);
+    }
+
+    #[test]
+    fn generated_population_has_requested_size() {
+        for kind in TraceKind::ALL {
+            let pop = WorkloadModel::new(kind).generate(1500, 11);
+            assert_eq!(pop.len(), 1500, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn traces_produce_distinct_populations() {
+        let hp = WorkloadModel::new(TraceKind::Hp).generate(1000, 5);
+        let msn = WorkloadModel::new(TraceKind::Msn).generate(1000, 5);
+        assert_ne!(hp.files, msn.files);
+    }
+
+    #[test]
+    fn eecs_is_write_heavier_than_msn() {
+        let msn = WorkloadModel::new(TraceKind::Msn).generate(4000, 5);
+        let eecs = WorkloadModel::new(TraceKind::Eecs).generate(4000, 5);
+        let ratio = |pop: &crate::generator::MetadataPopulation| {
+            let r: u128 = pop.files.iter().map(|f| f.read_bytes as u128).sum();
+            let w: u128 = pop.files.iter().map(|f| f.write_bytes as u128).sum();
+            r as f64 / (r + w) as f64
+        };
+        let msn_r = ratio(&msn);
+        let eecs_r = ratio(&eecs);
+        assert!(
+            msn_r > eecs_r,
+            "MSN read share {msn_r} should exceed EECS {eecs_r}"
+        );
+    }
+
+    #[test]
+    fn durations_follow_trace_windows() {
+        let msn_cfg = WorkloadModel::new(TraceKind::Msn).generator_config(100, 1);
+        assert_eq!(msn_cfg.duration, 3600.0 * 6.0);
+        let hp_cfg = WorkloadModel::new(TraceKind::Hp).generator_config(100, 1);
+        assert_eq!(hp_cfg.duration, 86_400.0 * 7.0);
+    }
+}

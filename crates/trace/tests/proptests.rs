@@ -1,0 +1,138 @@
+//! Property tests for the workload substrate: generator invariants
+//! under arbitrary configurations, scale-up structure, query-workload
+//! consistency.
+
+use proptest::prelude::*;
+use smartstore_trace::query_gen::QueryGenConfig;
+use smartstore_trace::{
+    scale_up, GeneratorConfig, MetadataPopulation, QueryDistribution, QueryWorkload, ATTR_DIMS,
+};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        10usize..400,   // n_files
+        1usize..20,     // n_clusters
+        0.0f64..=1.0,   // clustered_fraction
+        1000.0f64..1e6, // duration
+        any::<u64>(),   // seed
+    )
+        .prop_map(|(n_files, n_clusters, frac, duration, seed)| GeneratorConfig {
+            n_files,
+            n_clusters,
+            clustered_fraction: frac,
+            duration,
+            seed,
+            ..GeneratorConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_invariants_hold_for_any_config(cfg in config_strategy()) {
+        let duration = cfg.duration;
+        let n = cfg.n_files;
+        let pop = MetadataPopulation::generate(cfg);
+        prop_assert_eq!(pop.len(), n);
+        for (i, f) in pop.files.iter().enumerate() {
+            prop_assert_eq!(f.file_id, i as u64, "ids are dense");
+            prop_assert!(f.ctime >= 0.0 && f.ctime <= duration);
+            prop_assert!(f.mtime >= f.ctime - 1e-9);
+            prop_assert!(f.mtime <= duration + 1e-9);
+            prop_assert!(f.atime >= f.mtime - 1e-9);
+            prop_assert!(f.size >= 1);
+            prop_assert!(f.access_count >= 1);
+            prop_assert!(f.attr_vector().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let a = MetadataPopulation::generate(cfg.clone());
+        let b = MetadataPopulation::generate(cfg);
+        prop_assert_eq!(a.files, b.files);
+    }
+
+    #[test]
+    fn scale_up_structure(tif in 1u32..8, n in 20usize..100, seed in any::<u64>()) {
+        let pop = MetadataPopulation::generate(GeneratorConfig {
+            n_files: n,
+            seed,
+            ..GeneratorConfig::default()
+        });
+        let scaled = scale_up(&pop, tif);
+        prop_assert_eq!(scaled.len(), n * tif as usize);
+        // Unique ids and unique names.
+        let mut ids: Vec<u64> = scaled.files.iter().map(|f| f.file_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), scaled.len());
+        let mut names: Vec<&str> = scaled.files.iter().map(|f| f.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), scaled.len());
+        // Histogram identical across sub-traces.
+        let h = scaled.half_domain_histogram(pop.config.duration);
+        prop_assert!(h.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn query_workload_ideals_are_sound(
+        seed in any::<u64>(),
+        dist_pick in 0usize..3,
+        width in 0.01f64..0.3,
+    ) {
+        let pop = MetadataPopulation::generate(GeneratorConfig {
+            n_files: 200,
+            n_clusters: 5,
+            seed,
+            ..GeneratorConfig::default()
+        });
+        let w = QueryWorkload::generate(
+            &pop,
+            &QueryGenConfig {
+                n_range: 10,
+                n_topk: 10,
+                n_point: 10,
+                range_width: width,
+                distribution: QueryDistribution::ALL[dist_pick],
+                seed,
+                ..Default::default()
+            },
+        );
+        for q in &w.ranges {
+            prop_assert_eq!(q.lo.len(), ATTR_DIMS);
+            // Ideal = exactly the files inside the box.
+            for f in &pop.files {
+                let inside = f
+                    .attr_vector()
+                    .iter()
+                    .zip(q.lo.iter().zip(&q.hi))
+                    .all(|(&v, (&l, &h))| l <= v && v <= h);
+                prop_assert_eq!(inside, q.ideal.contains(&f.file_id));
+            }
+        }
+        for q in &w.topks {
+            prop_assert_eq!(q.ideal.len(), q.k.min(pop.len()));
+            // k-th ideal distance lower-bounds every non-member.
+            let d = |id: u64| -> f64 {
+                let f = &pop.files[id as usize];
+                f.attr_vector().iter().zip(&q.point).map(|(&a, &b)| (a - b) * (a - b)).sum()
+            };
+            let worst = q.ideal.iter().map(|&i| d(i)).fold(0.0f64, f64::max);
+            for f in &pop.files {
+                if !q.ideal.contains(&f.file_id) {
+                    prop_assert!(d(f.file_id) >= worst - 1e-9);
+                }
+            }
+        }
+        for q in &w.points {
+            if let Some(id) = q.expected {
+                prop_assert!(pop.files.iter().any(|f| f.file_id == id && f.name == q.name));
+            } else {
+                prop_assert!(pop.files.iter().all(|f| f.name != q.name));
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: trace generation → system build →
+//! queries → baselines, exercised through the umbrella crate exactly as
+//! a downstream user would.
+
+use smartstore_repro::bptree::Dbms;
+use smartstore_repro::rtree::{bulk::str_bulk_load, Rect, RTreeConfig};
+use smartstore_repro::smartstore::routing::RouteMode;
+use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_repro::trace::query_gen::{recall, QueryGenConfig};
+use smartstore_repro::trace::{
+    QueryDistribution, QueryWorkload, TraceKind, WorkloadModel, ATTR_DIMS,
+};
+
+fn build_everything(
+    kind: TraceKind,
+    n_files: usize,
+    n_units: usize,
+    seed: u64,
+) -> (
+    smartstore_repro::trace::MetadataPopulation,
+    SmartStoreSystem,
+    Dbms,
+    smartstore_repro::rtree::RTree<u64>,
+) {
+    let pop = WorkloadModel::new(kind).generate(n_files, seed);
+    let sys = SmartStoreSystem::build(pop.files.clone(), n_units, SmartStoreConfig::default(), seed);
+    let mut db = Dbms::new(ATTR_DIMS, 16);
+    for f in &pop.files {
+        db.insert(f.file_id, &f.name, &f.attr_vector());
+    }
+    let items: Vec<(Rect, u64)> = pop
+        .files
+        .iter()
+        .map(|f| (Rect::point(&f.attr_vector()), f.file_id))
+        .collect();
+    let rt = str_bulk_load(ATTR_DIMS, RTreeConfig::new(16, 6), items);
+    (pop, sys, db, rt)
+}
+
+#[test]
+fn three_engines_agree_on_range_answers() {
+    let (pop, mut sys, db, rt) = build_everything(TraceKind::Msn, 2000, 20, 1);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig { n_range: 25, n_topk: 0, n_point: 0, seed: 2, ..Default::default() },
+    );
+    for q in &w.ranges {
+        let mut smart = sys.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids;
+        let (mut dbms, _) = db.range_query(&q.lo, &q.hi);
+        let query_rect = Rect::new(q.lo.clone(), q.hi.clone());
+        let mut rtree: Vec<u64> = rt.range(&query_rect).into_iter().copied().collect();
+        smart.sort_unstable();
+        dbms.sort_unstable();
+        rtree.sort_unstable();
+        assert_eq!(smart, dbms, "SmartStore vs DBMS divergence");
+        assert_eq!(dbms, rtree, "DBMS vs R-tree divergence");
+        let mut ideal = q.ideal.clone();
+        ideal.sort_unstable();
+        assert_eq!(smart, ideal, "engines vs exhaustive ideal");
+    }
+}
+
+#[test]
+fn topk_engines_agree_with_exhaustive_search() {
+    let (pop, mut sys, _db, rt) = build_everything(TraceKind::Eecs, 1500, 15, 3);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig { n_range: 0, n_topk: 20, n_point: 0, k: 8, seed: 4, ..Default::default() },
+    );
+    for q in &w.topks {
+        let smart = sys.topk_query(&q.point, q.k, RouteMode::Offline).file_ids;
+        assert!(recall(&q.ideal, &smart) > 0.99, "SmartStore top-k not exhaustive-exact");
+        let knn: Vec<u64> = rt.knn(&q.point, q.k).iter().map(|&(id, _)| *id).collect();
+        assert!(recall(&q.ideal, &knn) > 0.99, "R-tree k-NN not exhaustive-exact");
+    }
+}
+
+#[test]
+fn deterministic_build_across_runs() {
+    let (_, sys_a, _, _) = build_everything(TraceKind::Hp, 1200, 12, 99);
+    let (_, sys_b, _, _) = build_everything(TraceKind::Hp, 1200, 12, 99);
+    let files_a: Vec<u64> = sys_a.units().iter().flat_map(|u| u.files().iter().map(|f| f.file_id)).collect();
+    let files_b: Vec<u64> = sys_b.units().iter().flat_map(|u| u.files().iter().map(|f| f.file_id)).collect();
+    assert_eq!(files_a, files_b, "placement must be deterministic under fixed seed");
+    assert_eq!(sys_a.stats().n_groups, sys_b.stats().n_groups);
+}
+
+#[test]
+fn all_trace_kinds_build_and_answer() {
+    for kind in TraceKind::ALL {
+        let (pop, mut sys, _, _) = build_everything(kind, 800, 8, 5);
+        sys.tree().check_invariants().unwrap();
+        let f = &pop.files[17];
+        let out = sys.point_query(&f.name);
+        assert!(
+            out.file_ids.contains(&f.file_id),
+            "{}: fresh system must answer point queries",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn scale_up_preserves_query_semantics() {
+    use smartstore_repro::trace::scale_up;
+    let pop = WorkloadModel::new(TraceKind::Msn).generate(400, 6);
+    let scaled = scale_up(&pop, 4);
+    assert_eq!(scaled.len(), 1600);
+    let mut sys =
+        SmartStoreSystem::build(scaled.files.clone(), 16, SmartStoreConfig::default(), 6);
+    // Every sub-trace copy of one original file is found by name.
+    let orig = &pop.files[42];
+    for sub in 0..4 {
+        let name = format!("st{sub:03}_{}", orig.name);
+        let out = sys.point_query(&name);
+        assert_eq!(out.file_ids.len(), 1, "copy {name} must resolve uniquely");
+    }
+}
+
+#[test]
+fn linalg_supports_the_full_pipeline() {
+    // The SVD substrate digests a real attribute matrix end to end.
+    use smartstore_repro::linalg::{jacobi_svd, Matrix};
+    let pop = WorkloadModel::new(TraceKind::Msn).generate(300, 8);
+    let mut m = Matrix::zeros(ATTR_DIMS, pop.files.len());
+    for (j, f) in pop.files.iter().enumerate() {
+        for (i, v) in f.attr_vector().into_iter().enumerate() {
+            m[(i, j)] = v;
+        }
+    }
+    let svd = jacobi_svd(&m);
+    assert_eq!(svd.sigma.len(), ATTR_DIMS);
+    let err = m.sub(&svd.reconstruct()).frobenius_norm() / m.frobenius_norm();
+    assert!(err < 1e-9, "SVD must reconstruct the attribute matrix, err {err}");
+}
+
+#[test]
+fn bloom_point_queries_never_false_negative_on_fresh_system() {
+    let (pop, mut sys, _, _) = build_everything(TraceKind::Msn, 1000, 10, 9);
+    for f in pop.files.iter().step_by(13) {
+        let out = sys.point_query(&f.name);
+        assert!(
+            out.file_ids.contains(&f.file_id),
+            "fresh Bloom hierarchy cannot produce false negatives"
+        );
+    }
+}
+
+#[test]
+fn workload_distributions_drive_different_query_mixes() {
+    let pop = WorkloadModel::new(TraceKind::Msn).generate(2000, 10);
+    let gen = |dist| {
+        QueryWorkload::generate(
+            &pop,
+            &QueryGenConfig {
+                n_range: 100,
+                n_topk: 0,
+                n_point: 0,
+                distribution: dist,
+                seed: 11,
+                ..Default::default()
+            },
+        )
+    };
+    let zipf_pop: usize =
+        gen(QueryDistribution::Zipf).ranges.iter().map(|q| q.ideal.len()).sum();
+    let unif_pop: usize =
+        gen(QueryDistribution::Uniform).ranges.iter().map(|q| q.ideal.len()).sum();
+    assert!(
+        zipf_pop > unif_pop,
+        "Zipf-centred ranges must hit denser regions ({zipf_pop} vs {unif_pop})"
+    );
+}
