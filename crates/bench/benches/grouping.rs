@@ -12,8 +12,7 @@ fn bench_grouping(c: &mut Criterion) {
     let mut g = c.benchmark_group("lsi_fit");
     for n in [100usize, 400, 1600] {
         let pop = population(TraceKind::Msn, n, 1);
-        let vectors: Vec<Vec<f64>> =
-            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, v| {
             b.iter(|| std::hint::black_box(Lsi::fit_items(v, LsiConfig::default())))
         });
@@ -47,8 +46,7 @@ fn bench_grouping(c: &mut Criterion) {
     g.sample_size(10);
     for n in [1000usize, 4000] {
         let pop = population(TraceKind::Msn, n, 3);
-        let vectors: Vec<Vec<f64>> =
-            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, v| {
             b.iter(|| std::hint::black_box(partition_balanced(v, 40, 3, 7)))
         });

@@ -1,0 +1,171 @@
+//! Persistence benchmark: snapshot write/load throughput, WAL append
+//! rate, and the headline comparison — cold-starting a ≥50k-file
+//! system from disk versus regrouping it from scratch with the full
+//! LSI pipeline (the ISSUE's acceptance scenario).
+//!
+//! Run with `cargo bench -p smartstore-bench --bench persistence`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartstore::versioning::Change;
+use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_bench::fixture::population;
+use smartstore_persist::{snapshot, PersistentStore, SystemPersist as _};
+use smartstore_trace::TraceKind;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Acceptance scale: ≥50k files; trimmed under `--quick`/`--test` so
+/// smoke runs stay fast.
+fn scale() -> (usize, usize, u64) {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    if quick {
+        (2_000, 10, 100)
+    } else {
+        (50_000, 60, 1_000)
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "smartstore_persist_bench_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn journaled_churn(sys: &mut SmartStoreSystem, store: &mut PersistentStore, n: u64) {
+    let base = sys.current_files();
+    for i in 0..n {
+        let change = match i % 3 {
+            0 => {
+                let mut f = base[(i as usize * 37) % base.len()].clone();
+                f.file_id = 50_000_000 + i;
+                f.name = format!("churn_{i}");
+                Change::Insert(f)
+            }
+            1 => Change::Delete(base[(i as usize * 11) % base.len()].file_id),
+            _ => {
+                let mut f = base[(i as usize * 13) % base.len()].clone();
+                f.size = f.size.wrapping_mul(2).max(1);
+                Change::Modify(f)
+            }
+        };
+        sys.apply_journaled(store, change).unwrap();
+    }
+    store.sync().unwrap();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let (n_files, n_units, n_changes) = scale();
+    println!("== persistence benchmark: {n_files} files, {n_units} units, {n_changes} journaled changes ==");
+
+    // Build once (expensive at 50k) and time it — this is the "full
+    // regroup" cost a restart would pay without persistence.
+    let pop = population(TraceKind::Msn, n_files, 7);
+    let t0 = Instant::now();
+    let mut sys =
+        SmartStoreSystem::build(pop.files.clone(), n_units, SmartStoreConfig::default(), 7);
+    let rebuild_time = t0.elapsed();
+    println!("full regroup (LSI build): {rebuild_time:?}");
+
+    // Seed the store and journal the churn.
+    let dir = bench_dir("main");
+    let (mut store, stats) = sys.save_snapshot(&dir).unwrap();
+    println!(
+        "snapshot: {} units / {} files / {} tree nodes / {:.1} MiB",
+        stats.n_units,
+        stats.n_files,
+        stats.n_nodes,
+        stats.bytes as f64 / (1024.0 * 1024.0)
+    );
+    let t0 = Instant::now();
+    journaled_churn(&mut sys, &mut store, n_changes);
+    let churn_time = t0.elapsed();
+    let rate = n_changes as f64 / churn_time.as_secs_f64();
+    println!(
+        "WAL append: {n_changes} journaled changes in {churn_time:?} ({rate:.0} changes/s, {} bytes)",
+        store.wal_bytes()
+    );
+
+    // Headline: cold start from disk vs. regroup from scratch.
+    let t0 = Instant::now();
+    let (reopened, _, report) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+    let cold_start = t0.elapsed();
+    println!(
+        "cold start (snapshot + {} WAL frames): {cold_start:?}  —  {:.1}× faster than regroup",
+        report.replayed_frames,
+        rebuild_time.as_secs_f64() / cold_start.as_secs_f64().max(1e-9)
+    );
+    assert_eq!(reopened.units().len(), sys.units().len());
+    drop(reopened);
+    drop(store);
+
+    // Criterion micro-benchmarks on the same state.
+    let parts = sys.to_parts();
+    let mut g = c.benchmark_group("persistence");
+    g.sample_size(10);
+    g.bench_function("snapshot_encode", |b| {
+        b.iter(|| {
+            std::hint::black_box(snapshot::encode_snapshot(&parts))
+                .1
+                .bytes
+        })
+    });
+    let (bytes, _) = snapshot::encode_snapshot(&parts);
+    g.bench_function("snapshot_decode", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                snapshot::decode_snapshot(&bytes, std::path::Path::new("mem")).unwrap(),
+            )
+            .units
+            .len()
+        })
+    });
+    g.bench_function("snapshot_write_fsync", |b| {
+        let d = bench_dir("write");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            smartstore_persist::write_snapshot(&parts, &d.join(format!("s{i}.snap"))).unwrap()
+        })
+    });
+    g.bench_function("open_from_dir_cold_start", |b| {
+        b.iter(|| {
+            std::hint::black_box(SmartStoreSystem::open_from_dir(&dir).unwrap())
+                .0
+                .units()
+                .len()
+        })
+    });
+    g.bench_function("wal_append_sync_batch64", |b| {
+        let d = bench_dir("wal");
+        let (mut s2, _) = sys.save_snapshot(&d).unwrap();
+        let change = Change::Delete(123_456_789);
+        b.iter(|| s2.append(0, &change).unwrap())
+    });
+    g.finish();
+
+    // Rebuild comparison as a criterion entry too (quick scale only —
+    // at 50k a single build already ran above).
+    if n_files <= 5_000 {
+        let mut g = c.benchmark_group("rebuild");
+        g.sample_size(10);
+        g.bench_function("full_regroup", |b| {
+            b.iter(|| {
+                SmartStoreSystem::build(pop.files.clone(), n_units, SmartStoreConfig::default(), 7)
+                    .units()
+                    .len()
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_persistence
+}
+criterion_main!(benches);

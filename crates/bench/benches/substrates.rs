@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartstore_bloom::{md5::md5, BloomFilter};
 use smartstore_bptree::BPlusTree;
 use smartstore_linalg::{jacobi_svd, Matrix};
-use smartstore_rtree::{Rect, RTree, RTreeConfig};
+use smartstore_rtree::{RTree, RTreeConfig, Rect};
 
 fn scattered(n: usize, dim: usize) -> Vec<Vec<f64>> {
     (0..n)

@@ -13,7 +13,7 @@
 //! ([`crate::sched`]), which serializes their work on a single queue.
 
 use smartstore_bptree::Dbms;
-use smartstore_rtree::{bulk::str_bulk_load, Rect, RTree, RTreeConfig};
+use smartstore_rtree::{bulk::str_bulk_load, RTree, RTreeConfig, Rect};
 use smartstore_simnet::CostModel;
 use smartstore_trace::{FileMetadata, ATTR_DIMS};
 
@@ -60,7 +60,11 @@ impl DbmsBaseline {
             let p: String = f.name.chars().take(6).collect();
             *prefix_runs.entry(p).or_insert(0) += 1;
         }
-        Self { db, cost: CostModel::default(), prefix_runs }
+        Self {
+            db,
+            cost: CostModel::default(),
+            prefix_runs,
+        }
     }
 
     /// Point query by filename: B+-tree descent plus a scan of the
@@ -76,13 +80,19 @@ impl DbmsBaseline {
     /// attribute" — the candidate volume is what hurts.
     pub fn range(&self, lo: &[f64], hi: &[f64]) -> (Vec<u64>, BaselineCost) {
         let (ids, s) = self.db.range_query(lo, hi);
-        (ids, cost_from_work(s.nodes_touched, s.candidates, &self.cost))
+        (
+            ids,
+            cost_from_work(s.nodes_touched, s.candidates, &self.cost),
+        )
     }
 
     /// Top-k query via expanding window probes.
     pub fn topk(&self, point: &[f64], k: usize) -> (Vec<u64>, BaselineCost) {
         let (ids, s) = self.db.topk_query(point, k);
-        (ids, cost_from_work(s.nodes_touched, s.candidates, &self.cost))
+        (
+            ids,
+            cost_from_work(s.nodes_touched, s.candidates, &self.cost),
+        )
     }
 
     /// Total index bytes (one B+-tree per attribute + filename index).
@@ -110,13 +120,22 @@ impl RTreeBaseline {
             .iter()
             .map(|f| (Rect::point(&f.attr_vector()), f.file_id))
             .collect();
-        let tree = str_bulk_load(ATTR_DIMS, RTreeConfig { max_entries: 16, min_entries: 6 }, items);
-        let mut names: Vec<(String, u64)> = files
-            .iter()
-            .map(|f| (f.name.clone(), f.file_id))
-            .collect();
+        let tree = str_bulk_load(
+            ATTR_DIMS,
+            RTreeConfig {
+                max_entries: 16,
+                min_entries: 6,
+            },
+            items,
+        );
+        let mut names: Vec<(String, u64)> =
+            files.iter().map(|f| (f.name.clone(), f.file_id)).collect();
         names.sort();
-        Self { tree, names, cost: CostModel::default() }
+        Self {
+            tree,
+            names,
+            cost: CostModel::default(),
+        }
     }
 
     /// Point query: binary search over the name table; charged one
@@ -177,8 +196,16 @@ mod tests {
         let db = DbmsBaseline::build(&p.files);
         let rt = RTreeBaseline::build(&p.files);
         let (lo_b, hi_b) = p.attr_bounds();
-        let lo: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.3).collect();
-        let hi: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.7).collect();
+        let lo: Vec<f64> = lo_b
+            .iter()
+            .zip(&hi_b)
+            .map(|(&l, &h)| l + (h - l) * 0.3)
+            .collect();
+        let hi: Vec<f64> = lo_b
+            .iter()
+            .zip(&hi_b)
+            .map(|(&l, &h)| l + (h - l) * 0.7)
+            .collect();
         let (mut a, _) = db.range(&lo, &hi);
         let (mut b, _) = rt.range(&lo, &hi);
         a.sort_unstable();
@@ -207,7 +234,10 @@ mod tests {
         let (a, _) = db.topk(&q, 8);
         let (b, _) = rt.topk(&q, 8);
         let overlap = a.iter().filter(|x| b.contains(x)).count();
-        assert!(overlap >= 7, "exact top-k engines overlap {overlap}/8 (ties allowed)");
+        assert!(
+            overlap >= 7,
+            "exact top-k engines overlap {overlap}/8 (ties allowed)"
+        );
     }
 
     #[test]
@@ -227,8 +257,16 @@ mod tests {
         let db = DbmsBaseline::build(&p.files);
         let rt = RTreeBaseline::build(&p.files);
         let (lo_b, hi_b) = p.attr_bounds();
-        let lo: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.4).collect();
-        let hi: Vec<f64> = lo_b.iter().zip(&hi_b).map(|(&l, &h)| l + (h - l) * 0.6).collect();
+        let lo: Vec<f64> = lo_b
+            .iter()
+            .zip(&hi_b)
+            .map(|(&l, &h)| l + (h - l) * 0.4)
+            .collect();
+        let hi: Vec<f64> = lo_b
+            .iter()
+            .zip(&hi_b)
+            .map(|(&l, &h)| l + (h - l) * 0.6)
+            .collect();
         let (_, dc) = db.range(&lo, &hi);
         let (_, rc) = rt.range(&lo, &hi);
         assert!(

@@ -47,9 +47,26 @@ fn run_one(name: &str) -> Option<Vec<Report>> {
 }
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "ablation-grouping", "ablation-autoconfig",
-    "ablation-bloom", "ablation-replica", "ext-load", "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablation-grouping",
+    "ablation-autoconfig",
+    "ablation-bloom",
+    "ablation-replica",
+    "ext-load",
+    "all",
 ];
 
 fn main() {

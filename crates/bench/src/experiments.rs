@@ -56,7 +56,11 @@ pub fn tables123() -> Vec<Report> {
                     r.row(&[name.to_string(), fmt(o), fmt(v)]);
                 }
             };
-            push("requests (million)", s.original.requests_m, s.scaled.requests_m);
+            push(
+                "requests (million)",
+                s.original.requests_m,
+                s.scaled.requests_m,
+            );
             push(
                 "active users",
                 s.original.active_users.map(|x| x as f64),
@@ -67,14 +71,34 @@ pub fn tables123() -> Vec<Report> {
                 s.original.user_accounts.map(|x| x as f64),
                 s.scaled.user_accounts.map(|x| x as f64),
             );
-            push("active files (million)", s.original.active_files_m, s.scaled.active_files_m);
-            push("total files (million)", s.original.total_files_m, s.scaled.total_files_m);
+            push(
+                "active files (million)",
+                s.original.active_files_m,
+                s.scaled.active_files_m,
+            );
+            push(
+                "total files (million)",
+                s.original.total_files_m,
+                s.scaled.total_files_m,
+            );
             push("total READ (million)", s.original.reads_m, s.scaled.reads_m);
-            push("total WRITE (million)", s.original.writes_m, s.scaled.writes_m);
+            push(
+                "total WRITE (million)",
+                s.original.writes_m,
+                s.scaled.writes_m,
+            );
             push("READ size (GB)", s.original.read_gb, s.scaled.read_gb);
             push("WRITE size (GB)", s.original.write_gb, s.scaled.write_gb);
-            push("duration (hours)", s.original.duration_hours, s.scaled.duration_hours);
-            push("total ops/IO (million)", s.original.total_ops_m, s.scaled.total_ops_m);
+            push(
+                "duration (hours)",
+                s.original.duration_hours,
+                s.scaled.duration_hours,
+            );
+            push(
+                "total ops/IO (million)",
+                s.original.total_ops_m,
+                s.scaled.total_ops_m,
+            );
             r
         })
         .collect()
@@ -107,11 +131,32 @@ pub fn table4() -> Report {
             let w = workload(&pop, QueryDistribution::Zipf, Q, 7 + tif as u64);
 
             let (d, t, s) = batch_point(&db, &rt, &mut sys, &w, &cost, N_UNITS);
-            r.row(&["point".into(), kind.name().to_string(), tif.to_string(), ms(d), ms(t), ms(s)]);
+            r.row(&[
+                "point".into(),
+                kind.name().to_string(),
+                tif.to_string(),
+                ms(d),
+                ms(t),
+                ms(s),
+            ]);
             let (d, t, s) = batch_range(&db, &rt, &mut sys, &w, &cost, N_UNITS);
-            r.row(&["range".into(), kind.name().to_string(), tif.to_string(), ms(d), ms(t), ms(s)]);
+            r.row(&[
+                "range".into(),
+                kind.name().to_string(),
+                tif.to_string(),
+                ms(d),
+                ms(t),
+                ms(s),
+            ]);
             let (d, t, s) = batch_topk(&db, &rt, &mut sys, &w, &cost, N_UNITS);
-            r.row(&["top-k".into(), kind.name().to_string(), tif.to_string(), ms(d), ms(t), ms(s)]);
+            r.row(&[
+                "top-k".into(),
+                kind.name().to_string(),
+                tif.to_string(),
+                ms(d),
+                ms(t),
+                ms(s),
+            ]);
         }
     }
     r.note(format!(
@@ -125,7 +170,11 @@ pub fn table4() -> Report {
 fn baseline_jobs(costs: &[crate::baselines::BaselineCost]) -> Vec<Job> {
     costs
         .iter()
-        .map(|c| Job { server: 0, service_ns: c.service_ns, wire_ns: c.latency_ns - c.service_ns })
+        .map(|c| Job {
+            server: 0,
+            service_ns: c.service_ns,
+            wire_ns: c.latency_ns - c.service_ns,
+        })
         .collect()
 }
 
@@ -343,7 +392,10 @@ fn recall_run(
     // Lazy replica refresh is disabled here so the experiment isolates
     // index staleness: the contrast under study (Tables 5-6, Fig. 10)
     // is "stale replicas + versioning" vs "stale replicas alone".
-    let cfg = SmartStoreConfig { lazy_update_threshold: f64::INFINITY, ..Default::default() };
+    let cfg = SmartStoreConfig {
+        lazy_update_threshold: f64::INFINITY,
+        ..Default::default()
+    };
     let mut sys = SmartStoreSystem::build(pop.files.clone(), n_units, cfg, seed);
     sys.set_versioning(versioning);
     // Mutation stream: every (1/f)-th file is rewritten to a fresh
@@ -376,7 +428,10 @@ fn recall_run(
             idx += step.max(1);
         }
     }
-    let scratch = MetadataPopulation { files: current, config: pop.config.clone() };
+    let scratch = MetadataPopulation {
+        files: current,
+        config: pop.config.clone(),
+    };
     let w = QueryWorkload::generate(
         &scratch,
         &QueryGenConfig {
@@ -441,10 +496,13 @@ pub fn fig11() -> Report {
     for n_units in [20usize, 40, 60, 80, 100] {
         let pop = population(TraceKind::Msn, n_units * 60, 9);
         let sys = system(&pop, n_units, 9);
-        let vectors: Vec<Vec<f64>> =
-            sys.units().iter().map(|u| u.centroid().to_vec()).collect();
+        let vectors: Vec<Vec<f64>> = sys.units().iter().map(|u| u.centroid().to_vec()).collect();
         let (eps, _) = optimal_threshold(&vectors, 3, 10, 0.5);
-        r.row(&[n_units.to_string(), format!("{eps:.2}"), "system scale".into()]);
+        r.row(&[
+            n_units.to_string(),
+            format!("{eps:.2}"),
+            "system scale".into(),
+        ]);
     }
     // (b) per tree level at 60 units.
     let pop = population(TraceKind::Msn, 3600, 9);
@@ -455,12 +513,20 @@ pub fn fig11() -> Report {
         if nodes.len() < 2 {
             continue;
         }
-        let vectors: Vec<Vec<f64>> =
-            nodes.iter().map(|&n| tree.node(n).centroid.clone()).collect();
+        let vectors: Vec<Vec<f64>> = nodes
+            .iter()
+            .map(|&n| tree.node(n).centroid.clone())
+            .collect();
         let (eps, _) = optimal_threshold(&vectors, 3, 10, 0.5);
-        r.row(&[format!("level {level}"), format!("{eps:.2}"), "tree level (60 nodes)".into()]);
+        r.row(&[
+            format!("level {level}"),
+            format!("{eps:.2}"),
+            "tree level (60 nodes)".into(),
+        ]);
     }
-    r.note("paper shape: threshold varies smoothly with scale; deeper levels need lower thresholds");
+    r.note(
+        "paper shape: threshold varies smoothly with scale; deeper levels need lower thresholds",
+    );
     r
 }
 
@@ -471,7 +537,13 @@ pub fn fig12() -> Report {
     let mut r = Report::new(
         "fig12",
         "Recall vs system scale (%)",
-        &["units", "range (Gauss)", "top-8 (Gauss)", "range (Zipf)", "top-8 (Zipf)"],
+        &[
+            "units",
+            "range (Gauss)",
+            "top-8 (Gauss)",
+            "range (Zipf)",
+            "top-8 (Zipf)",
+        ],
     );
     for n_units in [20usize, 40, 60, 80, 100] {
         let pop = population(TraceKind::Msn, n_units * 50, 10);
@@ -489,7 +561,13 @@ pub fn fig13() -> Report {
     let mut r = Report::new(
         "fig13",
         "On-line vs off-line (Zipf complex queries)",
-        &["units", "on-line ms", "off-line ms", "on-line msgs", "off-line msgs"],
+        &[
+            "units",
+            "on-line ms",
+            "off-line ms",
+            "on-line msgs",
+            "off-line msgs",
+        ],
     );
     for n_units in [20usize, 40, 60, 80, 100] {
         let pop = population(TraceKind::Msn, n_units * 50, 11);
@@ -523,7 +601,9 @@ pub fn fig13() -> Report {
             format!("{:.1}", off_m as f64 / n as f64),
         ]);
     }
-    r.note("paper shape: off-line cuts messages sharply and latency moderately; gap widens with scale");
+    r.note(
+        "paper shape: off-line cuts messages sharply and latency moderately; gap widens with scale",
+    );
     r
 }
 
@@ -538,8 +618,10 @@ pub fn fig14() -> Report {
     for kind in [TraceKind::Msn, TraceKind::Eecs] {
         let pop = population(kind, 3000, 12);
         for ratio in [1u32, 2, 4, 8, 16, 32] {
-            let mut cfg =
-                SmartStoreConfig { version_ratio: ratio, ..Default::default() };
+            let mut cfg = SmartStoreConfig {
+                version_ratio: ratio,
+                ..Default::default()
+            };
             // Disable lazy refresh so all changes stay in chains (pure
             // versioning overhead measurement).
             cfg.lazy_update_threshold = f64::INFINITY;
@@ -557,9 +639,14 @@ pub fn fig14() -> Report {
             let w = workload(&pop, QueryDistribution::Zipf, 40, 12);
             let (mut with_v, mut without_v) = (0u64, 0u64);
             for q in &w.ranges {
-                with_v += sys.range_query(&q.lo, &q.hi, RouteMode::Offline).cost.latency_ns;
-                without_v +=
-                    sys_nv.range_query(&q.lo, &q.hi, RouteMode::Offline).cost.latency_ns;
+                with_v += sys
+                    .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                    .cost
+                    .latency_ns;
+                without_v += sys_nv
+                    .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                    .cost
+                    .latency_ns;
             }
             let extra = (with_v as f64 - without_v as f64) / without_v as f64;
             r.row(&[
@@ -577,11 +664,23 @@ pub fn fig14() -> Report {
 /// Tables 5–6: recall of range and top-8 queries with and without
 /// versioning as the query count grows, for the MSN or EECS trace.
 pub fn table56(kind: TraceKind) -> Report {
-    let id = if kind == TraceKind::Msn { "table5" } else { "table6" };
+    let id = if kind == TraceKind::Msn {
+        "table5"
+    } else {
+        "table6"
+    };
     let mut r = Report::new(
         id,
         &format!("Recall +/- versioning, {} trace (%)", kind.name()),
-        &["distribution", "kind", "1000", "2000", "3000", "4000", "5000"],
+        &[
+            "distribution",
+            "kind",
+            "1000",
+            "2000",
+            "3000",
+            "4000",
+            "5000",
+        ],
     );
     let pop = population(kind, 3000, 13);
     for dist in QueryDistribution::ALL {
@@ -619,12 +718,18 @@ pub fn ablation_grouping() -> Report {
     let mut r = Report::new(
         "ablation-grouping",
         "Grouping quality: 0-hop %, units probed/query",
-        &["placement", "0-hop %", "mean units probed", "mean latency ms"],
+        &[
+            "placement",
+            "0-hop %",
+            "mean units probed",
+            "mean latency ms",
+        ],
     );
     let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
     let mut rng = StdRng::seed_from_u64(15);
-    let random: Vec<usize> =
-        (0..pop.files.len()).map(|_| rng.gen_range(0..N_UNITS)).collect();
+    let random: Vec<usize> = (0..pop.files.len())
+        .map(|_| rng.gen_range(0..N_UNITS))
+        .collect();
     let raw = partition_balanced_raw(&vectors, N_UNITS, 15);
     let placements: Vec<(&str, Option<Vec<usize>>)> = vec![
         ("LSI (SmartStore)", None),
@@ -633,12 +738,9 @@ pub fn ablation_grouping() -> Report {
     ];
     for (name, assignment) in placements {
         let mut sys = match assignment {
-            None => SmartStoreSystem::build(
-                pop.files.clone(),
-                N_UNITS,
-                SmartStoreConfig::default(),
-                15,
-            ),
+            None => {
+                SmartStoreSystem::build(pop.files.clone(), N_UNITS, SmartStoreConfig::default(), 15)
+            }
             Some(a) => SmartStoreSystem::build_with_assignment(
                 pop.files.clone(),
                 &a,
@@ -690,14 +792,23 @@ pub fn ablation_autoconfig() -> Report {
         ],
     ];
     // Keep all candidates for the ablation.
-    let cfg = SmartStoreConfig { autoconfig_threshold: -1.0, ..Default::default() };
+    let cfg = SmartStoreConfig {
+        autoconfig_threshold: -1.0,
+        ..Default::default()
+    };
     let ac = AutoConfig::configure(sys.units(), &candidates, &cfg);
     let (lo_b, hi_b) = pop.attr_bounds();
 
     let mut r = Report::new(
         "ablation-autoconfig",
         "Subset queries: dedicated subset tree vs full-D tree",
-        &["query dims", "subset-tree nodes", "full-tree nodes", "subset units", "full units"],
+        &[
+            "query dims",
+            "subset-tree nodes",
+            "full-tree nodes",
+            "subset units",
+            "full units",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(18);
     for dims in &candidates {
@@ -749,10 +860,18 @@ pub fn ablation_bloom() -> Report {
     let mut r = Report::new(
         "ablation-bloom",
         "Bloom geometry: ghost-query pruning vs memory",
-        &["bits", "mean units probed (ghost)", "hit rate %", "bloom KB/unit"],
+        &[
+            "bits",
+            "mean units probed (ghost)",
+            "hit rate %",
+            "bloom KB/unit",
+        ],
     );
     for bits in [256usize, 512, 1024, 2048, 4096] {
-        let cfg = SmartStoreConfig { bloom_bits: bits, ..Default::default() };
+        let cfg = SmartStoreConfig {
+            bloom_bits: bits,
+            ..Default::default()
+        };
         let mut sys = SmartStoreSystem::build(pop.files.clone(), N_UNITS, cfg, 19);
         // Ghost probes: absent names.
         let mut probed = 0usize;
@@ -776,7 +895,9 @@ pub fn ablation_bloom() -> Report {
             format!("{:.2}", bits as f64 / 8.0 / 1024.0),
         ]);
     }
-    r.note("expected: larger filters prune ghosts harder at linear memory cost; hit rate stays high");
+    r.note(
+        "expected: larger filters prune ghosts harder at linear memory cost; hit rate stays high",
+    );
     r
 }
 
@@ -826,7 +947,6 @@ pub fn ablation_replica() -> Report {
     r.note("replicating first-level vectors is the sweet spot: one targeted hop, no flood");
     r
 }
-
 
 /// Extension experiment (not in the paper): latency vs offered load,
 /// measured on the event-driven cluster simulator with per-unit

@@ -16,7 +16,12 @@ pub fn population(kind: TraceKind, n_files: usize, seed: u64) -> MetadataPopulat
 
 /// Builds a SmartStore system over a population.
 pub fn system(pop: &MetadataPopulation, n_units: usize, seed: u64) -> SmartStoreSystem {
-    SmartStoreSystem::build(pop.files.clone(), n_units, SmartStoreConfig::default(), seed)
+    SmartStoreSystem::build(
+        pop.files.clone(),
+        n_units,
+        SmartStoreConfig::default(),
+        seed,
+    )
 }
 
 /// Builds a query workload with the paper's defaults (k = 8).

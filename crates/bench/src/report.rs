@@ -1,11 +1,14 @@
 //! Experiment output: aligned text tables plus JSON artifacts.
+//!
+//! JSON is emitted by hand (string/array escaping only — the report
+//! shape is flat), keeping the harness free of external serialization
+//! dependencies.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// One experiment's printable + serializable result.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id, e.g. "table4" or "fig13".
     pub id: String,
@@ -33,7 +36,8 @@ impl Report {
 
     /// Appends a row.
     pub fn row<S: ToString>(&mut self, cells: &[S]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends a note line.
@@ -62,7 +66,11 @@ impl Report {
             .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -77,12 +85,60 @@ impl Report {
         out
     }
 
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(out, "  \"columns\": {},", json_string_array(&self.columns));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}", json_string_array(row));
+        }
+        out.push_str(if self.rows.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(out, "  \"notes\": {}", json_string_array(&self.notes));
+        out.push_str("}\n");
+        out
+    }
+
     /// Writes the report as JSON under `dir/<id>.json`.
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("report serializes"))
+        std::fs::write(path, self.to_json())
     }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a flat string array on a single line.
+fn json_string_array<S: AsRef<str>>(items: &[S]) -> String {
+    let body: Vec<String> = items.iter().map(|s| json_string(s.as_ref())).collect();
+    format!("[{}]", body.join(", "))
 }
 
 /// Formats nanoseconds as milliseconds with 3 decimals.

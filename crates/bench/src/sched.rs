@@ -66,7 +66,11 @@ mod tests {
     #[test]
     fn single_server_serializes() {
         let jobs: Vec<Job> = (0..4)
-            .map(|_| Job { server: 0, service_ns: 100, wire_ns: 10 })
+            .map(|_| Job {
+                server: 0,
+                service_ns: 100,
+                wire_ns: 10,
+            })
             .collect();
         let out = run_batch(&jobs, 1);
         // Completions at 110, 210, 310, 410.
@@ -77,10 +81,18 @@ mod tests {
     #[test]
     fn spreading_over_servers_cuts_latency() {
         let central: Vec<Job> = (0..60)
-            .map(|_| Job { server: 0, service_ns: 1000, wire_ns: 0 })
+            .map(|_| Job {
+                server: 0,
+                service_ns: 1000,
+                wire_ns: 0,
+            })
             .collect();
         let spread: Vec<Job> = (0..60)
-            .map(|i| Job { server: i % 60, service_ns: 1000, wire_ns: 0 })
+            .map(|i| Job {
+                server: i % 60,
+                service_ns: 1000,
+                wire_ns: 0,
+            })
             .collect();
         let c = run_batch(&central, 60);
         let s = run_batch(&spread, 60);

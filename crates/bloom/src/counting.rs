@@ -26,9 +26,16 @@ impl CountingBloomFilter {
     /// # Panics
     /// If `n_counters` or `n_hashes` is zero.
     pub fn new(n_counters: usize, n_hashes: usize) -> Self {
-        assert!(n_counters > 0, "CountingBloomFilter: need at least one counter");
+        assert!(
+            n_counters > 0,
+            "CountingBloomFilter: need at least one counter"
+        );
         assert!(n_hashes > 0, "CountingBloomFilter: need at least one hash");
-        Self { counters: vec![0; n_counters], n_hashes, inserted: 0 }
+        Self {
+            counters: vec![0; n_counters],
+            n_hashes,
+            inserted: 0,
+        }
     }
 
     /// Number of counters.

@@ -177,6 +177,32 @@ impl BloomFilter {
         self.bits.iter_mut().for_each(|w| *w = 0);
         self.inserted = 0;
     }
+
+    /// The raw 64-bit words backing the bit array (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reassembles a filter from its raw parts (the deserialization
+    /// inverse of [`Self::words`] plus the geometry accessors).
+    ///
+    /// # Panics
+    /// If the geometry is zero or `words` does not match `n_bits`.
+    pub fn from_raw(n_bits: usize, n_hashes: usize, inserted: usize, words: Vec<u64>) -> Self {
+        assert!(n_bits > 0, "BloomFilter: need at least one bit");
+        assert!(n_hashes > 0, "BloomFilter: need at least one hash");
+        assert_eq!(
+            words.len(),
+            n_bits.div_ceil(64),
+            "from_raw: word-count mismatch"
+        );
+        Self {
+            bits: words,
+            n_bits,
+            n_hashes,
+            inserted,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,7 +317,10 @@ mod tests {
         for i in 0..1000 {
             f.insert(format!("k{i}").as_bytes());
         }
-        assert!(f.fill_ratio() > 0.99, "heavily loaded filter should saturate");
+        assert!(
+            f.fill_ratio() > 0.99,
+            "heavily loaded filter should saturate"
+        );
         assert!(f.estimated_fpp() > 0.9);
     }
 }

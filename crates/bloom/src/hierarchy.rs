@@ -34,7 +34,12 @@ impl BloomHierarchy {
     /// Creates an empty hierarchy whose filters all share the given
     /// geometry.
     pub fn new(n_bits: usize, n_hashes: usize) -> Self {
-        Self { nodes: Vec::new(), root: None, n_bits, n_hashes }
+        Self {
+            nodes: Vec::new(),
+            root: None,
+            n_bits,
+            n_hashes,
+        }
     }
 
     /// Adds a leaf summarizing storage unit `unit` with the given keys.
@@ -48,7 +53,11 @@ impl BloomHierarchy {
         for k in keys {
             filter.insert(k);
         }
-        self.nodes.push(HNode { filter, children: Vec::new(), unit: Some(unit) });
+        self.nodes.push(HNode {
+            filter,
+            children: Vec::new(),
+            unit: Some(unit),
+        });
         self.nodes.len() - 1
     }
 
@@ -60,7 +69,11 @@ impl BloomHierarchy {
     pub fn add_internal(&mut self, children: Vec<NodeId>) -> NodeId {
         assert!(!children.is_empty(), "add_internal: no children");
         let filter = BloomFilter::union_all(children.iter().map(|&c| &self.nodes[c].filter));
-        self.nodes.push(HNode { filter, children, unit: None });
+        self.nodes.push(HNode {
+            filter,
+            children,
+            unit: None,
+        });
         self.nodes.len() - 1
     }
 
@@ -166,7 +179,10 @@ mod tests {
             total_probes += p;
         }
         // Brute force would probe all 7 nodes every time = 700.
-        assert!(total_probes < 700, "pruning should cut probes, got {total_probes}");
+        assert!(
+            total_probes < 700,
+            "pruning should cut probes, got {total_probes}"
+        );
     }
 
     #[test]

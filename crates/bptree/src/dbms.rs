@@ -78,7 +78,10 @@ impl Dbms {
         let (vals, touched) = self.name_index.get_with_stats(&name.to_string());
         (
             vals.into_iter().copied().collect(),
-            DbmsStats { nodes_touched: touched, candidates: 0 },
+            DbmsStats {
+                nodes_touched: touched,
+                candidates: 0,
+            },
         )
     }
 
@@ -178,8 +181,7 @@ impl Dbms {
     /// Total B+-tree nodes across all indexes (space-overhead proxy: the
     /// paper's Fig. 7 charges DBMS for one index per attribute).
     pub fn total_nodes(&self) -> usize {
-        self.indexes.iter().map(|t| t.node_count()).sum::<usize>()
-            + self.name_index.node_count()
+        self.indexes.iter().map(|t| t.node_count()).sum::<usize>() + self.name_index.node_count()
     }
 
     /// Approximate resident bytes: nodes × (order keys + order ids).
@@ -244,13 +246,18 @@ mod tests {
         let mut want: Vec<u64> = (0..200u64)
             .filter(|&i| {
                 let a = [(i % 50) as f64, (i / 10) as f64, (i % 7) as f64];
-                a.iter().zip(lo.iter().zip(hi.iter())).all(|(&v, (&l, &h))| l <= v && v <= h)
+                a.iter()
+                    .zip(lo.iter().zip(hi.iter()))
+                    .all(|(&v, (&l, &h))| l <= v && v <= h)
             })
             .collect();
         want.sort_unstable();
         assert_eq!(got, want);
         // The defining baseline behaviour: all three indexes were probed.
-        assert!(stats.candidates > got.len(), "intersection should discard candidates");
+        assert!(
+            stats.candidates > got.len(),
+            "intersection should discard candidates"
+        );
     }
 
     #[test]
@@ -273,7 +280,10 @@ mod tests {
         for id in &got {
             let a = [(id % 50) as f64, (id / 10) as f64, (id % 7) as f64];
             let d: f64 = a.iter().zip(&point).map(|(&x, &q)| (x - q) * (x - q)).sum();
-            assert!(d <= kth_dist + 1e-9, "id {id} at distance {d} not in true top-{k}");
+            assert!(
+                d <= kth_dist + 1e-9,
+                "id {id} at distance {d} not in true top-{k}"
+            );
         }
     }
 

@@ -71,7 +71,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn new(order: usize) -> Self {
         assert!(order >= 3, "BPlusTree: order must be >= 3");
         Self {
-            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: None,
+            }],
             root: 0,
             order,
             len: 0,
@@ -109,7 +113,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn insert(&mut self, key: K, value: V) {
         if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
             let old_root = self.root;
-            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.nodes.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
             self.root = self.nodes.len() - 1;
         }
         self.len += 1;
@@ -158,7 +165,14 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                 let sep = rk[0].clone();
                 let new_next = next.take();
                 *next = Some(new_idx);
-                (sep, Node::Leaf { keys: rk, values: rv, next: new_next })
+                (
+                    sep,
+                    Node::Leaf {
+                        keys: rk,
+                        values: rv,
+                        next: new_next,
+                    },
+                )
             }
             Node::Internal { .. } => unreachable!("split_leaf on internal node"),
         };
@@ -175,7 +189,13 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                 let rk: Vec<K> = keys.split_off(mid + 1);
                 let sep = keys.pop().expect("internal split: non-empty keys");
                 let rc: Vec<usize> = children.split_off(mid + 1);
-                (sep, Node::Internal { keys: rk, children: rc })
+                (
+                    sep,
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                )
             }
             Node::Leaf { .. } => unreachable!("split_internal on leaf"),
         };
@@ -287,7 +307,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         while let Node::Internal { children, .. } = &self.nodes[n] {
             n = children[0];
         }
-        BPlusIter { tree: self, leaf: Some(n), idx: 0 }
+        BPlusIter {
+            tree: self,
+            leaf: Some(n),
+            idx: 0,
+        }
     }
 
     /// Checks ordering and linked-leaf invariants (for tests).
@@ -304,7 +328,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             count += 1;
         }
         if count != self.len {
-            return Err(format!("len mismatch: iter {count} != recorded {}", self.len));
+            return Err(format!(
+                "len mismatch: iter {count} != recorded {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -448,7 +475,10 @@ mod tests {
         assert!(touched_point >= t.height() && touched_point <= t.height() + 1);
         let (res, touched_range) = t.range_with_stats(&0, &9999);
         assert_eq!(res.len(), 10_000);
-        assert!(touched_range > touched_point, "full scan touches many leaves");
+        assert!(
+            touched_range > touched_point,
+            "full scan touches many leaves"
+        );
     }
 
     #[test]

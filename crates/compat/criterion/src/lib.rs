@@ -1,0 +1,259 @@
+//! Workspace-local, dependency-free stand-in for the `criterion` API
+//! subset this repository's benchmarks use.
+//!
+//! The build environment has no crate-registry access, so this crate
+//! provides a minimal wall-clock harness with the same call surface:
+//! `Criterion::default()`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up briefly, then timed over a sample of iterations; the
+//! mean, minimum and maximum per-iteration times are printed. Passing
+//! `--quick` (or running under `cargo test`, which passes `--test`)
+//! caps measurement time so CI stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for parity with criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: one untimed call.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = self.measurement_time;
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{label:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+        mean,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API parity; the shim
+    /// sizes iteration counts from measurement time instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b.samples);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`
+        // style arguments (and criterion itself special-cases `--test`):
+        // keep those runs to a smoke-test budget.
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Self {
+            measurement_time: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(300)
+            },
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target sample count (API parity; see group note).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` at top level.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group: either the criterion long form with
+/// `name` / `config` / `targets`, or the short positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::from_parameter(32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(std::time::Duration::from_millis(2));
+        smoke(&mut c);
+        c.bench_function("top", |b| b.iter(|| black_box(3u32).pow(2)));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,37 @@
+//! Workspace-local, dependency-free stand-in for the `rayon` API subset
+//! this repository uses.
+//!
+//! The build environment has no crate-registry access, so
+//! `into_par_iter()` here simply yields the ordinary sequential
+//! iterator: the call sites keep their shape (and can switch back to
+//! real data parallelism by swapping this shim for the actual `rayon`
+//! in the workspace manifests) while the semantics stay identical —
+//! rayon's parallel `collect` preserves order exactly like the
+//! sequential one.
+
+pub mod prelude {
+    /// Sequential re-interpretation of rayon's `IntoParallelIterator`:
+    /// the "parallel" iterator *is* the standard iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the item iterator (sequential fallback).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_is_order_preserving() {
+        let v: Vec<usize> = (0..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], 198);
+        let w: Vec<(usize, i32)> = vec![5i32, 7, 9].into_par_iter().enumerate().collect();
+        assert_eq!(w, vec![(0, 5), (1, 7), (2, 9)]);
+    }
+}

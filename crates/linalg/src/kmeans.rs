@@ -27,15 +27,15 @@ pub struct KMeansResult {
 /// Uses k-means++ seeding for robust initialization and stops when
 /// assignments are stable or after `max_iter` iterations. `k` is clamped
 /// to `items.len()`; with zero items an empty result is returned.
-pub fn kmeans<R: Rng>(
-    items: &[Vec<f64>],
-    k: usize,
-    max_iter: usize,
-    rng: &mut R,
-) -> KMeansResult {
+pub fn kmeans<R: Rng>(items: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R) -> KMeansResult {
     let n = items.len();
     if n == 0 || k == 0 {
-        return KMeansResult { assignments: vec![], centroids: vec![], inertia: 0.0, iterations: 0 };
+        return KMeansResult {
+            assignments: vec![],
+            centroids: vec![],
+            inertia: 0.0,
+            iterations: 0,
+        };
     }
     let k = k.min(n);
     let dim = items[0].len();
@@ -96,7 +96,12 @@ pub fn kmeans<R: Rng>(
         .enumerate()
         .map(|(i, it)| sq_euclidean(it, &centroids[assignments[i]]))
         .sum();
-    KMeansResult { assignments, centroids, inertia, iterations }
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 fn nearest_centroid(item: &[f64], centroids: &[Vec<f64>]) -> usize {

@@ -35,7 +35,10 @@ pub struct LsiConfig {
 
 impl Default for LsiConfig {
     fn default() -> Self {
-        Self { rank: 3, standardize: true }
+        Self {
+            rank: 3,
+            standardize: true,
+        }
     }
 }
 
@@ -117,7 +120,12 @@ impl Lsi {
                     .collect::<Vec<f64>>()
             })
             .collect();
-        Self { config, scaler, svd, coords }
+        Self {
+            config,
+            scaler,
+            svd,
+            coords,
+        }
     }
 
     /// Convenience: fit from a slice of item vectors (each of length D).
@@ -247,13 +255,16 @@ mod tests {
 
     #[test]
     fn intra_cluster_similarity_exceeds_inter_cluster() {
-        let lsi = Lsi::fit_items(&clustered_items(), LsiConfig { rank: 2, standardize: true });
+        let lsi = Lsi::fit_items(
+            &clustered_items(),
+            LsiConfig {
+                rank: 2,
+                standardize: true,
+            },
+        );
         let intra = lsi.similarity(0, 1);
         let inter = lsi.similarity(0, 3);
-        assert!(
-            intra > inter,
-            "intra {intra} should exceed inter {inter}"
-        );
+        assert!(intra > inter, "intra {intra} should exceed inter {inter}");
         assert!(intra > 0.9);
     }
 
@@ -267,13 +278,22 @@ mod tests {
 
     #[test]
     fn query_routes_to_matching_cluster() {
-        let lsi = Lsi::fit_items(&clustered_items(), LsiConfig { rank: 2, standardize: true });
+        let lsi = Lsi::fit_items(
+            &clustered_items(),
+            LsiConfig {
+                rank: 2,
+                standardize: true,
+            },
+        );
         let q = vec![1.0, 1.0, 0.0, 0.0]; // looks like cluster A (items 0-2)
         let best = lsi.most_similar_item(&q).unwrap();
         assert!(best < 3, "query should route to cluster A, got item {best}");
         let q2 = vec![0.0, 0.0, 1.0, 1.0];
         let best2 = lsi.most_similar_item(&q2).unwrap();
-        assert!(best2 >= 3, "query should route to cluster B, got item {best2}");
+        assert!(
+            best2 >= 3,
+            "query should route to cluster B, got item {best2}"
+        );
     }
 
     #[test]
@@ -289,7 +309,13 @@ mod tests {
 
     #[test]
     fn best_partner_prefers_same_cluster() {
-        let lsi = Lsi::fit_items(&clustered_items(), LsiConfig { rank: 2, standardize: true });
+        let lsi = Lsi::fit_items(
+            &clustered_items(),
+            LsiConfig {
+                rank: 2,
+                standardize: true,
+            },
+        );
         let c = lsi.correlation_matrix();
         let (p, v) = c.best_partner(0).unwrap();
         assert!(p < 3, "partner of item 0 should be in cluster A");
@@ -305,7 +331,13 @@ mod tests {
 
     #[test]
     fn rank_is_capped_by_dimensions() {
-        let lsi = Lsi::fit_items(&clustered_items(), LsiConfig { rank: 99, standardize: false });
+        let lsi = Lsi::fit_items(
+            &clustered_items(),
+            LsiConfig {
+                rank: 99,
+                standardize: false,
+            },
+        );
         assert!(lsi.rank() <= 4);
     }
 
@@ -319,13 +351,25 @@ mod tests {
             vec![1e12, -1.0],
             vec![1e12, -1.1],
         ];
-        let lsi = Lsi::fit_items(&items, LsiConfig { rank: 2, standardize: true });
+        let lsi = Lsi::fit_items(
+            &items,
+            LsiConfig {
+                rank: 2,
+                standardize: true,
+            },
+        );
         assert!(lsi.similarity(0, 1) > lsi.similarity(0, 2));
     }
 
     #[test]
     fn fold_query_length_matches_rank() {
-        let lsi = Lsi::fit_items(&clustered_items(), LsiConfig { rank: 2, standardize: true });
+        let lsi = Lsi::fit_items(
+            &clustered_items(),
+            LsiConfig {
+                rank: 2,
+                standardize: true,
+            },
+        );
         assert_eq!(lsi.fold_query(&[0.5, 0.5, 0.5, 0.5]).len(), lsi.rank());
     }
 }

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n × n`.
@@ -61,7 +65,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a diagonal matrix from the given diagonal entries.
@@ -195,7 +203,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(&a, &b)| a - b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every element by `s` in place.

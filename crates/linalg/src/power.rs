@@ -26,7 +26,10 @@ pub struct SubspaceOptions {
 
 impl Default for SubspaceOptions {
     fn default() -> Self {
-        Self { iterations: 8, oversample: 4 }
+        Self {
+            iterations: 8,
+            oversample: 4,
+        }
     }
 }
 
@@ -37,7 +40,12 @@ impl Default for SubspaceOptions {
 /// values converge geometrically in the iteration count; the tests below
 /// require agreement with the exact Jacobi SVD to within 0.1% on the
 /// retained singular values.
-pub fn subspace_svd<R: Rng>(a: &Matrix, p: usize, opts: SubspaceOptions, rng: &mut R) -> TruncatedSvd {
+pub fn subspace_svd<R: Rng>(
+    a: &Matrix,
+    p: usize,
+    opts: SubspaceOptions,
+    rng: &mut R,
+) -> TruncatedSvd {
     let (m, n) = a.shape();
     assert!(m > 0 && n > 0, "subspace_svd: empty matrix");
     let p = p.min(m.min(n)).max(1);
@@ -157,7 +165,9 @@ mod tests {
     fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         Matrix::from_vec(m, n, (0..m * n).map(|_| next()).collect())
@@ -206,7 +216,13 @@ mod tests {
         let a = random_matrix(8, 200, 9);
         let exact = jacobi_svd(&a);
         let p = 4;
-        let tail: f64 = exact.sigma.iter().skip(p).map(|s| s * s).sum::<f64>().sqrt();
+        let tail: f64 = exact
+            .sigma
+            .iter()
+            .skip(p)
+            .map(|s| s * s)
+            .sum::<f64>()
+            .sqrt();
         let mut rng = StdRng::seed_from_u64(3);
         let approx = subspace_svd(&a, p, SubspaceOptions::default(), &mut rng);
         let err = a.sub(&approx.reconstruct()).frobenius_norm();
@@ -219,8 +235,18 @@ mod tests {
     #[test]
     fn deterministic_given_rng() {
         let a = random_matrix(6, 50, 11);
-        let r1 = subspace_svd(&a, 3, SubspaceOptions::default(), &mut StdRng::seed_from_u64(7));
-        let r2 = subspace_svd(&a, 3, SubspaceOptions::default(), &mut StdRng::seed_from_u64(7));
+        let r1 = subspace_svd(
+            &a,
+            3,
+            SubspaceOptions::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let r2 = subspace_svd(
+            &a,
+            3,
+            SubspaceOptions::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(r1.sigma, r2.sigma);
     }
 

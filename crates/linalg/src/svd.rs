@@ -49,7 +49,11 @@ impl Svd {
                 vt[(r, c)] = self.vt[(r, c)];
             }
         }
-        TruncatedSvd { u, sigma: self.sigma[..p].to_vec(), vt }
+        TruncatedSvd {
+            u,
+            sigma: self.sigma[..p].to_vec(),
+            vt,
+        }
     }
 
     /// Numerical rank: number of singular values above
@@ -130,12 +134,20 @@ impl TruncatedSvd {
 pub fn jacobi_svd(a: &Matrix) -> Svd {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return Svd { u: Matrix::zeros(m, 0), sigma: vec![], vt: Matrix::zeros(0, n) };
+        return Svd {
+            u: Matrix::zeros(m, 0),
+            sigma: vec![],
+            vt: Matrix::zeros(0, n),
+        };
     }
     if m < n {
         // SVD(Aᵀ) = V Σ Uᵀ, so swap factors back.
         let svd_t = jacobi_svd(&a.transpose());
-        return Svd { u: svd_t.vt.transpose(), sigma: svd_t.sigma, vt: svd_t.u.transpose() };
+        return Svd {
+            u: svd_t.vt.transpose(),
+            sigma: svd_t.sigma,
+            vt: svd_t.u.transpose(),
+        };
     }
 
     // Work on a copy: columns of `work` converge to U·Σ.
@@ -191,7 +203,12 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     // Column norms are the singular values.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n)
-        .map(|c| (0..m).map(|r| work[(r, c)] * work[(r, c)]).sum::<f64>().sqrt())
+        .map(|c| {
+            (0..m)
+                .map(|r| work[(r, c)] * work[(r, c)])
+                .sum::<f64>()
+                .sqrt()
+        })
         .collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
@@ -242,7 +259,9 @@ mod tests {
         // Deterministic pseudo-random fill.
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let a = Matrix::from_vec(7, 4, (0..28).map(|_| next()).collect());
@@ -296,11 +315,7 @@ mod tests {
     #[test]
     fn fold_query_recovers_item_coordinates() {
         // For a column a_j of A, Σ⁻¹Uᵀa_j = (row j of V) exactly.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let t = truncated_svd(&a, 2);
         let q = a.col(0);
         let folded = t.fold_query(&q);

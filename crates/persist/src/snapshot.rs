@@ -1,0 +1,307 @@
+//! Point-in-time snapshots of a whole [`SmartStoreSystem`].
+//!
+//! A snapshot file is a header followed by checksummed records (see
+//! [`crate::codec`]), one section per subsystem:
+//!
+//! ```text
+//! magic "SSSNAP\x00" + u16 format version
+//! record HEADER   — counts, flags, maintenance counters
+//! record CONFIG   — SmartStoreConfig
+//! record UNIT ×n  — one per storage unit (files + saved summaries)
+//! record TREE     — semantic R-tree node arena
+//! record MAPPING  — index-unit → storage-unit mapping
+//! record VERSIONS — per-group version chains
+//! record PENDING  — per-group lazy-update counters
+//! record END      — explicit end marker
+//! ```
+//!
+//! Unlike the WAL, a snapshot is all-or-nothing: any corruption —
+//! including a missing END marker from a torn write — fails the load.
+//! Writers therefore go through a temp file + `fsync` + atomic rename,
+//! so a crash mid-write can never install a partial snapshot.
+
+use crate::codec::{self, Dec, Enc, FrameError};
+use crate::error::{PersistError, Result};
+use smartstore::system::SystemParts;
+use smartstore::tree::NodeId;
+use smartstore::versioning::VersionStore;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic prefix of snapshot files (7 bytes + 1 reserved).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SSSNAP\x00\x00";
+
+const SEC_HEADER: u8 = 0x01;
+const SEC_CONFIG: u8 = 0x02;
+const SEC_UNIT: u8 = 0x03;
+const SEC_TREE: u8 = 0x04;
+const SEC_MAPPING: u8 = 0x05;
+const SEC_VERSIONS: u8 = 0x06;
+const SEC_PENDING: u8 = 0x07;
+const SEC_END: u8 = 0xFF;
+
+/// Size/shape statistics of a written snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SnapshotStats {
+    /// Total file bytes.
+    pub bytes: u64,
+    /// Storage units captured.
+    pub n_units: usize,
+    /// File-metadata records captured.
+    pub n_files: usize,
+    /// Semantic R-tree arena nodes captured.
+    pub n_nodes: usize,
+}
+
+/// Serializes `parts` into snapshot bytes.
+pub fn encode_snapshot(parts: &SystemParts) -> (Vec<u8>, SnapshotStats) {
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&codec::FORMAT_VERSION.to_le_bytes());
+
+    let n_files: usize = parts.units.iter().map(|u| u.len()).sum();
+
+    let mut header = Enc::new();
+    header.u8(SEC_HEADER);
+    header.usize(parts.units.len());
+    header.usize(n_files);
+    header.bool(parts.versioning_enabled);
+    header.u64(parts.maintenance_messages);
+    header.u64(parts.reseed);
+    codec::put_record(&mut out, &header.into_bytes());
+
+    let mut cfg = Enc::new();
+    cfg.u8(SEC_CONFIG);
+    codec::put_config(&mut cfg, &parts.cfg);
+    codec::put_record(&mut out, &cfg.into_bytes());
+
+    for u in &parts.units {
+        let mut e = Enc::new();
+        e.u8(SEC_UNIT);
+        codec::put_unit(&mut e, u);
+        codec::put_record(&mut out, &e.into_bytes());
+    }
+
+    let mut tree = Enc::new();
+    tree.u8(SEC_TREE);
+    codec::put_tree(&mut tree, &parts.tree);
+    codec::put_record(&mut out, &tree.into_bytes());
+
+    let mut mapping = Enc::new();
+    mapping.u8(SEC_MAPPING);
+    codec::put_mapping(&mut mapping, &parts.mapping);
+    codec::put_record(&mut out, &mapping.into_bytes());
+
+    let mut versions = Enc::new();
+    versions.u8(SEC_VERSIONS);
+    versions.u32(parts.versions.len() as u32);
+    for (group, vs) in &parts.versions {
+        versions.usize(*group);
+        codec::put_version_store(&mut versions, vs);
+    }
+    codec::put_record(&mut out, &versions.into_bytes());
+
+    let mut pending = Enc::new();
+    pending.u8(SEC_PENDING);
+    pending.u32(parts.pending.len() as u32);
+    for (group, count) in &parts.pending {
+        pending.usize(*group);
+        pending.usize(*count);
+    }
+    codec::put_record(&mut out, &pending.into_bytes());
+
+    codec::put_record(&mut out, &[SEC_END]);
+
+    let stats = SnapshotStats {
+        bytes: out.len() as u64,
+        n_units: parts.units.len(),
+        n_files,
+        n_nodes: parts.tree.nodes.len(),
+    };
+    (out, stats)
+}
+
+/// Writes `parts` to `path` atomically: temp file in the same
+/// directory, `fsync`, rename over the target, `fsync` the directory.
+pub fn write_snapshot(parts: &SystemParts, path: &Path) -> Result<SnapshotStats> {
+    let (bytes, stats) = encode_snapshot(parts);
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Ok(d) = fs::File::open(dir) {
+        // Directory fsync makes the rename durable; best-effort on
+        // filesystems that reject directory syncs.
+        let _ = d.sync_all();
+    }
+    Ok(stats)
+}
+
+fn corrupt(path: &Path, offset: usize, reason: impl Into<String>) -> PersistError {
+    PersistError::Corrupt {
+        path: path.to_path_buf(),
+        offset: offset as u64,
+        reason: reason.into(),
+    }
+}
+
+/// Decodes a snapshot back into [`SystemParts`]. Fails on *any*
+/// corruption — snapshots are written atomically, so a bad snapshot is
+/// a real integrity problem, not an expected crash artifact.
+pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
+    if bytes.len() < 10 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt(path, 0, "bad snapshot magic"));
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version > codec::FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: codec::FORMAT_VERSION,
+        });
+    }
+    let mut pos = 10usize;
+    let next = |pos: &mut usize| -> Result<&[u8]> {
+        match codec::get_record(bytes, *pos) {
+            Ok((payload, np)) => {
+                let at = *pos;
+                *pos = np;
+                if payload.is_empty() {
+                    return Err(corrupt(path, at, "empty record"));
+                }
+                Ok(payload)
+            }
+            Err(FrameError::Eof) => Err(corrupt(path, *pos, "unexpected end of snapshot")),
+            Err(FrameError::Torn { offset, reason }) => Err(corrupt(path, offset, reason)),
+        }
+    };
+    let dec_err = |e: codec::DecodeError| corrupt(path, e.offset, e.reason);
+
+    // HEADER
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_HEADER {
+        return Err(corrupt(path, pos, "expected header section"));
+    }
+    let n_units = d.usize().map_err(dec_err)?;
+    let _n_files = d.usize().map_err(dec_err)?;
+    let versioning_enabled = d.bool().map_err(dec_err)?;
+    let maintenance_messages = d.u64().map_err(dec_err)?;
+    let reseed = d.u64().map_err(dec_err)?;
+    d.finish().map_err(dec_err)?;
+
+    // CONFIG
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_CONFIG {
+        return Err(corrupt(path, pos, "expected config section"));
+    }
+    let cfg = codec::get_config(&mut d).map_err(dec_err)?;
+    d.finish().map_err(dec_err)?;
+
+    // UNITS
+    let mut units = Vec::with_capacity(n_units.min(1 << 20));
+    for _ in 0..n_units {
+        let payload = next(&mut pos)?;
+        let mut d = Dec::new(payload);
+        if d.u8().map_err(dec_err)? != SEC_UNIT {
+            return Err(corrupt(path, pos, "expected unit section"));
+        }
+        units.push(codec::get_unit(&mut d).map_err(dec_err)?);
+        d.finish().map_err(dec_err)?;
+    }
+
+    // TREE
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_TREE {
+        return Err(corrupt(path, pos, "expected tree section"));
+    }
+    let tree = codec::get_tree(&mut d).map_err(dec_err)?;
+    d.finish().map_err(dec_err)?;
+
+    // MAPPING
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_MAPPING {
+        return Err(corrupt(path, pos, "expected mapping section"));
+    }
+    let mapping = codec::get_mapping(&mut d).map_err(dec_err)?;
+    d.finish().map_err(dec_err)?;
+
+    // VERSIONS
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_VERSIONS {
+        return Err(corrupt(path, pos, "expected versions section"));
+    }
+    let n_groups = d.u32().map_err(dec_err)? as usize;
+    let mut versions: Vec<(NodeId, VersionStore)> = Vec::with_capacity(n_groups.min(1 << 20));
+    for _ in 0..n_groups {
+        let g = d.usize().map_err(dec_err)?;
+        let vs = codec::get_version_store(&mut d).map_err(dec_err)?;
+        versions.push((g, vs));
+    }
+    d.finish().map_err(dec_err)?;
+
+    // PENDING
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_PENDING {
+        return Err(corrupt(path, pos, "expected pending section"));
+    }
+    let n_pending = d.u32().map_err(dec_err)? as usize;
+    let mut pending: Vec<(NodeId, usize)> = Vec::with_capacity(n_pending.min(1 << 20));
+    for _ in 0..n_pending {
+        let g = d.usize().map_err(dec_err)?;
+        let c = d.usize().map_err(dec_err)?;
+        pending.push((g, c));
+    }
+    d.finish().map_err(dec_err)?;
+
+    // END
+    let payload = next(&mut pos)?;
+    if payload != [SEC_END] {
+        return Err(corrupt(path, pos, "expected end marker"));
+    }
+    match codec::get_record(bytes, pos) {
+        Err(FrameError::Eof) => {}
+        _ => return Err(corrupt(path, pos, "trailing data after end marker")),
+    }
+
+    // Referential sanity: every leaf's unit id must exist.
+    let unit_ids: std::collections::HashSet<usize> = units.iter().map(|u| u.id).collect();
+    for n in &tree.nodes {
+        if let Some(u) = n.unit {
+            if n.level == 0 && !tree.free.contains(&n.id) && !unit_ids.contains(&u) {
+                return Err(corrupt(
+                    path,
+                    0,
+                    format!("tree leaf references missing unit {u}"),
+                ));
+            }
+        }
+    }
+
+    Ok(SystemParts {
+        cfg,
+        units,
+        tree,
+        mapping,
+        versions,
+        pending,
+        versioning_enabled,
+        maintenance_messages,
+        reseed,
+    })
+}
+
+/// Loads a snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<SystemParts> {
+    let bytes = fs::read(path)?;
+    decode_snapshot(&bytes, path)
+}

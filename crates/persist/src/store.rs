@@ -1,0 +1,362 @@
+//! The durable store: a directory of snapshot generations plus the
+//! active write-ahead log, tied together by a manifest.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! MANIFEST              — checksummed pointer to the current generation
+//! snapshot-<gen>.snap   — point-in-time system image
+//! wal-<gen>.log         — changes applied since snapshot <gen>
+//! ```
+//!
+//! *Crash recovery* (`PersistentStore::open`) = read the manifest, load
+//! its snapshot, replay its WAL (dropping a torn tail), and apply the
+//! surviving changes through [`SmartStoreSystem::apply_change`] — the
+//! same deterministic code path the live system took, so the recovered
+//! state matches the pre-crash state exactly up to the last durable
+//! frame.
+//!
+//! *Compaction* folds a grown WAL into a fresh snapshot generation:
+//! write `snapshot-<gen+1>` (atomic), start `wal-<gen+1>` empty, flip
+//! the manifest (atomic rename), then delete the old generation. A
+//! crash anywhere in that sequence leaves either the old or the new
+//! generation fully intact.
+
+use crate::codec::{self, Dec, Enc, FrameError};
+use crate::error::{PersistError, Result};
+use crate::snapshot::{self, SnapshotStats};
+use crate::wal::{self, WalWriter};
+use smartstore::system::Journal;
+use smartstore::tree::NodeId;
+use smartstore::versioning::Change;
+use smartstore::SmartStoreSystem;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of the manifest file.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"SSMANI\x00\x00";
+
+const MANIFEST: &str = "MANIFEST";
+
+/// What recovery found while opening a store.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Snapshot generation loaded.
+    pub generation: u64,
+    /// Snapshot bytes read.
+    pub snapshot_bytes: u64,
+    /// WAL frames replayed on top of the snapshot.
+    pub replayed_frames: usize,
+    /// Bytes of torn WAL tail dropped (0 for a clean shutdown).
+    pub dropped_tail_bytes: u64,
+}
+
+/// Durability/compaction tunables, normally taken from
+/// [`smartstore::config::PersistConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// `fsync` the WAL every N appends.
+    pub wal_sync_every: usize,
+    /// Compact once the WAL exceeds this many bytes.
+    pub wal_compact_bytes: u64,
+}
+
+impl From<&smartstore::config::PersistConfig> for StoreOptions {
+    fn from(c: &smartstore::config::PersistConfig) -> Self {
+        Self {
+            wal_sync_every: c.wal_sync_every,
+            wal_compact_bytes: c.wal_compact_bytes,
+        }
+    }
+}
+
+/// Handle to an open store directory: owns the active WAL and knows how
+/// to snapshot/compact. Implements [`Journal`] so it can be passed
+/// straight to [`SmartStoreSystem::apply_change_journaled`].
+#[derive(Debug)]
+pub struct PersistentStore {
+    dir: PathBuf,
+    generation: u64,
+    wal: WalWriter,
+    opts: StoreOptions,
+    /// First durability error hit inside the infallible [`Journal`]
+    /// hook; surfaced by [`Self::take_journal_error`] / [`Self::sync`].
+    journal_error: Option<PersistError>,
+    /// Set when an append has failed: the WAL now has a *gap* relative
+    /// to the in-memory system (memory kept mutating while frames were
+    /// dropped), so further appends are refused — replaying a gapped
+    /// log would silently reconstruct an inconsistent state. The only
+    /// way forward is [`Self::compact`], whose fresh full snapshot
+    /// makes the gapped log irrelevant.
+    poisoned: bool,
+}
+
+fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot-{generation:08}.snap"))
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation:08}.log"))
+}
+
+fn write_manifest(dir: &Path, generation: u64) -> Result<()> {
+    let mut payload = Enc::new();
+    payload.u16(codec::FORMAT_VERSION);
+    payload.u64(generation);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MANIFEST_MAGIC);
+    codec::put_record(&mut bytes, &payload.into_bytes());
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(MANIFEST))?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn read_manifest(dir: &Path) -> Result<u64> {
+    let path = dir.join(MANIFEST);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(PersistError::NotFound(dir.to_path_buf()));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |offset: usize, reason: String| PersistError::Corrupt {
+        path: path.clone(),
+        offset: offset as u64,
+        reason,
+    };
+    if bytes.len() < MANIFEST_MAGIC.len() || &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Err(corrupt(0, "bad manifest magic".into()));
+    }
+    let (payload, _) = match codec::get_record(&bytes, MANIFEST_MAGIC.len()) {
+        Ok(r) => r,
+        Err(FrameError::Eof) => return Err(corrupt(bytes.len(), "empty manifest".into())),
+        Err(FrameError::Torn { offset, reason }) => return Err(corrupt(offset, reason)),
+    };
+    let mut d = Dec::new(payload);
+    let version = d.u16().map_err(|e| corrupt(e.offset, e.reason))?;
+    if version > codec::FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: codec::FORMAT_VERSION,
+        });
+    }
+    let generation = d.u64().map_err(|e| corrupt(e.offset, e.reason))?;
+    Ok(generation)
+}
+
+impl PersistentStore {
+    /// Creates a new store at `dir` (made if missing) holding a
+    /// snapshot of `system` as generation 1 with an empty WAL.
+    /// Durability options come from `system.cfg.persist`.
+    pub fn create(dir: &Path, system: &SmartStoreSystem) -> Result<(Self, SnapshotStats)> {
+        fs::create_dir_all(dir)?;
+        let opts = StoreOptions::from(&system.cfg.persist);
+        let generation = 1;
+        let stats = snapshot::write_snapshot(&system.to_parts(), &snapshot_path(dir, generation))?;
+        let wal = WalWriter::create(&wal_path(dir, generation), opts.wal_sync_every)?;
+        write_manifest(dir, generation)?;
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                generation,
+                wal,
+                opts,
+                journal_error: None,
+                poisoned: false,
+            },
+            stats,
+        ))
+    }
+
+    /// Opens an existing store: loads the manifest's snapshot, replays
+    /// the WAL (discarding a torn tail), and returns the recovered
+    /// system together with the store handle positioned to keep
+    /// appending.
+    pub fn open(dir: &Path) -> Result<(SmartStoreSystem, Self, RecoveryReport)> {
+        let generation = read_manifest(dir)?;
+        let snap_path = snapshot_path(dir, generation);
+        let parts = snapshot::load_snapshot(&snap_path)?;
+        let snapshot_bytes = fs::metadata(&snap_path)?.len();
+        let mut system = SmartStoreSystem::from_parts(parts);
+        let opts = StoreOptions::from(&system.cfg.persist);
+
+        let wpath = wal_path(dir, generation);
+        // A missing WAL is recoverable: the snapshot alone is a
+        // consistent state (it can arise when a crash lands between
+        // compaction's manifest flip and the new log's directory entry
+        // reaching disk). Recreate it empty.
+        if !wpath.exists() {
+            WalWriter::create(&wpath, opts.wal_sync_every)?;
+        }
+        let replayed = wal::replay(&wpath)?;
+        let dropped_tail_bytes = match &replayed.torn {
+            Some(_) => fs::metadata(&wpath)?
+                .len()
+                .saturating_sub(replayed.good_bytes),
+            None => 0,
+        };
+        if replayed.torn.is_some() {
+            wal::truncate_to_good(&wpath, &replayed)?;
+        }
+        for frame in &replayed.frames {
+            system.apply_change(frame.change.clone());
+        }
+        let report = RecoveryReport {
+            generation,
+            snapshot_bytes,
+            replayed_frames: replayed.frames.len(),
+            dropped_tail_bytes,
+        };
+        let wal = WalWriter::open_end(&wpath, opts.wal_sync_every, &replayed)?;
+        sweep_orphans(dir, generation);
+        Ok((
+            system,
+            Self {
+                dir: dir.to_path_buf(),
+                generation,
+                wal,
+                opts,
+                journal_error: None,
+                poisoned: false,
+            },
+            report,
+        ))
+    }
+
+    /// Appends one change frame to the WAL (write-ahead: call *before*
+    /// mutating the in-memory system; [`SmartStoreSystem::apply_change_journaled`]
+    /// does exactly that). Refused once the store is poisoned by an
+    /// earlier failed append — see [`Self::is_poisoned`].
+    pub fn append(&mut self, group: NodeId, change: &Change) -> Result<u64> {
+        if self.poisoned {
+            return Err(PersistError::Io(std::io::Error::other(
+                "journal poisoned by an earlier failed append (the log has a gap); \
+                 compact() to re-establish a consistent snapshot",
+            )));
+        }
+        match self.wal.append(group, change) {
+            Ok(seq) => Ok(seq),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Forces all appended frames to stable storage and surfaces any
+    /// error the infallible [`Journal`] hook swallowed.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(e) = self.journal_error.take() {
+            return Err(e);
+        }
+        self.wal.sync()
+    }
+
+    /// True when an append has failed and the WAL can no longer be
+    /// trusted to be gap-free; only [`Self::compact`] clears this.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// True once the WAL has outgrown the compaction threshold.
+    pub fn should_compact(&self) -> bool {
+        self.wal.bytes() > self.opts.wal_compact_bytes
+    }
+
+    /// Folds the WAL into a fresh snapshot of `system` (which must be
+    /// the state that *includes* every journaled change): writes
+    /// generation `g+1`, flips the manifest, deletes generation `g`.
+    /// Because the new snapshot captures the *full* in-memory state,
+    /// this also recovers a poisoned store — the gapped old log becomes
+    /// irrelevant.
+    pub fn compact(&mut self, system: &SmartStoreSystem) -> Result<SnapshotStats> {
+        if !self.poisoned {
+            // A gapped WAL cannot be synced meaningfully; skip straight
+            // to the snapshot that supersedes it.
+            self.wal.sync()?;
+        }
+        let next = self.generation + 1;
+        let stats = snapshot::write_snapshot(&system.to_parts(), &snapshot_path(&self.dir, next))?;
+        let new_wal = WalWriter::create(&wal_path(&self.dir, next), self.opts.wal_sync_every)?;
+        write_manifest(&self.dir, next)?;
+        let old = self.generation;
+        self.wal = new_wal;
+        self.generation = next;
+        self.poisoned = false;
+        self.journal_error = None;
+        // Old generation is unreachable now; removal is best-effort.
+        let _ = fs::remove_file(snapshot_path(&self.dir, old));
+        let _ = fs::remove_file(wal_path(&self.dir, old));
+        Ok(stats)
+    }
+
+    /// Current snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// Frames appended to the current WAL.
+    pub fn wal_frames(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The first error (if any) swallowed by the infallible [`Journal`]
+    /// hook since the last call.
+    pub fn take_journal_error(&mut self) -> Option<PersistError> {
+        self.journal_error.take()
+    }
+}
+
+impl Journal for PersistentStore {
+    fn record(&mut self, group: NodeId, change: &Change) {
+        match self.append(group, change) {
+            Ok(_) => {}
+            // Keep only the first cause; the poison flag set by
+            // `append` guarantees no later frame can paper over the gap.
+            Err(e) if self.journal_error.is_none() => self.journal_error = Some(e),
+            Err(_) => {}
+        }
+    }
+}
+
+/// Best-effort cleanup of artifacts a crashed compaction can leave
+/// behind: `*.tmp` files and snapshot/WAL files of generations other
+/// than the current one. Never touches the manifest.
+fn sweep_orphans(dir: &Path, current: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let keep_snap = snapshot_path(dir, current);
+    let keep_wal = wal_path(dir, current);
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let stale = name.ends_with(".tmp")
+            || (name.starts_with("snapshot-") && name.ends_with(".snap") && p != keep_snap)
+            || (name.starts_with("wal-") && name.ends_with(".log") && p != keep_wal);
+        if stale {
+            let _ = fs::remove_file(&p);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The append-only write-ahead log of metadata changes.
+//!
+//! A WAL file is the 8-byte magic followed by checksummed frames (the
+//! record framing of [`crate::codec`]); each frame's payload is
+//!
+//! ```text
+//! [seq: u64][group: u64][Change]
+//! ```
+//!
+//! `seq` is contiguous from 0 within one log generation and `group`
+//! tags the first-level semantic group the change lands in (§4.4's
+//! version-per-group aggregation carried over to disk).
+//!
+//! Durability follows the group-commit pattern: frames are buffered and
+//! the file is `fsync`ed every `sync_every` appends (1 = sync each
+//! change). A crash can therefore tear the tail of the log — replay
+//! tolerates exactly that: it scans until the first bad frame (torn
+//! header, truncated payload, checksum mismatch, or sequence gap),
+//! reports everything before it, and recovery truncates the bad tail
+//! away before appending resumes.
+
+use crate::codec::{self, Dec, Enc, FrameError};
+use crate::error::{PersistError, Result};
+use smartstore::tree::NodeId;
+use smartstore::versioning::Change;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of WAL files.
+pub const WAL_MAGIC: &[u8; 8] = b"SSWAL\x00\x00\x00";
+
+/// One decoded log entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalFrame {
+    /// Position in the log (contiguous from 0 per generation).
+    pub seq: u64,
+    /// First-level group tag.
+    pub group: NodeId,
+    /// The logged change.
+    pub change: Change,
+}
+
+/// Outcome of scanning a log.
+#[derive(Clone, Debug)]
+pub struct WalReplay {
+    /// Frames that verified, in log order.
+    pub frames: Vec<WalFrame>,
+    /// Bytes of the verified prefix (magic + good frames); the file is
+    /// valid up to exactly this offset.
+    pub good_bytes: u64,
+    /// Present when the scan stopped before end-of-file: the offset and
+    /// reason of the first bad frame. `None` for a clean log.
+    pub torn: Option<(u64, String)>,
+}
+
+/// Scans a WAL file, tolerating a torn tail.
+///
+/// Only I/O failures and a bad *header* are hard errors; any bad frame
+/// simply ends the scan with `torn` set.
+pub fn replay(path: &Path) -> Result<WalReplay> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(PersistError::Corrupt {
+            path: path.to_path_buf(),
+            offset: 0,
+            reason: "bad WAL magic".into(),
+        });
+    }
+    let mut frames = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    let mut torn = None;
+    loop {
+        match codec::get_record(&bytes, pos) {
+            Err(FrameError::Eof) => break,
+            Err(FrameError::Torn { offset, reason }) => {
+                torn = Some((offset as u64, reason));
+                break;
+            }
+            Ok((payload, next)) => {
+                let mut d = Dec::new(payload);
+                let parsed = (|| -> codec::DecResult<WalFrame> {
+                    let seq = d.u64()?;
+                    let group = d.usize()?;
+                    let change = codec::get_change(&mut d)?;
+                    d.finish()?;
+                    Ok(WalFrame { seq, group, change })
+                })();
+                match parsed {
+                    Ok(frame) => {
+                        if frame.seq != frames.len() as u64 {
+                            torn = Some((
+                                pos as u64,
+                                format!(
+                                    "sequence gap: frame {} at log position {}",
+                                    frame.seq,
+                                    frames.len()
+                                ),
+                            ));
+                            break;
+                        }
+                        frames.push(frame);
+                        pos = next;
+                    }
+                    Err(e) => {
+                        torn = Some((pos as u64, format!("bad frame payload: {}", e.reason)));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(WalReplay {
+        frames,
+        good_bytes: pos as u64,
+        torn,
+    })
+}
+
+/// Truncates `path` to the verified prefix reported by `replay` —
+/// the recovery step that drops a torn tail.
+pub fn truncate_to_good(path: &Path, replay: &WalReplay) -> Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(replay.good_bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Appending side of the log.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    /// Next sequence number.
+    next_seq: u64,
+    /// Current file length in bytes.
+    bytes: u64,
+    /// `fsync` after this many appends (1 = every append).
+    sync_every: usize,
+    /// Appends since the last sync.
+    unsynced: usize,
+}
+
+impl WalWriter {
+    /// Creates a fresh (empty) log at `path`, truncating any existing
+    /// file, and makes the header durable immediately.
+    pub fn create(path: &Path, sync_every: usize) -> Result<Self> {
+        assert!(sync_every > 0, "WalWriter: sync_every must be positive");
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            next_seq: 0,
+            bytes: WAL_MAGIC.len() as u64,
+            sync_every,
+            unsynced: 0,
+        })
+    }
+
+    /// Re-opens an existing log for appending after [`replay`] (and,
+    /// when the replay was torn, [`truncate_to_good`]).
+    pub fn open_end(path: &Path, sync_every: usize, replayed: &WalReplay) -> Result<Self> {
+        assert!(sync_every > 0, "WalWriter: sync_every must be positive");
+        let file = OpenOptions::new().write(true).open(path)?;
+        // Position at the end of the verified prefix; everything past
+        // it (if anything) has been truncated away by recovery.
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            next_seq: replayed.frames.len() as u64,
+            bytes: replayed.good_bytes,
+            sync_every,
+            unsynced: 0,
+        })
+    }
+
+    /// Appends one change frame; returns its sequence number. The frame
+    /// is durable once [`Self::sync`] runs (automatically every
+    /// `sync_every` appends).
+    pub fn append(&mut self, group: NodeId, change: &Change) -> Result<u64> {
+        use std::io::Seek as _;
+        let seq = self.next_seq;
+        let mut e = Enc::new();
+        e.u64(seq);
+        e.usize(group);
+        codec::put_change(&mut e, change);
+        let payload = e.into_bytes();
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        codec::put_record(&mut framed, &payload);
+        self.file.seek(std::io::SeekFrom::Start(self.bytes))?;
+        self.file.write_all(&framed)?;
+        self.bytes += framed.len() as u64;
+        self.next_seq += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends not yet made durable.
+    pub fn unsynced(&self) -> usize {
+        self.unsynced
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartstore_trace::FileMetadata;
+
+    fn meta(id: u64) -> FileMetadata {
+        FileMetadata {
+            file_id: id,
+            name: format!("f{id}"),
+            dir: "/w".into(),
+            owner: 1,
+            size: 64 + id,
+            ctime: id as f64,
+            mtime: id as f64,
+            atime: id as f64,
+            read_bytes: 0,
+            write_bytes: 0,
+            access_count: 1,
+            proc_id: 0,
+            truth_cluster: None,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("smartstore_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn changes(n: u64) -> Vec<Change> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => Change::Insert(meta(i)),
+                1 => Change::Modify(meta(i - 1)),
+                _ => Change::Delete(i - 2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        let cs = changes(50);
+        {
+            let mut w = WalWriter::create(&path, 8).unwrap();
+            for (i, c) in cs.iter().enumerate() {
+                let seq = w.append(i % 4, c).unwrap();
+                assert_eq!(seq, i as u64);
+            }
+            w.sync().unwrap();
+        }
+        let r = replay(&path).unwrap();
+        assert!(r.torn.is_none());
+        assert_eq!(r.frames.len(), 50);
+        for (i, f) in r.frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u64);
+            assert_eq!(f.group, i % 4);
+            assert_eq!(f.change, cs[i]);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_log_reusable() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.log");
+        {
+            let mut w = WalWriter::create(&path, 1).unwrap();
+            for (i, c) in changes(10).iter().enumerate() {
+                w.append(i, c).unwrap();
+            }
+        }
+        // Tear the tail: chop 5 bytes off the last frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.frames.len(), 9, "torn last frame dropped");
+        assert!(r.torn.is_some());
+        truncate_to_good(&path, &r).unwrap();
+        // Appending after recovery continues the sequence.
+        let mut w = WalWriter::open_end(&path, 1, &r).unwrap();
+        let seq = w.append(0, &Change::Delete(1234)).unwrap();
+        assert_eq!(seq, 9);
+        drop(w);
+        let r2 = replay(&path).unwrap();
+        assert!(r2.torn.is_none());
+        assert_eq!(r2.frames.len(), 10);
+        assert_eq!(r2.frames[9].change, Change::Delete(1234));
+    }
+
+    #[test]
+    fn bitflip_mid_frame_stops_scan_at_frame_start() {
+        let dir = tmpdir("bitflip");
+        let path = dir.join("wal.log");
+        {
+            let mut w = WalWriter::create(&path, 1).unwrap();
+            for (i, c) in changes(6).iter().enumerate() {
+                w.append(i, c).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.frames.len(), 5);
+        let (offset, reason) = r.torn.unwrap();
+        assert!(reason.contains("checksum"), "reason: {reason}");
+        assert_eq!(offset, r.good_bytes);
+    }
+
+    #[test]
+    fn empty_log_replays_clean() {
+        let dir = tmpdir("empty");
+        let path = dir.join("wal.log");
+        WalWriter::create(&path, 4).unwrap();
+        let r = replay(&path).unwrap();
+        assert!(r.frames.is_empty());
+        assert!(r.torn.is_none());
+        assert_eq!(r.good_bytes, WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn sync_batching_counts() {
+        let dir = tmpdir("sync");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 4).unwrap();
+        let cs = changes(6);
+        for (i, c) in cs.iter().take(3).enumerate() {
+            w.append(i, c).unwrap();
+        }
+        assert_eq!(w.unsynced(), 3, "below batch threshold: not yet synced");
+        w.append(3, &cs[3]).unwrap();
+        assert_eq!(w.unsynced(), 0, "fourth append triggers the batch fsync");
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let dir = tmpdir("garbage");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        assert!(matches!(replay(&path), Err(PersistError::Corrupt { .. })));
+    }
+}

@@ -103,7 +103,11 @@ mod tests {
 
     #[test]
     fn bulk_load_single_item() {
-        let tree = str_bulk_load(2, RTreeConfig::default(), vec![(Rect::point(&[1.0, 2.0]), 7u32)]);
+        let tree = str_bulk_load(
+            2,
+            RTreeConfig::default(),
+            vec![(Rect::point(&[1.0, 2.0]), 7u32)],
+        );
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.range(&Rect::point(&[1.0, 2.0])), vec![&7]);
     }

@@ -23,7 +23,10 @@ impl Rect {
     pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
         assert_eq!(lo.len(), hi.len(), "Rect::new: dimension mismatch");
         for (i, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
-            assert!(!l.is_nan() && !h.is_nan(), "Rect::new: NaN bound in dim {i}");
+            assert!(
+                !l.is_nan() && !h.is_nan(),
+                "Rect::new: NaN bound in dim {i}"
+            );
             assert!(l <= h, "Rect::new: inverted bounds in dim {i}: {l} > {h}");
         }
         Self { lo, hi }
@@ -54,11 +57,7 @@ impl Rect {
 
     /// Hyper-volume (product of side lengths). Zero for degenerate boxes.
     pub fn area(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(&l, &h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l).product()
     }
 
     /// Sum of side lengths (the "margin", used by some split heuristics).

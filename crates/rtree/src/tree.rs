@@ -27,13 +27,19 @@ impl RTreeConfig {
             (2..=max_entries / 2).contains(&min_entries),
             "RTreeConfig: require 2 <= m <= M/2 (m={min_entries}, M={max_entries})"
         );
-        Self { max_entries, min_entries }
+        Self {
+            max_entries,
+            min_entries,
+        }
     }
 }
 
 impl Default for RTreeConfig {
     fn default() -> Self {
-        Self { max_entries: 16, min_entries: 6 }
+        Self {
+            max_entries: 16,
+            min_entries: 6,
+        }
     }
 }
 
@@ -103,7 +109,10 @@ impl<T> RTree<T> {
         Self {
             dim,
             cfg,
-            nodes: vec![Node { level: 0, entries: Vec::new() }],
+            nodes: vec![Node {
+                level: 0,
+                entries: Vec::new(),
+            }],
             free: Vec::new(),
             root,
             len: 0,
@@ -214,9 +223,10 @@ impl<T> RTree<T> {
                 }
             }
             if let Some((new_node, _old_mbr, new_mbr)) = split_of.take() {
-                self.nodes[parent]
-                    .entries
-                    .push(Entry::Child { rect: new_mbr, node: new_node });
+                self.nodes[parent].entries.push(Entry::Child {
+                    rect: new_mbr,
+                    node: new_node,
+                });
                 if self.nodes[parent].entries.len() > self.cfg.max_entries {
                     split_of = Some(self.split(parent));
                 }
@@ -230,8 +240,14 @@ impl<T> RTree<T> {
             let new_root = self.alloc(Node {
                 level,
                 entries: vec![
-                    Entry::Child { rect: old_mbr, node: old_root },
-                    Entry::Child { rect: new_mbr, node: new_node },
+                    Entry::Child {
+                        rect: old_mbr,
+                        node: old_root,
+                    },
+                    Entry::Child {
+                        rect: new_mbr,
+                        node: new_node,
+                    },
                 ],
             });
             self.root = new_root;
@@ -243,21 +259,24 @@ impl<T> RTree<T> {
     fn choose_subtree(&self, node: usize, rect: &Rect) -> usize {
         let mut best: Option<(usize, f64, f64)> = None;
         for e in &self.nodes[node].entries {
-            if let Entry::Child { rect: crect, node: child } = e {
+            if let Entry::Child {
+                rect: crect,
+                node: child,
+            } = e
+            {
                 let enl = crect.enlargement(rect);
                 let area = crect.area();
                 let better = match &best {
                     None => true,
-                    Some((_, be, ba)) => {
-                        enl < *be || (enl == *be && area < *ba)
-                    }
+                    Some((_, be, ba)) => enl < *be || (enl == *be && area < *ba),
                 };
                 if better {
                     best = Some((*child, enl, area));
                 }
             }
         }
-        best.expect("choose_subtree: internal node with no children").0
+        best.expect("choose_subtree: internal node with no children")
+            .0
     }
 
     /// Quadratic split (Guttman §3.5.2). Returns
@@ -352,7 +371,10 @@ impl<T> RTree<T> {
         }
 
         self.nodes[node].entries = group_a;
-        let new_node = self.alloc(Node { level, entries: group_b });
+        let new_node = self.alloc(Node {
+            level,
+            entries: group_b,
+        });
         (new_node, mbr_a, mbr_b)
     }
 
@@ -422,7 +444,10 @@ impl<T> RTree<T> {
         impl Ord for HeapEntry {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Min-heap by distance.
-                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
             }
         }
 
@@ -432,7 +457,10 @@ impl<T> RTree<T> {
         }
         let mut visited = 0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { dist: 0.0, cand: Cand::Node(self.root) });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            cand: Cand::Node(self.root),
+        });
         while let Some(HeapEntry { dist, cand }) = heap.pop() {
             if out.len() == k && dist > out.last().map_or(f64::INFINITY, |&(_, d)| d) {
                 break;
@@ -443,12 +471,14 @@ impl<T> RTree<T> {
                     for (i, e) in self.nodes[n].entries.iter().enumerate() {
                         let d = e.rect().min_sq_dist(point);
                         match e {
-                            Entry::Child { node, .. } => {
-                                heap.push(HeapEntry { dist: d, cand: Cand::Node(*node) })
-                            }
-                            Entry::Item { .. } => {
-                                heap.push(HeapEntry { dist: d, cand: Cand::Item(n, i) })
-                            }
+                            Entry::Child { node, .. } => heap.push(HeapEntry {
+                                dist: d,
+                                cand: Cand::Node(*node),
+                            }),
+                            Entry::Item { .. } => heap.push(HeapEntry {
+                                dist: d,
+                                cand: Cand::Item(n, i),
+                            }),
                         }
                     }
                 }
@@ -500,14 +530,13 @@ impl<T> RTree<T> {
         let mut stack = vec![(self.root, None::<Rect>)];
         while let Some((n, parent_rect)) = stack.pop() {
             let node = &self.nodes[n];
-            if n != self.root
-                && node.entries.len() < self.cfg.min_entries {
-                    return Err(format!(
-                        "node {n} underflow: {} < {}",
-                        node.entries.len(),
-                        self.cfg.min_entries
-                    ));
-                }
+            if n != self.root && node.entries.len() < self.cfg.min_entries {
+                return Err(format!(
+                    "node {n} underflow: {} < {}",
+                    node.entries.len(),
+                    self.cfg.min_entries
+                ));
+            }
             if node.entries.len() > self.cfg.max_entries {
                 return Err(format!(
                     "node {n} overflow: {} > {}",
@@ -541,7 +570,10 @@ impl<T> RTree<T> {
             }
         }
         if seen != self.len {
-            return Err(format!("len mismatch: counted {seen}, recorded {}", self.len));
+            return Err(format!(
+                "len mismatch: counted {seen}, recorded {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -590,7 +622,11 @@ impl<T: PartialEq> RTree<T> {
             }
         } else {
             for e in &n.entries {
-                if let Entry::Child { rect: r, node: child } = e {
+                if let Entry::Child {
+                    rect: r,
+                    node: child,
+                } = e
+                {
                     if r.intersects(rect) {
                         if let Some(found) = self.find_leaf(*child, rect, item, path) {
                             return Some(found);

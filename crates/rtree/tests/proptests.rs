@@ -3,7 +3,7 @@
 //! deletes.
 
 use proptest::prelude::*;
-use smartstore_rtree::{Rect, RTree, RTreeConfig};
+use smartstore_rtree::{RTree, RTreeConfig, Rect};
 
 fn pt(p: &[f64]) -> Rect {
     Rect::point(p)

@@ -145,7 +145,13 @@ impl<M> Simulator<M> {
             depart + self.cost.wire_ns(bytes)
         };
         self.seq += 1;
-        self.queue.push(Reverse(Event { arrival, seq: self.seq, to, from, msg }));
+        self.queue.push(Reverse(Event {
+            arrival,
+            seq: self.seq,
+            to,
+            from,
+            msg,
+        }));
     }
 
     /// Sends a message that departs only after the sender has spent
@@ -189,7 +195,12 @@ impl<M> Simulator<M> {
             // Queueing at the destination: wait until the node is free.
             let start = ev.arrival.max(self.busy_until[to]);
             self.clock = start;
-            let delivery = Delivery { to, from: ev.from, at: start, msg: ev.msg };
+            let delivery = Delivery {
+                to,
+                from: ev.from,
+                at: start,
+                msg: ev.msg,
+            };
             let processing = handler(self, delivery);
             self.busy_until[to] = start + self.cost.per_msg_cpu_ns + processing;
         }
@@ -220,16 +231,14 @@ mod tests {
         let mut s = sim(2);
         s.send(0, 1, Msg::Ping(1), 64);
         let mut pong_at = 0;
-        s.run(|s, d| {
-            match d.msg {
-                Msg::Ping(x) => {
-                    s.send_processed(d.to, d.from, Msg::Pong(x), 64, 1_000);
-                    1_000
-                }
-                Msg::Pong(_) => {
-                    pong_at = d.at;
-                    0
-                }
+        s.run(|s, d| match d.msg {
+            Msg::Ping(x) => {
+                s.send_processed(d.to, d.from, Msg::Pong(x), 64, 1_000);
+                1_000
+            }
+            Msg::Pong(_) => {
+                pong_at = d.at;
+                0
             }
         });
         // Outbound wire + dispatch + processing + return wire.

@@ -27,7 +27,10 @@ fn analytic_fifo(jobs: &[QueryJob], dispatch: u64, arrival: u64) -> Vec<u64> {
 fn event_kernel_matches_analytic_fifo() {
     let cost = CostModel::default();
     let jobs: Vec<QueryJob> = (0..20)
-        .map(|i| QueryJob { id: i, service_ns: 1_000 * (i as u64 % 7 + 1) })
+        .map(|i| QueryJob {
+            id: i,
+            service_ns: 1_000 * (i as u64 % 7 + 1),
+        })
         .collect();
 
     let mut sim: Simulator<QueryJob> = Simulator::new(2, cost);
@@ -43,7 +46,10 @@ fn event_kernel_matches_analytic_fifo() {
 
     let arrival = cost.wire_ns(64);
     let expect = analytic_fifo(&jobs, cost.per_msg_cpu_ns, arrival);
-    assert_eq!(completions, expect, "kernel must reproduce FIFO queueing exactly");
+    assert_eq!(
+        completions, expect,
+        "kernel must reproduce FIFO queueing exactly"
+    );
 }
 
 #[test]
@@ -52,7 +58,15 @@ fn parallel_servers_overlap_work() {
     let mut sim: Simulator<QueryJob> = Simulator::new(9, cost);
     // One job per server (sent from node 0 to 1..9).
     for i in 0..8usize {
-        sim.send(0, i + 1, QueryJob { id: i, service_ns: 50_000 }, 0);
+        sim.send(
+            0,
+            i + 1,
+            QueryJob {
+                id: i,
+                service_ns: 50_000,
+            },
+            0,
+        );
     }
     let mut last_done = 0u64;
     sim.run(|s, d| {

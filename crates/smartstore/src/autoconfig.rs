@@ -41,16 +41,18 @@ pub struct AutoConfig {
 
 /// Projects a unit's summary onto a subset of attribute dimensions.
 fn project_summary(unit: &StorageUnit, dims: &[AttributeKind]) -> UnitSummary {
-    let centroid: Vec<f64> = dims
-        .iter()
-        .map(|&k| unit.centroid()[k.index()])
-        .collect();
+    let centroid: Vec<f64> = dims.iter().map(|&k| unit.centroid()[k.index()]).collect();
     let mbr = unit.mbr().map(|m| {
         let lo: Vec<f64> = dims.iter().map(|&k| m.lo()[k.index()]).collect();
         let hi: Vec<f64> = dims.iter().map(|&k| m.hi()[k.index()]).collect();
         Rect::new(lo, hi)
     });
-    UnitSummary { id: unit.id, centroid, mbr, bloom: unit.bloom().clone() }
+    UnitSummary {
+        id: unit.id,
+        centroid,
+        mbr,
+        bloom: unit.bloom().clone(),
+    }
 }
 
 impl AutoConfig {
@@ -77,7 +79,10 @@ impl AutoConfig {
             let tree = SemanticRTree::build_from_summaries(&summaries, cfg);
             let no_d = tree.stats().index_units as f64;
             if (no_full - no_d).abs() > cfg.autoconfig_threshold * no_full {
-                subsets.push(ConfiguredTree { dims: dims.clone(), tree });
+                subsets.push(ConfiguredTree {
+                    dims: dims.clone(),
+                    tree,
+                });
             } else {
                 // "Some subsets of available attributes may produce the
                 // same or approximate … semantic R-trees and redundant
@@ -86,7 +91,10 @@ impl AutoConfig {
             }
         }
         Self {
-            full: ConfiguredTree { dims: AttributeKind::ALL.to_vec(), tree: full_tree },
+            full: ConfiguredTree {
+                dims: AttributeKind::ALL.to_vec(),
+                tree: full_tree,
+            },
             subsets,
             rejected,
         }
@@ -127,7 +135,11 @@ impl AutoConfig {
     /// side of the §2.4 tradeoff.
     pub fn total_index_bytes(&self) -> usize {
         self.full.tree.index_size_bytes()
-            + self.subsets.iter().map(|t| t.tree.index_size_bytes()).sum::<usize>()
+            + self
+                .subsets
+                .iter()
+                .map(|t| t.tree.index_size_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -144,8 +156,7 @@ mod tests {
             seed: 41,
             ..GeneratorConfig::default()
         });
-        let vectors: Vec<Vec<f64>> =
-            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
         let assignment = partition_balanced(&vectors, n_units, 3, 41);
         let mut buckets: Vec<Vec<smartstore_trace::FileMetadata>> = vec![Vec::new(); n_units];
         for (f, &a) in pop.files.into_iter().zip(assignment.iter()) {
@@ -198,7 +209,10 @@ mod tests {
     fn select_prefers_exact_match() {
         let us = units(16);
         // Force all candidates to be kept so selection is deterministic.
-        let cfg = SmartStoreConfig { autoconfig_threshold: -1.0, ..Default::default() };
+        let cfg = SmartStoreConfig {
+            autoconfig_threshold: -1.0,
+            ..Default::default()
+        };
         let ac = AutoConfig::configure(&us, &some_candidates(), &cfg);
         assert_eq!(ac.subsets.len(), 3);
         let q = vec![AttributeKind::Size, AttributeKind::CreationTime];
@@ -220,15 +234,17 @@ mod tests {
     #[test]
     fn select_uses_covering_subset() {
         let us = units(16);
-        let cfg = SmartStoreConfig { autoconfig_threshold: -1.0, ..Default::default() };
+        let cfg = SmartStoreConfig {
+            autoconfig_threshold: -1.0,
+            ..Default::default()
+        };
         let ac = AutoConfig::configure(&us, &some_candidates(), &cfg);
         // Query on (Size) alone: candidate [Size] covers it exactly.
         let (t, exact) = ac.select(&[AttributeKind::Size]);
         assert!(exact);
         assert_eq!(t.dims, vec![AttributeKind::Size]);
         // Query on (ModificationTime, ReadBytes): covered by the 3-dim candidate.
-        let (t2, exact2) =
-            ac.select(&[AttributeKind::ModificationTime, AttributeKind::ReadBytes]);
+        let (t2, exact2) = ac.select(&[AttributeKind::ModificationTime, AttributeKind::ReadBytes]);
         assert!(!exact2);
         assert_eq!(t2.dims.len(), 3);
     }
@@ -236,10 +252,14 @@ mod tests {
     #[test]
     fn threshold_controls_retention() {
         let us = units(20);
-        let keep_all =
-            SmartStoreConfig { autoconfig_threshold: -1.0, ..Default::default() };
-        let keep_none =
-            SmartStoreConfig { autoconfig_threshold: 1e9, ..Default::default() };
+        let keep_all = SmartStoreConfig {
+            autoconfig_threshold: -1.0,
+            ..Default::default()
+        };
+        let keep_none = SmartStoreConfig {
+            autoconfig_threshold: 1e9,
+            ..Default::default()
+        };
         let all = AutoConfig::configure(&us, &some_candidates(), &keep_all);
         let none = AutoConfig::configure(&us, &some_candidates(), &keep_none);
         assert_eq!(all.subsets.len(), 3);

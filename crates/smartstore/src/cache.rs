@@ -73,7 +73,13 @@ impl SemanticCache {
     /// If `capacity == 0`.
     pub fn new(capacity: usize, policy: PrefetchPolicy) -> Self {
         assert!(capacity > 0, "SemanticCache: capacity must be positive");
-        Self { capacity, policy, entries: HashMap::new(), clock: 0, stats: CacheStats::default() }
+        Self {
+            capacity,
+            policy,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Number of cached entries.
@@ -149,8 +155,7 @@ mod tests {
             seed: 55,
             ..GeneratorConfig::default()
         });
-        let sys =
-            SmartStoreSystem::build(pop.files.clone(), 15, SmartStoreConfig::default(), 55);
+        let sys = SmartStoreSystem::build(pop.files.clone(), 15, SmartStoreConfig::default(), 55);
         (sys, pop)
     }
 

@@ -42,6 +42,34 @@ pub struct SmartStoreConfig {
     /// versioning (every change is a version); larger values aggregate
     /// more changes per version.
     pub version_ratio: u32,
+    /// Durability tunables for the snapshot + WAL subsystem
+    /// (`smartstore-persist`).
+    pub persist: PersistConfig,
+}
+
+/// Tunables for the durable snapshot + write-ahead-log subsystem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PersistConfig {
+    /// `fsync` the WAL after this many appended frames (1 = sync every
+    /// change, maximum durability; larger values batch syncs and trade
+    /// the tail of the log for throughput).
+    pub wal_sync_every: usize,
+    /// Compact the WAL into a fresh snapshot once the log exceeds this
+    /// many bytes.
+    pub wal_compact_bytes: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        Self {
+            // Group-commit batches of 64 changes amortize fsync latency
+            // without letting a crash lose more than one batch.
+            wal_sync_every: 64,
+            // 16 MiB of log ≈ a few hundred thousand changes before the
+            // cost of replay outweighs the cost of a snapshot rewrite.
+            wal_compact_bytes: 16 * 1024 * 1024,
+        }
+    }
 }
 
 impl Default for SmartStoreConfig {
@@ -51,12 +79,16 @@ impl Default for SmartStoreConfig {
             grouping_dims: AttributeKind::ALL.to_vec(),
             admission_threshold: 0.70,
             threshold_decay: 0.9,
-            rtree: RTreeConfig { max_entries: 16, min_entries: 5 },
+            rtree: RTreeConfig {
+                max_entries: 16,
+                min_entries: 5,
+            },
             bloom_bits: 1024,
             bloom_hashes: 7,
             autoconfig_threshold: 0.10,
             lazy_update_threshold: 0.05,
             version_ratio: 16,
+            persist: PersistConfig::default(),
         }
     }
 }

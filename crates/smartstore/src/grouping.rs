@@ -64,7 +64,9 @@ pub fn wcss(vectors: &[Vec<f64>], groups: &[Vec<usize>]) -> f64 {
         .filter(|g| !g.is_empty())
         .map(|g| {
             let c = centroid(vectors, g);
-            g.iter().map(|&m| sq_euclidean(&vectors[m], &c)).sum::<f64>()
+            g.iter()
+                .map(|&m| sq_euclidean(&vectors[m], &c))
+                .sum::<f64>()
         })
         .sum()
 }
@@ -84,7 +86,10 @@ pub fn group_level(
 ) -> LevelGrouping {
     let n = vectors.len();
     assert!(n > 0, "group_level: no items");
-    assert!(max_group_size >= 2, "group_level: max_group_size must allow merging");
+    assert!(
+        max_group_size >= 2,
+        "group_level: max_group_size must allow merging"
+    );
     if n == 1 {
         return LevelGrouping {
             groups: vec![vec![0]],
@@ -133,7 +138,11 @@ pub fn group_level(
     // Deterministic order: by smallest member.
     groups.sort_by_key(|g| g[0]);
     let centroids = groups.iter().map(|g| centroid(vectors, g)).collect();
-    LevelGrouping { groups, centroids, epsilon }
+    LevelGrouping {
+        groups,
+        centroids,
+        epsilon,
+    }
 }
 
 /// Builds the full hierarchy bottom-up: level `i` groups the centroids
@@ -187,7 +196,13 @@ pub fn build_hierarchy(
 fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
     use rayon::prelude::*;
     let n = vectors.len();
-    let lsi = Lsi::fit_items(vectors, LsiConfig { rank: lsi_rank, standardize: true });
+    let lsi = Lsi::fit_items(
+        vectors,
+        LsiConfig {
+            rank: lsi_rank,
+            standardize: true,
+        },
+    );
     let coords: Vec<&[f64]> = (0..n).map(|i| lsi.item_coords(i)).collect();
     // O(n²) pairwise distances, parallel over rows.
     let d2: Vec<Vec<f64>> = (0..n)
@@ -205,7 +220,13 @@ fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
         .map(|(i, row)| {
             row.into_iter()
                 .enumerate()
-                .map(|(j, d)| if i == j { 1.0 } else { (-d / (2.0 * median)).exp() })
+                .map(|(j, d)| {
+                    if i == j {
+                        1.0
+                    } else {
+                        (-d / (2.0 * median)).exp()
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -214,12 +235,7 @@ fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
 /// Pairs items with their best partner regardless of the threshold
 /// (greedy matching by descending correlation), capped by `fanout`.
 #[allow(clippy::needless_range_loop)] // i<j pair enumeration reads best as indices
-fn force_pair(
-    vectors: &[Vec<f64>],
-    epsilon: f64,
-    lsi_rank: usize,
-    fanout: usize,
-) -> LevelGrouping {
+fn force_pair(vectors: &[Vec<f64>], epsilon: f64, lsi_rank: usize, fanout: usize) -> LevelGrouping {
     let n = vectors.len();
     let sims = kernel_similarities(vectors, lsi_rank);
     let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
@@ -258,7 +274,11 @@ fn force_pair(
         g.sort_unstable();
     }
     let centroids = groups.iter().map(|g| centroid(vectors, g)).collect();
-    LevelGrouping { groups, centroids, epsilon }
+    LevelGrouping {
+        groups,
+        centroids,
+        epsilon,
+    }
 }
 
 /// Partitions items into `n_parts` balanced semantic groups: K-means
@@ -274,7 +294,13 @@ pub fn partition_balanced(
     let n = vectors.len();
     assert!(n_parts > 0, "partition_balanced: need at least one part");
     assert!(n >= n_parts, "partition_balanced: more parts than items");
-    let lsi = Lsi::fit_items(vectors, LsiConfig { rank: lsi_rank, standardize: true });
+    let lsi = Lsi::fit_items(
+        vectors,
+        LsiConfig {
+            rank: lsi_rank,
+            standardize: true,
+        },
+    );
     let coords: Vec<Vec<f64>> = (0..n).map(|i| lsi.item_coords(i).to_vec()).collect();
     partition_coords(vectors.len(), &coords, n_parts, seed)
 }
@@ -284,8 +310,14 @@ pub fn partition_balanced(
 /// to isolate what the semantic projection buys.
 pub fn partition_balanced_raw(vectors: &[Vec<f64>], n_parts: usize, seed: u64) -> Vec<usize> {
     let n = vectors.len();
-    assert!(n_parts > 0, "partition_balanced_raw: need at least one part");
-    assert!(n >= n_parts, "partition_balanced_raw: more parts than items");
+    assert!(
+        n_parts > 0,
+        "partition_balanced_raw: need at least one part"
+    );
+    assert!(
+        n >= n_parts,
+        "partition_balanced_raw: more parts than items"
+    );
     let d = vectors[0].len();
     // Standardize per dimension so heterogeneous scales don't dominate.
     let mut mean = vec![0.0; d];
@@ -372,7 +404,13 @@ pub fn partition_tiled(vectors: &[Vec<f64>], n_parts: usize, lsi_rank: usize) ->
     let n = vectors.len();
     assert!(n_parts > 0, "partition_tiled: need at least one part");
     assert!(n >= n_parts, "partition_tiled: more parts than items");
-    let lsi = Lsi::fit_items(vectors, LsiConfig { rank: lsi_rank, standardize: true });
+    let lsi = Lsi::fit_items(
+        vectors,
+        LsiConfig {
+            rank: lsi_rank,
+            standardize: true,
+        },
+    );
     let coords: Vec<Vec<f64>> = (0..n).map(|i| lsi.item_coords(i).to_vec()).collect();
     let cap = n.div_ceil(n_parts);
     let mut order: Vec<usize> = (0..n).collect();
@@ -404,8 +442,8 @@ pub fn partition_tiled(vectors: &[Vec<f64>], n_parts: usize, lsi_rank: usize) ->
         let axis = coords[0].len() - 1;
         let target = run.len() / 2;
         let window = (run.len() / 3).max(1);
-        let cut = snap_to_gap(&coords, &run, axis, target, window, 0, run.len())
-            .clamp(1, run.len() - 1);
+        let cut =
+            snap_to_gap(&coords, &run, axis, target, window, 0, run.len()).clamp(1, run.len() - 1);
         let (a, b) = run.split_at(cut);
         runs.insert(idx, b.to_vec());
         runs.insert(idx, a.to_vec());
@@ -453,7 +491,10 @@ fn tile_rec(
         parts_needed
     } else {
         let remaining_axes = (dim - axis) as f64;
-        (parts_needed as f64).powf(1.0 / remaining_axes).ceil().max(1.0) as usize
+        (parts_needed as f64)
+            .powf(1.0 / remaining_axes)
+            .ceil()
+            .max(1.0) as usize
     };
     let nominal = if last_axis {
         cap
@@ -591,7 +632,10 @@ mod tests {
                 "group mixes blobs: {grp:?}"
             );
         }
-        assert!(g.groups.len() <= 6, "15 items in 3 blobs should form few groups");
+        assert!(
+            g.groups.len() <= 6,
+            "15 items in 3 blobs should form few groups"
+        );
     }
 
     #[test]
@@ -640,10 +684,10 @@ mod tests {
     #[test]
     fn wcss_smaller_for_true_clusters_than_random() {
         let v = blobs(8);
-        let true_groups: Vec<Vec<usize>> =
-            (0..3).map(|b| (b * 8..(b + 1) * 8).collect()).collect();
-        let random_groups: Vec<Vec<usize>> =
-            (0..3).map(|r| (0..24).filter(|i| i % 3 == r).collect()).collect();
+        let true_groups: Vec<Vec<usize>> = (0..3).map(|b| (b * 8..(b + 1) * 8).collect()).collect();
+        let random_groups: Vec<Vec<usize>> = (0..3)
+            .map(|r| (0..24).filter(|i| i % 3 == r).collect())
+            .collect();
         assert!(wcss(&v, &true_groups) < wcss(&v, &random_groups) * 0.1);
     }
 
@@ -656,7 +700,10 @@ mod tests {
             counts[p] += 1;
         }
         assert_eq!(counts.iter().sum::<usize>(), 60);
-        assert!(counts.iter().all(|&c| c == 10), "parts {counts:?} not balanced");
+        assert!(
+            counts.iter().all(|&c| c == 10),
+            "parts {counts:?} not balanced"
+        );
     }
 
     #[test]

@@ -29,9 +29,17 @@
 //! * [`autoconfig`] — automatic configuration of per-attribute-subset
 //!   semantic R-trees (§2.4);
 //! * [`system`] — the assembled system: build from a trace population,
-//!   execute query workloads, account latency/messages/space (§5);
+//!   execute query workloads, account latency/messages/space (§5); also
+//!   home of the [`system::Journal`] write-ahead hook and the
+//!   [`system::SystemParts`] export/import used by the durable
+//!   `smartstore-persist` crate (snapshots + WAL + crash recovery);
 //! * [`cache`] — semantic-aware caching with top-k prefetching (§1.1);
 //! * [`replay`] — event-driven batch replay on the cluster simulator.
+//!
+//! Durability tunables (WAL fsync batching, compaction threshold) live
+//! in [`config::PersistConfig`]; the persistence implementation itself
+//! is the separate `smartstore-persist` crate so this core stays
+//! storage-agnostic.
 
 pub mod autoconfig;
 pub mod cache;
@@ -45,8 +53,8 @@ pub mod tree;
 pub mod unit;
 pub mod versioning;
 
-pub use config::SmartStoreConfig;
-pub use system::{QueryOutcome, SmartStoreSystem, SystemStats};
+pub use config::{PersistConfig, SmartStoreConfig};
+pub use system::{Journal, QueryOutcome, SmartStoreSystem, SystemParts, SystemStats};
 
 pub use tree::SemanticRTree;
 pub use unit::StorageUnit;

@@ -67,8 +67,11 @@ pub fn map_index_units<R: Rng>(tree: &SemanticRTree, rng: &mut R) -> IndexMappin
             } else {
                 // All subtree units labeled: any unlabeled unit system-wide.
                 let all = tree.descendant_units(tree.root());
-                let free: Vec<usize> =
-                    all.iter().copied().filter(|u| !labeled.contains(u)).collect();
+                let free: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|u| !labeled.contains(u))
+                    .collect();
                 if !free.is_empty() {
                     free[rng.gen_range(0..free.len())]
                 } else {
@@ -102,7 +105,10 @@ pub fn map_index_units<R: Rng>(tree: &SemanticRTree, rng: &mut R) -> IndexMappin
     }
     assignment.insert(root, *root_replicas.first().expect("root replica exists"));
 
-    IndexMapping { assignment, root_replicas }
+    IndexMapping {
+        assignment,
+        root_replicas,
+    }
 }
 
 #[cfg(test)]
@@ -122,8 +128,7 @@ mod tests {
             seed: 23,
             ..GeneratorConfig::default()
         });
-        let vectors: Vec<Vec<f64>> =
-            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
         let assignment = partition_balanced(&vectors, n_units, 3, 23);
         let mut buckets: Vec<Vec<smartstore_trace::FileMetadata>> = vec![Vec::new(); n_units];
         for (f, &a) in pop.files.into_iter().zip(assignment.iter()) {

@@ -34,7 +34,12 @@ enum Msg {
     /// Client request arriving at the home unit.
     Request(Plan),
     /// Home unit's probe landing on a target unit.
-    Probe { id: usize, work_ns: u64, home: usize, expected: usize },
+    Probe {
+        id: usize,
+        work_ns: u64,
+        home: usize,
+        expected: usize,
+    },
     /// A target unit's reply arriving back at the home unit.
     Reply { id: usize, expected: usize },
 }
@@ -137,14 +142,24 @@ pub fn replay_complex_queries(
                 s.send_processed(
                     d.to,
                     unit,
-                    Msg::Probe { id: plan.id, work_ns, home: plan.home, expected: plan.targets.len() },
+                    Msg::Probe {
+                        id: plan.id,
+                        work_ns,
+                        home: plan.home,
+                        expected: plan.targets.len(),
+                    },
                     128,
                     plan.index_ns,
                 );
             }
             plan.index_ns
         }
-        Msg::Probe { id, work_ns, home, expected } => {
+        Msg::Probe {
+            id,
+            work_ns,
+            home,
+            expected,
+        } => {
             s.send_processed(d.to, home, Msg::Reply { id, expected }, 512, work_ns);
             work_ns
         }
@@ -197,8 +212,7 @@ mod tests {
             seed: 66,
             ..GeneratorConfig::default()
         });
-        let sys =
-            SmartStoreSystem::build(pop.files.clone(), 12, SmartStoreConfig::default(), 66);
+        let sys = SmartStoreSystem::build(pop.files.clone(), 12, SmartStoreConfig::default(), 66);
         let w = QueryWorkload::generate(
             &pop,
             &QueryGenConfig {

@@ -113,7 +113,7 @@ pub fn complex_query_cost(
                 + n_targets // group hosts → target units
                 + n_targets // target units → home (results)
                 + 1; // home → client
-            // Critical path: the multicast branches run in parallel.
+                     // Critical path: the multicast branches run in parallel.
             let latency = hop // client → home
                 + hop // home → father
                 + hop // father → farthest sibling group (parallel)
@@ -169,9 +169,7 @@ pub fn point_query_cost(
     let filter_probes = cost.per_filter_ns * route.filters_probed as u64;
     let max_unit_work = unit_work
         .iter()
-        .map(|(_, w)| {
-            cost.per_record_ns * w.records as u64 + cost.per_filter_ns * w.filters as u64
-        })
+        .map(|(_, w)| cost.per_record_ns * w.records as u64 + cost.per_filter_ns * w.filters as u64)
         .max()
         .unwrap_or(0);
     let messages = 1 + route.target_units.len() as u64 * 2 + 1;
@@ -202,8 +200,7 @@ mod tests {
             seed: 31,
             ..GeneratorConfig::default()
         });
-        let vectors: Vec<Vec<f64>> =
-            pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
         let assignment = partition_balanced(&vectors, n_units, 3, 31);
         let mut buckets: Vec<Vec<smartstore_trace::FileMetadata>> = vec![Vec::new(); n_units];
         for (f, &a) in pop.files.into_iter().zip(assignment.iter()) {
@@ -219,7 +216,10 @@ mod tests {
         (tree, mapping, units)
     }
 
-    fn sample_route(tree: &SemanticRTree, units: &[StorageUnit]) -> (Route, Vec<(usize, LocalWork)>) {
+    fn sample_route(
+        tree: &SemanticRTree,
+        units: &[StorageUnit],
+    ) -> (Route, Vec<(usize, LocalWork)>) {
         // A narrow box around a single file so the route targets a small
         // subset of groups (offline beats online strictly only then; a
         // query spanning every group costs the same either way).
@@ -245,10 +245,24 @@ mod tests {
         let (route, work) = sample_route(&tree, &units);
         let n_groups = tree.first_level_index_units().len();
         let cost = CostModel::default();
-        let online =
-            complex_query_cost(RouteMode::Online, &tree, &mapping, &route, &work, n_groups, &cost);
-        let offline =
-            complex_query_cost(RouteMode::Offline, &tree, &mapping, &route, &work, n_groups, &cost);
+        let online = complex_query_cost(
+            RouteMode::Online,
+            &tree,
+            &mapping,
+            &route,
+            &work,
+            n_groups,
+            &cost,
+        );
+        let offline = complex_query_cost(
+            RouteMode::Offline,
+            &tree,
+            &mapping,
+            &route,
+            &work,
+            n_groups,
+            &cost,
+        );
         assert!(
             online.messages > offline.messages,
             "online {} must exceed offline {}",
@@ -263,10 +277,24 @@ mod tests {
         let (route, work) = sample_route(&tree, &units);
         let n_groups = tree.first_level_index_units().len();
         let cost = CostModel::default();
-        let online =
-            complex_query_cost(RouteMode::Online, &tree, &mapping, &route, &work, n_groups, &cost);
-        let offline =
-            complex_query_cost(RouteMode::Offline, &tree, &mapping, &route, &work, n_groups, &cost);
+        let online = complex_query_cost(
+            RouteMode::Online,
+            &tree,
+            &mapping,
+            &route,
+            &work,
+            n_groups,
+            &cost,
+        );
+        let offline = complex_query_cost(
+            RouteMode::Offline,
+            &tree,
+            &mapping,
+            &route,
+            &work,
+            n_groups,
+            &cost,
+        );
         assert!(offline.latency_ns <= online.latency_ns);
     }
 
@@ -295,7 +323,12 @@ mod tests {
             tree_l.first_level_index_units().len(),
             &cost,
         );
-        assert!(ml.messages > ms.messages, "{} vs {}", ml.messages, ms.messages);
+        assert!(
+            ml.messages > ms.messages,
+            "{} vs {}",
+            ml.messages,
+            ms.messages
+        );
     }
 
     #[test]

@@ -50,6 +50,46 @@ pub struct SystemStats {
     pub version_bytes: usize,
 }
 
+/// A sink for the durable change log: every mutation routed through
+/// [`SmartStoreSystem::apply_change_journaled`] is recorded here
+/// *before* the in-memory state mutates (write-ahead ordering). The
+/// `smartstore-persist` crate provides the durable implementation; the
+/// trait lives in the core so the core does not depend on the storage
+/// backend.
+pub trait Journal {
+    /// Records one change, tagged with the first-level group it lands
+    /// in. Implementations buffer durability errors and surface them on
+    /// their own sync/flush API — this hook itself is infallible so the
+    /// in-memory system never stalls on I/O error handling mid-update.
+    fn record(&mut self, group: NodeId, change: &Change);
+}
+
+/// The complete mutable state of a [`SmartStoreSystem`], exported for
+/// serialization. The `owner` map is intentionally absent: it is always
+/// exactly "file → unit that stores it" and is rebuilt from the units.
+#[derive(Clone, Debug)]
+pub struct SystemParts {
+    /// Configuration in force.
+    pub cfg: SmartStoreConfig,
+    /// Storage units with their (possibly stale) summaries.
+    pub units: Vec<StorageUnit>,
+    /// Semantic R-tree structural state.
+    pub tree: crate::tree::TreeParts,
+    /// Index-unit → storage-unit mapping.
+    pub mapping: IndexMapping,
+    /// Per-group version chains, sorted by group id.
+    pub versions: Vec<(NodeId, VersionStore)>,
+    /// Per-group pending-change counters, sorted by group id.
+    pub pending: Vec<(NodeId, usize)>,
+    /// Whether versioning is enabled.
+    pub versioning_enabled: bool,
+    /// Accumulated replica-maintenance message count.
+    pub maintenance_messages: u64,
+    /// Seed for re-deriving the post-restore RNG stream (entry-point
+    /// selection and remapping only — never query answers).
+    pub reseed: u64,
+}
+
 /// A complete SmartStore deployment over simulated storage units.
 #[derive(Clone, Debug)]
 pub struct SmartStoreSystem {
@@ -91,8 +131,10 @@ impl SmartStoreSystem {
         // Placement clusters on the grouping predicate (the attribute
         // subset of Statement 1), not the full D-dim space — the noisy
         // dimensions would otherwise swamp the semantic correlation.
-        let vectors: Vec<Vec<f64>> =
-            files.iter().map(|f| f.attr_subset(&cfg.grouping_dims)).collect();
+        let vectors: Vec<Vec<f64>> = files
+            .iter()
+            .map(|f| f.attr_subset(&cfg.grouping_dims))
+            .collect();
         let assignment = partition_tiled(&vectors, n_units, cfg.lsi_rank);
         Self::build_with_assignment(files, &assignment, n_units, cfg, seed)
     }
@@ -161,16 +203,75 @@ impl SmartStoreSystem {
         &self.mapping
     }
 
+    /// Exports the system's complete mutable state for serialization.
+    pub fn to_parts(&self) -> SystemParts {
+        let mut versions: Vec<(NodeId, VersionStore)> = self
+            .versions
+            .iter()
+            .map(|(&g, vs)| (g, vs.clone()))
+            .collect();
+        versions.sort_by_key(|&(g, _)| g);
+        let mut pending: Vec<(NodeId, usize)> =
+            self.pending.iter().map(|(&g, &n)| (g, n)).collect();
+        pending.sort_unstable();
+        SystemParts {
+            cfg: self.cfg.clone(),
+            units: self.units.clone(),
+            tree: self.tree.to_parts(),
+            mapping: self.mapping.clone(),
+            versions,
+            pending,
+            versioning_enabled: self.versioning_enabled,
+            maintenance_messages: self.maintenance_messages,
+            reseed: 0x5afe_5eed,
+        }
+    }
+
+    /// Reassembles a system from exported parts — the inverse of
+    /// [`Self::to_parts`]. Query answers of the reassembled system are
+    /// identical to the exported one's (units, tree summaries, Bloom
+    /// filters and version chains come back byte-for-byte); only the
+    /// RNG stream (query entry points, future remappings) restarts.
+    pub fn from_parts(parts: SystemParts) -> Self {
+        let mut owner = HashMap::new();
+        for u in &parts.units {
+            for f in u.files() {
+                owner.insert(f.file_id, u.id);
+            }
+        }
+        let tree = SemanticRTree::from_parts(parts.tree, &parts.cfg);
+        Self {
+            cfg: parts.cfg,
+            cost: CostModel::default(),
+            units: parts.units,
+            tree,
+            mapping: parts.mapping,
+            owner,
+            versions: parts.versions.into_iter().collect(),
+            pending: parts.pending.into_iter().collect(),
+            versioning_enabled: parts.versioning_enabled,
+            maintenance_messages: parts.maintenance_messages,
+            rng: StdRng::seed_from_u64(parts.reseed),
+        }
+    }
+
     /// Every file currently stored, in unit order (ground truth for
     /// recall measurements).
     pub fn current_files(&self) -> Vec<FileMetadata> {
-        self.units.iter().flat_map(|u| u.files().iter().cloned()).collect()
+        self.units
+            .iter()
+            .flat_map(|u| u.files().iter().cloned())
+            .collect()
     }
 
     /// Structure statistics.
     pub fn stats(&self) -> SystemStats {
-        let per_unit: usize =
-            self.units.iter().map(|u| u.index_size_bytes()).sum::<usize>() / self.units.len();
+        let per_unit: usize = self
+            .units
+            .iter()
+            .map(|u| u.index_size_bytes())
+            .sum::<usize>()
+            / self.units.len();
         SystemStats {
             n_units: self.units.len(),
             n_groups: self.tree.first_level_index_units().len(),
@@ -187,7 +288,10 @@ impl SmartStoreSystem {
         if self.versions.is_empty() {
             return 0.0;
         }
-        self.versions.values().map(|v| v.size_bytes()).sum::<usize>() as f64
+        self.versions
+            .values()
+            .map(|v| v.size_bytes())
+            .sum::<usize>() as f64
             / self.versions.len() as f64
     }
 
@@ -212,8 +316,15 @@ impl SmartStoreSystem {
             work.push((u, w));
         }
         let n_groups = self.tree.first_level_index_units().len();
-        let mut cost =
-            complex_query_cost(mode, &self.tree, &self.mapping, &route, &work, n_groups, &self.cost);
+        let mut cost = complex_query_cost(
+            mode,
+            &self.tree,
+            &self.mapping,
+            &route,
+            &work,
+            n_groups,
+            &self.cost,
+        );
         // Fig. 8's routing distance counts the groups where results were
         // *obtained* — MBR pre-checks at index-unit hosts are not group
         // visits.
@@ -224,7 +335,10 @@ impl SmartStoreSystem {
         }
         results.sort_unstable();
         results.dedup();
-        QueryOutcome { file_ids: results, cost }
+        QueryOutcome {
+            file_ids: results,
+            cost,
+        }
     }
 
     /// Top-k query with the paper's MaxD pruning (§3.3.2): units are
@@ -262,8 +376,15 @@ impl SmartStoreSystem {
             group_hops: self.hops_of_units(&visited_units),
         };
         let n_groups = self.tree.first_level_index_units().len();
-        let mut cost =
-            complex_query_cost(mode, &self.tree, &self.mapping, &route, &work, n_groups, &self.cost);
+        let mut cost = complex_query_cost(
+            mode,
+            &self.tree,
+            &self.mapping,
+            &route,
+            &work,
+            n_groups,
+            &self.cost,
+        );
         if self.versioning_enabled {
             let scanned = self.apply_versions_to_topk(point, k, &mut best);
             cost.latency_ns += self.version_scan_ns(scanned);
@@ -274,13 +395,15 @@ impl SmartStoreSystem {
             .iter()
             .copied()
             .filter(|&u| {
-                best.iter().any(|&(id, _)| {
-                    self.owner.get(&id).copied() == Some(u)
-                })
+                best.iter()
+                    .any(|&(id, _)| self.owner.get(&id).copied() == Some(u))
             })
             .collect();
         cost.group_hops = self.hops_of_units(&contributing);
-        QueryOutcome { file_ids: best.into_iter().map(|(id, _)| id).collect(), cost }
+        QueryOutcome {
+            file_ids: best.into_iter().map(|(id, _)| id).collect(),
+            cost,
+        }
     }
 
     /// Filename point query via the Bloom-filter hierarchy (§3.3.3).
@@ -316,7 +439,10 @@ impl SmartStoreSystem {
         }
         results.sort_unstable();
         results.dedup();
-        QueryOutcome { file_ids: results, cost }
+        QueryOutcome {
+            file_ids: results,
+            cost,
+        }
     }
 
     /// Latency of rolling the version chains backwards: each change
@@ -324,10 +450,8 @@ impl SmartStoreSystem {
     /// header probe — comprehensive versioning (ratio 1) therefore pays
     /// the most (Fig. 14(b)).
     fn version_scan_ns(&self, scanned: usize) -> u64 {
-        let version_headers: usize =
-            self.versions.values().map(|v| v.version_count()).sum();
-        self.cost.per_record_ns * scanned as u64
-            + self.cost.per_record_ns * version_headers as u64
+        let version_headers: usize = self.versions.values().map(|v| v.version_count()).sum();
+        self.cost.per_record_ns * scanned as u64 + self.cost.per_record_ns * version_headers as u64
     }
 
     fn hops_of_units(&self, units: &[usize]) -> usize {
@@ -348,46 +472,113 @@ impl SmartStoreSystem {
     // Change stream & consistency (§4.4)
     // ------------------------------------------------------------------
 
+    /// The single placement rule: the storage unit a change targets.
+    /// Inserts go to the least-loaded unit of the most correlated group
+    /// (§3.2.1); deletes/modifies go to the owner. `None` when the
+    /// change is a no-op (delete/modify of an unknown file).
+    ///
+    /// Both [`Self::group_of_change`] and [`Self::apply_change`] go
+    /// through here, so the group a write-ahead journal tags a frame
+    /// with can never diverge from where the change actually lands.
+    fn unit_of_change(&self, change: &Change) -> Option<usize> {
+        match change {
+            Change::Insert(f) => {
+                let g = self.tree.most_correlated_group(&f.attr_vector());
+                let members = self.tree.descendant_units(g);
+                members.into_iter().min_by_key(|&u| self.units[u].len())
+            }
+            Change::Delete(id) => self.owner.get(id).copied(),
+            Change::Modify(f) => self.owner.get(&f.file_id).copied(),
+        }
+    }
+
+    /// The first-level group above a storage unit.
+    fn group_of_unit(&self, unit: usize) -> NodeId {
+        self.tree
+            .leaf_of_unit(unit)
+            .map(|l| self.tree.group_of_leaf(l))
+            .unwrap_or_else(|| self.tree.root())
+    }
+
+    /// The first-level group a change will land in, computed *without*
+    /// mutating anything. `None` when the change is a no-op
+    /// (delete/modify of an unknown file).
+    pub fn group_of_change(&self, change: &Change) -> Option<NodeId> {
+        Some(self.group_of_unit(self.unit_of_change(change)?))
+    }
+
+    /// Applies a change, recording it in `journal` *first* (write-ahead
+    /// ordering: once the journal accepts the frame, a crash before the
+    /// in-memory mutation is recovered by replay). Placement is computed
+    /// once and shared between the journal tag and the application.
+    /// Returns the group the change landed in, like
+    /// [`Self::apply_change`].
+    pub fn apply_change_journaled(
+        &mut self,
+        change: Change,
+        journal: &mut dyn Journal,
+    ) -> Option<NodeId> {
+        self.try_apply_change_journaled::<core::convert::Infallible>(change, |group, ch| {
+            journal.record(group, ch);
+            Ok(())
+        })
+        .unwrap_or_else(|never| match never {})
+    }
+
+    /// Fallible variant of [`Self::apply_change_journaled`]: `journal`
+    /// may refuse the frame, in which case the in-memory state is left
+    /// *untouched* (write-ahead discipline — a change that never reached
+    /// the log must not exist in memory either).
+    pub fn try_apply_change_journaled<E>(
+        &mut self,
+        change: Change,
+        mut journal: impl FnMut(NodeId, &Change) -> std::result::Result<(), E>,
+    ) -> std::result::Result<Option<NodeId>, E> {
+        match self.unit_of_change(&change) {
+            Some(unit) => {
+                let group = self.group_of_unit(unit);
+                journal(group, &change)?;
+                Ok(self.apply_change_at(change, unit))
+            }
+            None => {
+                // No-op change: still journaled (replay applies it as
+                // the same no-op) so live and recovered histories match.
+                journal(self.tree.root(), &change)?;
+                Ok(None)
+            }
+        }
+    }
+
     /// Applies a metadata change to the system. Storage units mutate
     /// immediately (they are the source of truth); the *index* — tree
     /// summaries and replicated vectors — stays stale until a lazy
     /// update fires, and version chains record the change for query-time
     /// recovery when versioning is enabled.
-    pub fn apply_change(&mut self, change: Change) {
-        let unit = match &change {
+    ///
+    /// Returns the first-level group the change landed in (`None` for
+    /// no-op deletes/modifies of unknown files).
+    pub fn apply_change(&mut self, change: Change) -> Option<NodeId> {
+        let unit = self.unit_of_change(&change)?;
+        self.apply_change_at(change, unit)
+    }
+
+    /// Applies a change whose target `unit` has already been resolved by
+    /// [`Self::unit_of_change`].
+    fn apply_change_at(&mut self, change: Change, unit: usize) -> Option<NodeId> {
+        match &change {
             Change::Insert(f) => {
-                // Place by semantic correlation: most correlated group,
-                // least loaded unit within it.
-                let g = self.tree.most_correlated_group(&f.attr_vector());
-                let members = self.tree.descendant_units(g);
-                let u = members
-                    .into_iter()
-                    .min_by_key(|&u| self.units[u].len())
-                    .expect("group has units");
-                self.owner.insert(f.file_id, u);
-                self.units[u].insert_file_raw(f.clone());
-                u
+                self.owner.insert(f.file_id, unit);
+                self.units[unit].insert_file_raw(f.clone());
             }
             Change::Delete(id) => {
-                let Some(u) = self.owner.remove(id) else {
-                    return;
-                };
-                self.units[u].remove_file_raw(*id);
-                u
+                self.owner.remove(id);
+                self.units[unit].remove_file_raw(*id);
             }
             Change::Modify(f) => {
-                let Some(&u) = self.owner.get(&f.file_id) else {
-                    return;
-                };
-                self.units[u].modify_file_raw(f.clone());
-                u
+                self.units[unit].modify_file_raw(f.clone());
             }
-        };
-        let group = self
-            .tree
-            .leaf_of_unit(unit)
-            .map(|l| self.tree.group_of_leaf(l))
-            .unwrap_or_else(|| self.tree.root());
+        }
+        let group = self.group_of_unit(unit);
         if self.versioning_enabled {
             self.versions
                 .entry(group)
@@ -409,6 +600,7 @@ impl SmartStoreSystem {
             self.pending.insert(group, 0);
             self.lazy_refresh_group(group);
         }
+        Some(group)
     }
 
     /// Re-synchronizes all leaf summaries of a group and multicasts the
@@ -441,7 +633,8 @@ impl SmartStoreSystem {
         self.mapping = map_index_units(&self.tree, &mut self.rng);
         self.versions.clear();
         for g in self.tree.first_level_index_units() {
-            self.versions.insert(g, VersionStore::new(self.cfg.version_ratio));
+            self.versions
+                .insert(g, VersionStore::new(self.cfg.version_ratio));
         }
         self.pending.clear();
     }
@@ -472,12 +665,7 @@ impl SmartStoreSystem {
         scanned
     }
 
-    fn apply_versions_to_topk(
-        &self,
-        point: &[f64],
-        k: usize,
-        best: &mut Vec<(u64, f64)>,
-    ) -> usize {
+    fn apply_versions_to_topk(&self, point: &[f64], k: usize, best: &mut Vec<(u64, f64)>) -> usize {
         let mut scanned = 0;
         for vs in self.versions.values() {
             let (effective, s) = vs.effective_changes();

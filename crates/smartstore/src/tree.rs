@@ -99,6 +99,19 @@ pub struct SemanticRTree {
     free: Vec<NodeId>,
 }
 
+/// The raw structural state of a [`SemanticRTree`] — everything needed
+/// to reassemble it byte-for-byte (the configuration travels
+/// separately). Used by the persistence layer.
+#[derive(Clone, Debug)]
+pub struct TreeParts {
+    /// The node arena, including freed slots.
+    pub nodes: Vec<SemanticNode>,
+    /// Root node id.
+    pub root: NodeId,
+    /// Free-list of recycled arena slots.
+    pub free: Vec<NodeId>,
+}
+
 impl SemanticRTree {
     /// Builds the tree bottom-up from storage units using LSI grouping
     /// (§3.1.2): units whose correlation exceeds ε₁ aggregate into
@@ -162,7 +175,12 @@ impl SemanticRTree {
         // If there is a single unit, it is its own root.
         if units.len() == 1 {
             let root = prev_level_ids[0];
-            return Self { nodes, root, cfg: cfg.clone(), free: Vec::new() };
+            return Self {
+                nodes,
+                root,
+                cfg: cfg.clone(),
+                free: Vec::new(),
+            };
         }
 
         for (lvl_idx, level) in hierarchy.levels.iter().enumerate() {
@@ -193,7 +211,39 @@ impl SemanticRTree {
         }
         debug_assert_eq!(prev_level_ids.len(), 1, "hierarchy must end in one root");
         let root = prev_level_ids[0];
-        Self { nodes, root, cfg: cfg.clone(), free: Vec::new() }
+        Self {
+            nodes,
+            root,
+            cfg: cfg.clone(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Exports the tree's structural state for serialization.
+    pub fn to_parts(&self) -> TreeParts {
+        TreeParts {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            free: self.free.clone(),
+        }
+    }
+
+    /// Reassembles a tree from exported parts and a configuration —
+    /// the exact inverse of [`Self::to_parts`].
+    ///
+    /// # Panics
+    /// If `parts.root` is out of range.
+    pub fn from_parts(parts: TreeParts, cfg: &SmartStoreConfig) -> Self {
+        assert!(
+            parts.root < parts.nodes.len(),
+            "from_parts: root out of range"
+        );
+        Self {
+            nodes: parts.nodes,
+            root: parts.root,
+            cfg: cfg.clone(),
+            free: parts.free,
+        }
     }
 
     /// Root node id.
@@ -311,10 +361,7 @@ impl SemanticRTree {
     /// Per-node index bytes (MBR + centroid + Bloom filter) summed over
     /// index units — the decentralized structure charged in Fig. 7.
     pub fn index_size_bytes(&self) -> usize {
-        let d = self
-            .nodes
-            .get(self.root)
-            .map_or(0, |n| n.centroid.len());
+        let d = self.nodes.get(self.root).map_or(0, |n| n.centroid.len());
         let per_node = d * 8 * 3 + self.cfg.bloom_bits / 8;
         self.stats().index_units * per_node
     }
@@ -380,7 +427,10 @@ impl SemanticRTree {
         let mut visited = 0;
         let mut order: Vec<(usize, f64)> = Vec::new();
         let mut heap = BinaryHeap::new();
-        heap.push(Cand { dist: 0.0, node: self.root });
+        heap.push(Cand {
+            dist: 0.0,
+            node: self.root,
+        });
         while let Some(Cand { dist, node }) = heap.pop() {
             visited += 1;
             let n = &self.nodes[node];
@@ -505,7 +555,10 @@ impl SemanticRTree {
         let mut ranked: Vec<(NodeId, f64)> = groups
             .iter()
             .map(|&g| {
-                (g, cosine_similarity(&self.nodes[g].centroid, &self.nodes[leaf].centroid))
+                (
+                    g,
+                    cosine_similarity(&self.nodes[g].centroid, &self.nodes[leaf].centroid),
+                )
             })
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
@@ -668,10 +721,8 @@ impl SemanticRTree {
                     .filter(|&s| s != node)
                     .collect();
                 if let Some(&best) = siblings.iter().max_by(|&&a, &&b| {
-                    let ca =
-                        cosine_similarity(&self.nodes[a].centroid, &self.nodes[node].centroid);
-                    let cb =
-                        cosine_similarity(&self.nodes[b].centroid, &self.nodes[node].centroid);
+                    let ca = cosine_similarity(&self.nodes[a].centroid, &self.nodes[node].centroid);
+                    let cb = cosine_similarity(&self.nodes[b].centroid, &self.nodes[node].centroid);
                     ca.partial_cmp(&cb).unwrap()
                 }) {
                     let orphans = std::mem::take(&mut self.nodes[node].children);

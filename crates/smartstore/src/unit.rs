@@ -32,7 +32,12 @@ pub struct StorageUnit {
 
 impl StorageUnit {
     /// Creates a unit with the given Bloom geometry and initial files.
-    pub fn new(id: usize, bloom_bits: usize, bloom_hashes: usize, files: Vec<FileMetadata>) -> Self {
+    pub fn new(
+        id: usize,
+        bloom_bits: usize,
+        bloom_hashes: usize,
+        files: Vec<FileMetadata>,
+    ) -> Self {
         let mut unit = Self {
             id,
             files: Vec::new(),
@@ -44,6 +49,28 @@ impl StorageUnit {
             unit.insert_file(f);
         }
         unit
+    }
+
+    /// Reassembles a unit from serialized state *without* recomputing
+    /// summaries: a persisted unit must come back with exactly the
+    /// (possibly stale) Bloom filter, centroid and MBR it was saved
+    /// with, so that queries against the reopened system answer
+    /// identically to the live one.
+    pub fn from_parts(
+        id: usize,
+        files: Vec<FileMetadata>,
+        bloom: BloomFilter,
+        centroid: Vec<f64>,
+        mbr: Option<Rect>,
+    ) -> Self {
+        assert_eq!(centroid.len(), ATTR_DIMS, "from_parts: centroid dims");
+        Self {
+            id,
+            files,
+            bloom,
+            centroid,
+            mbr,
+        }
     }
 
     /// Number of files stored.
@@ -160,7 +187,10 @@ impl StorageUnit {
     /// Local point query: probe the Bloom filter, and on a positive hit
     /// scan for the exact filename.
     pub fn point_query(&self, name: &str) -> (Option<&FileMetadata>, LocalWork) {
-        let mut work = LocalWork { records: 0, filters: 1 };
+        let mut work = LocalWork {
+            records: 0,
+            filters: 1,
+        };
         if !self.bloom.contains(name.as_bytes()) {
             return (None, work);
         }
@@ -187,7 +217,10 @@ impl StorageUnit {
         for f in &self.files {
             work.records += 1;
             let v = f.attr_vector();
-            if v.iter().zip(lo.iter().zip(hi)).all(|(&x, (&l, &h))| l <= x && x <= h) {
+            if v.iter()
+                .zip(lo.iter().zip(hi))
+                .all(|(&x, (&l, &h))| l <= x && x <= h)
+            {
                 out.push(f.file_id);
             }
         }
@@ -210,7 +243,10 @@ impl StorageUnit {
                 (f.file_id, d)
             })
             .collect();
-        let work = LocalWork { records: self.files.len(), filters: 0 };
+        let work = LocalWork {
+            records: self.files.len(),
+            filters: 0,
+        };
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         scored.truncate(k);
         (scored, work)
@@ -308,7 +344,11 @@ mod tests {
         let (top, work) = u.topk_query(&q, 5);
         assert_eq!(top.len(), 5);
         assert_eq!(work.records, 60);
-        assert_eq!(top[0].0, u.files()[10].file_id, "query at a file finds it first");
+        assert_eq!(
+            top[0].0,
+            u.files()[10].file_id,
+            "query at a file finds it first"
+        );
         for w in top.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
@@ -354,6 +394,9 @@ mod tests {
         }
         assert_eq!(u.len(), 10);
         let after = u.mbr().unwrap();
-        assert!(before_mbr.contains_rect(after), "MBR must tighten, not grow");
+        assert!(
+            before_mbr.contains_rect(after),
+            "MBR must tighten, not grow"
+        );
     }
 }

@@ -81,7 +81,41 @@ impl VersionStore {
     /// If `version_ratio == 0`.
     pub fn new(version_ratio: u32) -> Self {
         assert!(version_ratio > 0, "VersionStore: ratio must be positive");
-        Self { version_ratio, open: Version::default(), sealed: Vec::new() }
+        Self {
+            version_ratio,
+            open: Version::default(),
+            sealed: Vec::new(),
+        }
+    }
+
+    /// Reassembles a chain from serialized state — the inverse of the
+    /// [`Self::ratio`] / [`Self::sealed_versions`] / [`Self::open_version`]
+    /// accessors.
+    ///
+    /// # Panics
+    /// If `version_ratio == 0`.
+    pub fn from_parts(version_ratio: u32, sealed: Vec<Version>, open: Version) -> Self {
+        assert!(version_ratio > 0, "VersionStore: ratio must be positive");
+        Self {
+            version_ratio,
+            open,
+            sealed,
+        }
+    }
+
+    /// The modification-to-version ratio.
+    pub fn ratio(&self) -> u32 {
+        self.version_ratio
+    }
+
+    /// The sealed versions, oldest first.
+    pub fn sealed_versions(&self) -> &[Version] {
+        &self.sealed
+    }
+
+    /// The currently open (unsealed) version.
+    pub fn open_version(&self) -> &Version {
+        &self.open
     }
 
     /// Records a change; seals the open version when it reaches the
@@ -105,7 +139,11 @@ impl VersionStore {
 
     /// Memory footprint of the chain (Fig. 14(a)).
     pub fn size_bytes(&self) -> usize {
-        let open = if self.open.changes.is_empty() { 0 } else { self.open.size_bytes() };
+        let open = if self.open.changes.is_empty() {
+            0
+        } else {
+            self.open.size_bytes()
+        };
         self.sealed.iter().map(Version::size_bytes).sum::<usize>() + open
     }
 
@@ -214,7 +252,10 @@ mod tests {
         let s1 = sized(1);
         let s8 = sized(8);
         let s32 = sized(32);
-        assert!(s1 > s8 && s8 > s32, "space must fall with ratio: {s1} {s8} {s32}");
+        assert!(
+            s1 > s8 && s8 > s32,
+            "space must fall with ratio: {s1} {s8} {s32}"
+        );
     }
 
     #[test]

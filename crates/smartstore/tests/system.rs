@@ -5,9 +5,7 @@ use smartstore::routing::RouteMode;
 use smartstore::versioning::Change;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_trace::query_gen::{recall, QueryGenConfig};
-use smartstore_trace::{
-    GeneratorConfig, MetadataPopulation, QueryDistribution, QueryWorkload,
-};
+use smartstore_trace::{GeneratorConfig, MetadataPopulation, QueryDistribution, QueryWorkload};
 
 fn population(n: usize, seed: u64) -> MetadataPopulation {
     MetadataPopulation::generate(GeneratorConfig {
@@ -106,7 +104,10 @@ fn topk_query_recall_on_fresh_index() {
         total += recall(&q.ideal, &out.file_ids);
     }
     let avg = total / 40.0;
-    assert!(avg > 0.999, "MaxD-pruned top-k must equal exhaustive, got {avg}");
+    assert!(
+        avg > 0.999,
+        "MaxD-pruned top-k must equal exhaustive, got {avg}"
+    );
 }
 
 #[test]
@@ -173,7 +174,10 @@ fn versioning_recovers_recall_after_changes() {
     }
 
     // Re-derive ideal answers on the mutated state.
-    let scratch = MetadataPopulation { files: current.clone(), config: pop.config.clone() };
+    let scratch = MetadataPopulation {
+        files: current.clone(),
+        config: pop.config.clone(),
+    };
     let w = QueryWorkload::generate(
         &scratch,
         &QueryGenConfig {
@@ -187,8 +191,16 @@ fn versioning_recovers_recall_after_changes() {
     );
     let (mut rec_v, mut rec_nv) = (0.0, 0.0);
     for q in &w.ranges {
-        rec_v += recall(&q.ideal, &sys_v.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids);
-        rec_nv += recall(&q.ideal, &sys_nv.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids);
+        rec_v += recall(
+            &q.ideal,
+            &sys_v.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids,
+        );
+        rec_nv += recall(
+            &q.ideal,
+            &sys_nv
+                .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                .file_ids,
+        );
     }
     rec_v /= 40.0;
     rec_nv /= 40.0;
@@ -237,7 +249,10 @@ fn delete_change_removes_file() {
     assert!(sys.current_files().iter().all(|f| f.file_id != victim));
     // Range covering everything must not return the deleted id.
     let files = sys.current_files();
-    let pop2 = MetadataPopulation { files, config: pop.config.clone() };
+    let pop2 = MetadataPopulation {
+        files,
+        config: pop.config.clone(),
+    };
     let (lo, hi) = pop2.attr_bounds();
     let out = sys.range_query(&lo, &hi, RouteMode::Offline);
     assert!(!out.file_ids.contains(&victim));
@@ -257,10 +272,19 @@ fn reconfigure_clears_versions_and_restores_recall() {
     // Fresh index answers exactly again — even with versioning off.
     sys.set_versioning(false);
     let files = sys.current_files();
-    let scratch = MetadataPopulation { files, config: pop.config.clone() };
+    let scratch = MetadataPopulation {
+        files,
+        config: pop.config.clone(),
+    };
     let w = QueryWorkload::generate(
         &scratch,
-        &QueryGenConfig { n_range: 20, n_topk: 0, n_point: 0, seed: 5, ..Default::default() },
+        &QueryGenConfig {
+            n_range: 20,
+            n_topk: 0,
+            n_point: 0,
+            seed: 5,
+            ..Default::default()
+        },
     );
     for q in &w.ranges {
         let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
@@ -311,7 +335,10 @@ fn online_vs_offline_cost_shape() {
         // Same answers regardless of routing mode.
         assert_eq!(on.file_ids, off.file_ids);
     }
-    assert!(on_msgs > off_msgs, "Fig. 13(b): online messages {on_msgs} > offline {off_msgs}");
+    assert!(
+        on_msgs > off_msgs,
+        "Fig. 13(b): online messages {on_msgs} > offline {off_msgs}"
+    );
     assert!(on_lat >= off_lat, "Fig. 13(a): online latency >= offline");
 }
 
@@ -371,10 +398,11 @@ fn lazy_refresh_fires_after_threshold_and_counts_maintenance() {
     // Lazy refresh folds version chains back into the index, so the
     // retained version space stays bounded.
     let retained = sys.stats().version_bytes;
-    let mut frozen = SmartStoreConfig::default();
-    frozen.lazy_update_threshold = f64::INFINITY;
-    let mut sys_frozen =
-        SmartStoreSystem::build(pop.files.clone(), 10, frozen, 21);
+    let frozen = SmartStoreConfig {
+        lazy_update_threshold: f64::INFINITY,
+        ..SmartStoreConfig::default()
+    };
+    let mut sys_frozen = SmartStoreSystem::build(pop.files.clone(), 10, frozen, 21);
     for f in pop.files.iter().take(200) {
         let mut g = f.clone();
         g.access_count += 1;

@@ -35,7 +35,13 @@ impl Zipf {
         let h_x1 = Self::h_static(1.5, s) - 1.0;
         let h_n = Self::h_static(n as f64 + 0.5, s);
         let dense = Self::h_inv_static(h_x1, s);
-        Self { n, s, h_x1, h_n, dense }
+        Self {
+            n,
+            s,
+            h_x1,
+            h_n,
+            dense,
+        }
     }
 
     /// Number of ranks.
@@ -130,8 +136,13 @@ mod tests {
         for _ in 0..50_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        assert!(counts[1] > counts[10] && counts[10] > counts[100],
-            "zipf must be monotone in popularity: {} {} {}", counts[1], counts[10], counts[100]);
+        assert!(
+            counts[1] > counts[10] && counts[10] > counts[100],
+            "zipf must be monotone in popularity: {} {} {}",
+            counts[1],
+            counts[10],
+            counts[100]
+        );
         // Rank-1 frequency for s=1, n=1000: 1/H(1000) ≈ 0.133.
         let f1 = counts[1] as f64 / 50_000.0;
         assert!((f1 - 0.133).abs() < 0.02, "rank-1 frequency {f1}");
@@ -164,8 +175,10 @@ mod tests {
         let n = 20_000;
         let heavy_top10 = (0..n).filter(|_| heavy.sample(&mut rng) <= 10).count();
         let light_top10 = (0..n).filter(|_| light.sample(&mut rng) <= 10).count();
-        assert!(heavy_top10 > light_top10 * 5,
-            "s=1.5 must concentrate far more mass on top ranks ({heavy_top10} vs {light_top10})");
+        assert!(
+            heavy_top10 > light_top10 * 5,
+            "s=1.5 must concentrate far more mass on top ranks ({heavy_top10} vs {light_top10})"
+        );
     }
 
     #[test]
@@ -182,13 +195,18 @@ mod tests {
     #[test]
     fn log_normal_is_positive_and_skewed() {
         let mut rng = StdRng::seed_from_u64(6);
-        let samples: Vec<f64> = (0..10_000).map(|_| sample_log_normal(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| sample_log_normal(&mut rng, 10.0, 2.0))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(mean > median * 2.0, "log-normal mean ≫ median ({mean} vs {median})");
+        assert!(
+            mean > median * 2.0,
+            "log-normal mean ≫ median ({mean} vs {median})"
+        );
     }
 
     #[test]

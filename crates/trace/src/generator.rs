@@ -49,7 +49,7 @@ impl Default for GeneratorConfig {
             n_clusters: 60,
             clustered_fraction: 0.8,
             duration: 86_400.0 * 7.0,
-            size_mu: 9.5,   // median ≈ 13 KB
+            size_mu: 9.5,    // median ≈ 13 KB
             size_sigma: 2.5, // heavy tail into GBs
             popularity_exponent: 1.0,
             n_users: 200,
@@ -159,13 +159,8 @@ impl MetadataPopulation {
         let (size, ctime, mtime, proc_id, owner, dir, rw_ratio) = match profile {
             Some(p) => {
                 let size = sample_log_normal(rng, p.size_mu, 0.4).clamp(1.0, 1e13) as u64;
-                let ctime = sample_clamped_normal(
-                    rng,
-                    p.ctime_center,
-                    p.ctime_spread,
-                    0.0,
-                    cfg.duration,
-                );
+                let ctime =
+                    sample_clamped_normal(rng, p.ctime_center, p.ctime_spread, 0.0, cfg.duration);
                 let mtime = (ctime + rng.gen::<f64>() * p.mtime_lag).min(cfg.duration);
                 // Process/owner mostly the campaign's, occasionally not.
                 let proc_id = if rng.gen::<f64>() < 0.95 {
@@ -178,11 +173,19 @@ impl MetadataPopulation {
                 } else {
                     rng.gen_range(0..cfg.n_users)
                 };
-                (size, ctime, mtime, proc_id, owner, p.dir.clone(), p.rw_ratio)
+                (
+                    size,
+                    ctime,
+                    mtime,
+                    proc_id,
+                    owner,
+                    p.dir.clone(),
+                    p.rw_ratio,
+                )
             }
             None => {
-                let size = sample_log_normal(rng, cfg.size_mu, cfg.size_sigma).clamp(1.0, 1e13)
-                    as u64;
+                let size =
+                    sample_log_normal(rng, cfg.size_mu, cfg.size_sigma).clamp(1.0, 1e13) as u64;
                 let ctime = rng.gen::<f64>() * cfg.duration;
                 let mtime = ctime + rng.gen::<f64>() * (cfg.duration - ctime);
                 (
@@ -309,7 +312,11 @@ mod tests {
     #[test]
     fn clustered_fraction_honored() {
         let pop = small_pop();
-        let clustered = pop.files.iter().filter(|f| f.truth_cluster.is_some()).count();
+        let clustered = pop
+            .files
+            .iter()
+            .filter(|f| f.truth_cluster.is_some())
+            .count();
         let frac = clustered as f64 / pop.len() as f64;
         assert!((frac - 0.8).abs() < 0.05, "clustered fraction {frac}");
     }
@@ -322,7 +329,10 @@ mod tests {
         let global: Vec<f64> = pop.files.iter().map(|f| f.ctime).collect();
         let global_mean = mean(&global);
         let global_var = mean(
-            &global.iter().map(|&x| (x - global_mean).powi(2)).collect::<Vec<_>>(),
+            &global
+                .iter()
+                .map(|&x| (x - global_mean).powi(2))
+                .collect::<Vec<_>>(),
         );
         let mut checked = 0;
         for c in 0..10u32 {
@@ -353,7 +363,10 @@ mod tests {
         sizes.sort_unstable();
         let median = sizes[sizes.len() / 2] as f64;
         let p99 = sizes[sizes.len() * 99 / 100] as f64;
-        assert!(p99 > median * 50.0, "p99 {p99} should dwarf median {median}");
+        assert!(
+            p99 > median * 50.0,
+            "p99 {p99} should dwarf median {median}"
+        );
     }
 
     #[test]
@@ -363,7 +376,10 @@ mod tests {
         for f in &pop.files {
             assert!(f.ctime >= 0.0 && f.ctime <= d);
             assert!(f.mtime >= f.ctime && f.mtime <= d, "mtime before ctime");
-            assert!(f.atime >= f.mtime && f.atime <= d + 1e-9, "atime before mtime");
+            assert!(
+                f.atime >= f.mtime && f.atime <= d + 1e-9,
+                "atime before mtime"
+            );
         }
     }
 

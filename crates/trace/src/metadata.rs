@@ -7,13 +7,11 @@
 //! into the `D = 8` dimensional numeric attribute space that the LSI
 //! pipeline, the semantic R-tree MBRs, and the baselines all share.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of numeric attribute dimensions (`D` in the paper).
 pub const ATTR_DIMS: usize = 8;
 
 /// The numeric attribute dimensions of a file's metadata.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum AttributeKind {
     /// File size in bytes (log-normal across real systems).
@@ -68,7 +66,7 @@ impl AttributeKind {
 }
 
 /// One file's metadata record.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FileMetadata {
     /// Unique file identifier.
     pub file_id: u64,

@@ -151,7 +151,8 @@ impl QueryWorkload {
 
         let ranges = (0..cfg.n_range)
             .map(|_| {
-                let center = sample_point(pop, cfg.distribution, &lo_b, &hi_b, &popularity, &mut rng);
+                let center =
+                    sample_point(pop, cfg.distribution, &lo_b, &hi_b, &popularity, &mut rng);
                 // Constrain only the configured dimensions; the rest of
                 // the box spans the whole attribute domain.
                 let (lo, hi): (Vec<f64>, Vec<f64>) = (0..ATTR_DIMS)
@@ -179,23 +180,38 @@ impl QueryWorkload {
                 let point =
                     sample_point(pop, cfg.distribution, &lo_b, &hi_b, &popularity, &mut rng);
                 let ideal = exhaustive_topk(&pop.files, &point, cfg.k);
-                TopKQuery { point, k: cfg.k, ideal }
+                TopKQuery {
+                    point,
+                    k: cfg.k,
+                    ideal,
+                }
             })
             .collect();
 
         let points = (0..cfg.n_point)
             .map(|_| {
                 if rng.gen::<f64>() < cfg.point_miss_fraction {
-                    PointQuery { name: format!("ghost_{:08}", rng.gen::<u32>()), expected: None }
+                    PointQuery {
+                        name: format!("ghost_{:08}", rng.gen::<u32>()),
+                        expected: None,
+                    }
                 } else {
                     let rank = popularity.sample(&mut rng) as usize - 1;
                     let f = &pop.files[rank % pop.files.len()];
-                    PointQuery { name: f.name.clone(), expected: Some(f.file_id) }
+                    PointQuery {
+                        name: f.name.clone(),
+                        expected: Some(f.file_id),
+                    }
                 }
             })
             .collect();
 
-        Self { ranges, topks, points, distribution: cfg.distribution }
+        Self {
+            ranges,
+            topks,
+            points,
+            distribution: cfg.distribution,
+        }
     }
 }
 
@@ -296,7 +312,13 @@ mod tests {
     #[test]
     fn range_ideals_are_correct_by_construction() {
         let p = pop();
-        let w = QueryWorkload::generate(&p, &QueryGenConfig { n_range: 20, ..Default::default() });
+        let w = QueryWorkload::generate(
+            &p,
+            &QueryGenConfig {
+                n_range: 20,
+                ..Default::default()
+            },
+        );
         for q in &w.ranges {
             for f in &p.files {
                 let inside = in_range(f, &q.lo, &q.hi);
@@ -308,13 +330,24 @@ mod tests {
     #[test]
     fn topk_ideal_has_k_members_sorted_by_distance() {
         let p = pop();
-        let w = QueryWorkload::generate(&p, &QueryGenConfig { n_topk: 10, k: 8, ..Default::default() });
+        let w = QueryWorkload::generate(
+            &p,
+            &QueryGenConfig {
+                n_topk: 10,
+                k: 8,
+                ..Default::default()
+            },
+        );
         for q in &w.topks {
             assert_eq!(q.ideal.len(), 8);
             // Verify monotone distance.
             let d = |id: u64| {
                 let f = &p.files[id as usize];
-                f.attr_vector().iter().zip(&q.point).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>()
+                f.attr_vector()
+                    .iter()
+                    .zip(&q.point)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
             };
             for w2 in q.ideal.windows(2) {
                 assert!(d(w2[0]) <= d(w2[1]) + 1e-9);
@@ -327,10 +360,17 @@ mod tests {
         let p = pop();
         let w = QueryWorkload::generate(
             &p,
-            &QueryGenConfig { n_point: 200, point_miss_fraction: 0.3, ..Default::default() },
+            &QueryGenConfig {
+                n_point: 200,
+                point_miss_fraction: 0.3,
+                ..Default::default()
+            },
         );
         let misses = w.points.iter().filter(|q| q.expected.is_none()).count();
-        assert!((30..90).contains(&misses), "misses {misses} out of 200 at 30%");
+        assert!(
+            (30..90).contains(&misses),
+            "misses {misses} out of 200 at 30%"
+        );
     }
 
     #[test]
@@ -339,11 +379,24 @@ mod tests {
         let mk = |dist| {
             QueryWorkload::generate(
                 &p,
-                &QueryGenConfig { n_range: 150, distribution: dist, seed: 4, ..Default::default() },
+                &QueryGenConfig {
+                    n_range: 150,
+                    distribution: dist,
+                    seed: 4,
+                    ..Default::default()
+                },
             )
         };
-        let zipf_hits: usize = mk(QueryDistribution::Zipf).ranges.iter().map(|q| q.ideal.len()).sum();
-        let unif_hits: usize = mk(QueryDistribution::Uniform).ranges.iter().map(|q| q.ideal.len()).sum();
+        let zipf_hits: usize = mk(QueryDistribution::Zipf)
+            .ranges
+            .iter()
+            .map(|q| q.ideal.len())
+            .sum();
+        let unif_hits: usize = mk(QueryDistribution::Uniform)
+            .ranges
+            .iter()
+            .map(|q| q.ideal.len())
+            .sum();
         assert!(
             zipf_hits > unif_hits,
             "zipf queries target populated space: {zipf_hits} vs {unif_hits}"

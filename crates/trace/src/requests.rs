@@ -57,7 +57,12 @@ pub struct RequestGenConfig {
 
 impl Default for RequestGenConfig {
     fn default() -> Self {
-        Self { n_requests: 10_000, locality: 0.8, meta_fraction: 0.5, seed: 0xacce55 }
+        Self {
+            n_requests: 10_000,
+            locality: 0.8,
+            meta_fraction: 0.5,
+            seed: 0xacce55,
+        }
     }
 }
 
@@ -77,8 +82,14 @@ impl RequestStream {
     /// recorded byte ratios.
     pub fn generate(pop: &MetadataPopulation, cfg: &RequestGenConfig) -> Self {
         assert!(!pop.files.is_empty(), "RequestStream: empty population");
-        assert!((0.0..=1.0).contains(&cfg.locality), "locality must be in [0,1]");
-        assert!((0.0..=1.0).contains(&cfg.meta_fraction), "meta_fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&cfg.locality),
+            "locality must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.meta_fraction),
+            "meta_fraction must be in [0,1]"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         // Cumulative popularity for weighted sampling.
@@ -126,9 +137,15 @@ impl RequestStream {
                 let rw_total = (f.read_bytes + f.write_bytes).max(1);
                 let read_share = f.read_bytes as f64 / rw_total as f64;
                 if rng.gen::<f64>() < read_share {
-                    (OpKind::Read, 1 + f.read_bytes / f.access_count.max(1) as u64)
+                    (
+                        OpKind::Read,
+                        1 + f.read_bytes / f.access_count.max(1) as u64,
+                    )
                 } else {
-                    (OpKind::Write, 1 + f.write_bytes / f.access_count.max(1) as u64)
+                    (
+                        OpKind::Write,
+                        1 + f.write_bytes / f.access_count.max(1) as u64,
+                    )
                 }
             };
             requests.push(Request {
@@ -194,7 +211,9 @@ impl RequestStream {
 
 fn weighted_pick(cumulative: &[f64], total: f64, rng: &mut StdRng) -> usize {
     let target = rng.gen::<f64>() * total;
-    cumulative.partition_point(|&c| c < target).min(cumulative.len() - 1)
+    cumulative
+        .partition_point(|&c| c < target)
+        .min(cumulative.len() - 1)
 }
 
 #[cfg(test)]
@@ -228,7 +247,11 @@ mod tests {
         let p = pop();
         let s = RequestStream::generate(
             &p,
-            &RequestGenConfig { meta_fraction: 0.5, n_requests: 20_000, ..Default::default() },
+            &RequestGenConfig {
+                meta_fraction: 0.5,
+                n_requests: 20_000,
+                ..Default::default()
+            },
         );
         let (_, _, m) = s.op_mix();
         let frac = m as f64 / s.len() as f64;
@@ -243,11 +266,19 @@ mod tests {
         let p = pop();
         let sticky = RequestStream::generate(
             &p,
-            &RequestGenConfig { locality: 0.8, seed: 1, ..Default::default() },
+            &RequestGenConfig {
+                locality: 0.8,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let loose = RequestStream::generate(
             &p,
-            &RequestGenConfig { locality: 0.0, seed: 1, ..Default::default() },
+            &RequestGenConfig {
+                locality: 0.0,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let hs = sticky.cluster_stickiness(&p);
         let hl = loose.cluster_stickiness(&p);
@@ -263,7 +294,11 @@ mod tests {
         let p = pop();
         let s = RequestStream::generate(
             &p,
-            &RequestGenConfig { locality: 0.0, n_requests: 30_000, ..Default::default() },
+            &RequestGenConfig {
+                locality: 0.0,
+                n_requests: 30_000,
+                ..Default::default()
+            },
         );
         let mut counts = vec![0usize; p.len()];
         for r in &s.requests {
@@ -285,11 +320,18 @@ mod tests {
         let p = pop();
         let s = RequestStream::generate(
             &p,
-            &RequestGenConfig { meta_fraction: 0.0, n_requests: 20_000, ..Default::default() },
+            &RequestGenConfig {
+                meta_fraction: 0.0,
+                n_requests: 20_000,
+                ..Default::default()
+            },
         );
         let (r, w, m) = s.op_mix();
         assert_eq!(m, 0);
-        assert!(r > 0 && w > 0, "both op kinds present ({r} reads, {w} writes)");
+        assert!(
+            r > 0 && w > 0,
+            "both op kinds present ({r} reads, {w} writes)"
+        );
         // Byte counts attached to data ops.
         assert!(s
             .requests

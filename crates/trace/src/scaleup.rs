@@ -99,7 +99,11 @@ pub fn scale_up(pop: &MetadataPopulation, tif: u32) -> ScaledTrace {
             files.push(g);
         }
     }
-    ScaledTrace { files, tif, sub_trace_len: n }
+    ScaledTrace {
+        files,
+        tif,
+        sub_trace_len: n,
+    }
 }
 
 impl ScaledTrace {
@@ -228,7 +232,10 @@ mod tests {
         let scaled = scale_up(&pop, 6);
         let h = scaled.half_domain_histogram(pop.config.duration);
         assert_eq!(h.len(), 6);
-        assert!(h.windows(2).all(|w| w[0] == w[1]), "histograms differ: {h:?}");
+        assert!(
+            h.windows(2).all(|w| w[0] == w[1]),
+            "histograms differ: {h:?}"
+        );
     }
 
     #[test]
@@ -243,7 +250,10 @@ mod tests {
             .iter()
             .filter_map(|f| f.truth_cluster)
             .collect();
-        assert!(c0.iter().all(|c| !c1.contains(c)), "cluster label collision");
+        assert!(
+            c0.iter().all(|c| !c1.contains(c)),
+            "cluster label collision"
+        );
     }
 
     #[test]

@@ -195,8 +195,7 @@ impl WorkloadModel {
             for f in &mut pop.files {
                 let total = f.read_bytes + f.write_bytes;
                 // Blend per-file ratio toward the trace-level ratio.
-                let per_file = r * 0.6
-                    + 0.4 * (f.read_bytes as f64 / (total.max(1)) as f64);
+                let per_file = r * 0.6 + 0.4 * (f.read_bytes as f64 / (total.max(1)) as f64);
                 f.read_bytes = (total as f64 * per_file) as u64;
                 f.write_bytes = total - f.read_bytes;
             }

@@ -16,14 +16,16 @@ fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
         1000.0f64..1e6, // duration
         any::<u64>(),   // seed
     )
-        .prop_map(|(n_files, n_clusters, frac, duration, seed)| GeneratorConfig {
-            n_files,
-            n_clusters,
-            clustered_fraction: frac,
-            duration,
-            seed,
-            ..GeneratorConfig::default()
-        })
+        .prop_map(
+            |(n_files, n_clusters, frac, duration, seed)| GeneratorConfig {
+                n_files,
+                n_clusters,
+                clustered_fraction: frac,
+                duration,
+                seed,
+                ..GeneratorConfig::default()
+            },
+        )
 }
 
 proptest! {

@@ -35,7 +35,13 @@ fn main() {
     let update_start = duration - 600.0;
     let updater_proc = 9999u32 % 128;
     let mut touched = Vec::new();
-    for (i, f) in pop.files.iter().enumerate().filter(|(i, _)| i % 50 == 3).take(120) {
+    for (i, f) in pop
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 50 == 3)
+        .take(120)
+    {
         let mut g = f.clone();
         g.mtime = update_start + (i % 600) as f64;
         g.atime = g.mtime;
@@ -44,7 +50,10 @@ fn main() {
         touched.push(g.file_id);
         sys.apply_change(Change::Modify(g));
     }
-    println!("software update rewrote {} files via proc {updater_proc}", touched.len());
+    println!(
+        "software update rewrote {} files via proc {updater_proc}",
+        touched.len()
+    );
 
     // --- The audit query --------------------------------------------
     // "Everything modified in the update window with non-trivial write
@@ -66,7 +75,10 @@ fn main() {
     qlo[5] = (4.0 * 1024.0 * 1024.0f64).ln(); // ≥ 4 MB written
     let out = sys.range_query(&qlo, &qhi, RouteMode::Offline);
 
-    let found = touched.iter().filter(|id| out.file_ids.contains(id)).count();
+    let found = touched
+        .iter()
+        .filter(|id| out.file_ids.contains(id))
+        .count();
     println!(
         "audit range query: {} results, {}/{} updated files found, \
          latency {:.2} ms, {} of {} units probed, {} group hops",

@@ -44,7 +44,11 @@ fn main() {
         masters.push(master.file_id);
         copies_of.push((master.file_id, copies));
     }
-    println!("population: {} files incl. {} planted duplicates", pop.files.len(), 40 * 3);
+    println!(
+        "population: {} files incl. {} planted duplicates",
+        pop.files.len(),
+        40 * 3
+    );
 
     let mut sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 21);
 

@@ -14,7 +14,10 @@ fn main() {
     // 1. A workload model stands in for a real file-system trace: here
     //    the MSN production-server model, 5 000 files.
     let pop = WorkloadModel::new(TraceKind::Msn).generate(5_000, 42);
-    println!("generated {} file-metadata records (MSN model)", pop.files.len());
+    println!(
+        "generated {} file-metadata records (MSN model)",
+        pop.files.len()
+    );
 
     // 2. Build the system: files are partitioned into 50 storage units
     //    by semantic correlation; the units aggregate into a semantic
@@ -67,7 +70,11 @@ fn main() {
     //    show me the 8 closest files".
     let tq = &w.topks[0];
     let out = sys.topk_query(&tq.point, tq.k, RouteMode::Offline);
-    let hits = tq.ideal.iter().filter(|id| out.file_ids.contains(id)).count();
+    let hits = tq
+        .ideal
+        .iter()
+        .filter(|id| out.file_ids.contains(id))
+        .count();
     println!(
         "top-{} query: recall {}/{}  latency={:.2} ms  units probed={}",
         tq.k,

@@ -27,7 +27,11 @@ struct LruCache {
 
 impl LruCache {
     fn new(cap: usize) -> Self {
-        Self { cap, queue: VecDeque::new(), set: HashMap::new() }
+        Self {
+            cap,
+            queue: VecDeque::new(),
+            set: HashMap::new(),
+        }
     }
 
     fn contains(&self, id: u64) -> bool {
@@ -74,7 +78,11 @@ fn main() {
             stream.push(members[(burst + k) % members.len()].clone());
         }
     }
-    println!("access stream: {} references in {} bursts", stream.len(), 300);
+    println!(
+        "access stream: {} references in {} bursts",
+        stream.len(),
+        300
+    );
 
     const CACHE: usize = 400;
     // Plain LRU.

@@ -9,6 +9,9 @@ pub use smartstore;
 pub use smartstore_bloom as bloom;
 pub use smartstore_bptree as bptree;
 pub use smartstore_linalg as linalg;
+pub use smartstore_persist as persist;
 pub use smartstore_rtree as rtree;
 pub use smartstore_simnet as simnet;
 pub use smartstore_trace as trace;
+
+pub use smartstore_persist::SystemPersist;

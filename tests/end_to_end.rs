@@ -3,7 +3,7 @@
 //! a downstream user would.
 
 use smartstore_repro::bptree::Dbms;
-use smartstore_repro::rtree::{bulk::str_bulk_load, Rect, RTreeConfig};
+use smartstore_repro::rtree::{bulk::str_bulk_load, RTreeConfig, Rect};
 use smartstore_repro::smartstore::routing::RouteMode;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::query_gen::{recall, QueryGenConfig};
@@ -23,7 +23,12 @@ fn build_everything(
     smartstore_repro::rtree::RTree<u64>,
 ) {
     let pop = WorkloadModel::new(kind).generate(n_files, seed);
-    let sys = SmartStoreSystem::build(pop.files.clone(), n_units, SmartStoreConfig::default(), seed);
+    let sys = SmartStoreSystem::build(
+        pop.files.clone(),
+        n_units,
+        SmartStoreConfig::default(),
+        seed,
+    );
     let mut db = Dbms::new(ATTR_DIMS, 16);
     for f in &pop.files {
         db.insert(f.file_id, &f.name, &f.attr_vector());
@@ -42,7 +47,13 @@ fn three_engines_agree_on_range_answers() {
     let (pop, mut sys, db, rt) = build_everything(TraceKind::Msn, 2000, 20, 1);
     let w = QueryWorkload::generate(
         &pop,
-        &QueryGenConfig { n_range: 25, n_topk: 0, n_point: 0, seed: 2, ..Default::default() },
+        &QueryGenConfig {
+            n_range: 25,
+            n_topk: 0,
+            n_point: 0,
+            seed: 2,
+            ..Default::default()
+        },
     );
     for q in &w.ranges {
         let mut smart = sys.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids;
@@ -65,13 +76,26 @@ fn topk_engines_agree_with_exhaustive_search() {
     let (pop, mut sys, _db, rt) = build_everything(TraceKind::Eecs, 1500, 15, 3);
     let w = QueryWorkload::generate(
         &pop,
-        &QueryGenConfig { n_range: 0, n_topk: 20, n_point: 0, k: 8, seed: 4, ..Default::default() },
+        &QueryGenConfig {
+            n_range: 0,
+            n_topk: 20,
+            n_point: 0,
+            k: 8,
+            seed: 4,
+            ..Default::default()
+        },
     );
     for q in &w.topks {
         let smart = sys.topk_query(&q.point, q.k, RouteMode::Offline).file_ids;
-        assert!(recall(&q.ideal, &smart) > 0.99, "SmartStore top-k not exhaustive-exact");
+        assert!(
+            recall(&q.ideal, &smart) > 0.99,
+            "SmartStore top-k not exhaustive-exact"
+        );
         let knn: Vec<u64> = rt.knn(&q.point, q.k).iter().map(|&(id, _)| *id).collect();
-        assert!(recall(&q.ideal, &knn) > 0.99, "R-tree k-NN not exhaustive-exact");
+        assert!(
+            recall(&q.ideal, &knn) > 0.99,
+            "R-tree k-NN not exhaustive-exact"
+        );
     }
 }
 
@@ -79,9 +103,20 @@ fn topk_engines_agree_with_exhaustive_search() {
 fn deterministic_build_across_runs() {
     let (_, sys_a, _, _) = build_everything(TraceKind::Hp, 1200, 12, 99);
     let (_, sys_b, _, _) = build_everything(TraceKind::Hp, 1200, 12, 99);
-    let files_a: Vec<u64> = sys_a.units().iter().flat_map(|u| u.files().iter().map(|f| f.file_id)).collect();
-    let files_b: Vec<u64> = sys_b.units().iter().flat_map(|u| u.files().iter().map(|f| f.file_id)).collect();
-    assert_eq!(files_a, files_b, "placement must be deterministic under fixed seed");
+    let files_a: Vec<u64> = sys_a
+        .units()
+        .iter()
+        .flat_map(|u| u.files().iter().map(|f| f.file_id))
+        .collect();
+    let files_b: Vec<u64> = sys_b
+        .units()
+        .iter()
+        .flat_map(|u| u.files().iter().map(|f| f.file_id))
+        .collect();
+    assert_eq!(
+        files_a, files_b,
+        "placement must be deterministic under fixed seed"
+    );
     assert_eq!(sys_a.stats().n_groups, sys_b.stats().n_groups);
 }
 
@@ -106,8 +141,7 @@ fn scale_up_preserves_query_semantics() {
     let pop = WorkloadModel::new(TraceKind::Msn).generate(400, 6);
     let scaled = scale_up(&pop, 4);
     assert_eq!(scaled.len(), 1600);
-    let mut sys =
-        SmartStoreSystem::build(scaled.files.clone(), 16, SmartStoreConfig::default(), 6);
+    let mut sys = SmartStoreSystem::build(scaled.files.clone(), 16, SmartStoreConfig::default(), 6);
     // Every sub-trace copy of one original file is found by name.
     let orig = &pop.files[42];
     for sub in 0..4 {
@@ -131,7 +165,10 @@ fn linalg_supports_the_full_pipeline() {
     let svd = jacobi_svd(&m);
     assert_eq!(svd.sigma.len(), ATTR_DIMS);
     let err = m.sub(&svd.reconstruct()).frobenius_norm() / m.frobenius_norm();
-    assert!(err < 1e-9, "SVD must reconstruct the attribute matrix, err {err}");
+    assert!(
+        err < 1e-9,
+        "SVD must reconstruct the attribute matrix, err {err}"
+    );
 }
 
 #[test]
@@ -162,10 +199,16 @@ fn workload_distributions_drive_different_query_mixes() {
             },
         )
     };
-    let zipf_pop: usize =
-        gen(QueryDistribution::Zipf).ranges.iter().map(|q| q.ideal.len()).sum();
-    let unif_pop: usize =
-        gen(QueryDistribution::Uniform).ranges.iter().map(|q| q.ideal.len()).sum();
+    let zipf_pop: usize = gen(QueryDistribution::Zipf)
+        .ranges
+        .iter()
+        .map(|q| q.ideal.len())
+        .sum();
+    let unif_pop: usize = gen(QueryDistribution::Uniform)
+        .ranges
+        .iter()
+        .map(|q| q.ideal.len())
+        .sum();
     assert!(
         zipf_pop > unif_pop,
         "Zipf-centred ranges must hit denser regions ({zipf_pop} vs {unif_pop})"
