@@ -1,0 +1,228 @@
+//! Thread-scaling benchmark for the parallel grouping/LSI hot path.
+//!
+//! Sweeps the shim-rayon pool over 1/2/4/8 threads and times the four
+//! parallel kernels of the pipeline at a 10k-file population
+//! (2k under `--quick`/`--test`, plus a 50k size under `--full`):
+//!
+//! 1. `partition_tiled` — LSI fit (standardize + SVD) and semantic
+//!    sort-tile placement;
+//! 2. `partition_balanced` — LSI fit + parallel K-means assignment;
+//! 3. `group_level` — the O(n²) pairwise kernel-similarity grouping,
+//!    on a subsample sized so the quadratic term dominates;
+//! 4. `encode_snapshot` — parallel per-unit record encode + CRC.
+//!
+//! Every run is checked **bit-identical** against the 1-thread
+//! (sequential) reference before its time is reported — a scaling
+//! number for a wrong answer is worthless. The table is printed and
+//! written as JSON (`scaling_<n>.json`) under `target/bench-reports`
+//! (override with `BENCH_REPORT_DIR`) so the perf trajectory is
+//! machine-trackable across PRs.
+//!
+//! Run with `cargo bench -p smartstore-bench --bench scaling`
+//! (`-- --quick` for the CI smoke size, `-- --threads 1,2` to
+//! restrict the sweep).
+
+use rayon::ThreadPoolBuilder;
+use smartstore::grouping::{group_level, partition_balanced, partition_tiled, LevelGrouping};
+use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_bench::fixture::population;
+use smartstore_bench::Report;
+use smartstore_persist::snapshot::encode_snapshot;
+use smartstore_trace::TraceKind;
+use std::path::Path;
+use std::time::Instant;
+
+const LSI_RANK: usize = 3;
+const UNITS: usize = 60;
+
+struct RunResult {
+    tiled: Vec<usize>,
+    balanced: Vec<usize>,
+    grouping: LevelGrouping,
+    snapshot: Vec<u8>,
+    tiled_ms: f64,
+    balanced_ms: f64,
+    kernel_ms: f64,
+    encode_ms: f64,
+}
+
+impl RunResult {
+    fn total_ms(&self) -> f64 {
+        self.tiled_ms + self.balanced_ms + self.kernel_ms + self.encode_ms
+    }
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn run_workload(
+    vectors: &[Vec<f64>],
+    kernel_sub: &[Vec<f64>],
+    parts: &smartstore::system::SystemParts,
+) -> RunResult {
+    let t = Instant::now();
+    let tiled = partition_tiled(vectors, UNITS, LSI_RANK);
+    let tiled_ms = ms(t);
+
+    let t = Instant::now();
+    let balanced = partition_balanced(vectors, UNITS, LSI_RANK, 7);
+    let balanced_ms = ms(t);
+
+    let t = Instant::now();
+    let grouping = group_level(kernel_sub, 0.9, LSI_RANK, 10);
+    let kernel_ms = ms(t);
+
+    let t = Instant::now();
+    let (snapshot, _) = encode_snapshot(parts);
+    let encode_ms = ms(t);
+
+    RunResult {
+        tiled,
+        balanced,
+        grouping,
+        snapshot,
+        tiled_ms,
+        balanced_ms,
+        kernel_ms,
+        encode_ms,
+    }
+}
+
+fn assert_bit_identical(reference: &RunResult, run: &RunResult, threads: usize) {
+    assert_eq!(
+        reference.tiled, run.tiled,
+        "partition_tiled diverged at {threads} threads"
+    );
+    assert_eq!(
+        reference.balanced, run.balanced,
+        "partition_balanced diverged at {threads} threads"
+    );
+    assert_eq!(
+        reference.grouping.groups, run.grouping.groups,
+        "group_level groups diverged at {threads} threads"
+    );
+    for (a, b) in reference
+        .grouping
+        .centroids
+        .iter()
+        .zip(&run.grouping.centroids)
+    {
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "group_level centroid bits diverged at {threads} threads"
+            );
+        }
+    }
+    assert_eq!(
+        reference.snapshot, run.snapshot,
+        "snapshot bytes diverged at {threads} threads"
+    );
+}
+
+fn sweep(n_files: usize, thread_counts: &[usize], report_dir: &Path) {
+    println!("== scaling sweep: {n_files} files, threads {thread_counts:?} ==");
+    let pop = population(TraceKind::Msn, n_files, 7);
+    let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
+    // Subsample for the O(n²) kernel so its cost stays comparable to
+    // the linear phases.
+    let kernel_n = (n_files / 10).clamp(100, 1_500);
+    let kernel_sub: Vec<Vec<f64>> = vectors[..kernel_n].to_vec();
+    // One system build for the snapshot-encode phase.
+    let sys = SmartStoreSystem::build(pop.files.clone(), UNITS, SmartStoreConfig::default(), 7);
+    let parts = sys.to_parts();
+
+    let mut report = Report::new(
+        &format!("scaling_{n_files}"),
+        "Thread scaling of the grouping/LSI/persist hot path",
+        &[
+            "threads",
+            "tiled_ms",
+            "kmeans_ms",
+            "kernel_ms",
+            "encode_ms",
+            "total_ms",
+            "speedup_vs_1t",
+        ],
+    );
+
+    let mut reference: Option<RunResult> = None;
+    for &threads in thread_counts {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let run = pool.install(|| run_workload(&vectors, &kernel_sub, &parts));
+        let baseline_ms = reference
+            .as_ref()
+            .map_or(run.total_ms(), RunResult::total_ms);
+        let speedup = baseline_ms / run.total_ms().max(1e-9);
+        report.row(&[
+            threads.to_string(),
+            format!("{:.1}", run.tiled_ms),
+            format!("{:.1}", run.balanced_ms),
+            format!("{:.1}", run.kernel_ms),
+            format!("{:.1}", run.encode_ms),
+            format!("{:.1}", run.total_ms()),
+            format!("{speedup:.2}"),
+        ]);
+        match &reference {
+            None => reference = Some(run),
+            Some(r) => assert_bit_identical(r, &run, threads),
+        }
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.note(format!(
+        "host has {host} hardware thread(s); speedups are bounded by physical cores, \
+         not pool size"
+    ));
+    report.note(format!(
+        "kernel phase runs group_level on a {kernel_n}-item subsample (O(n²) term)"
+    ));
+    report.note("all multi-thread runs verified bit-identical to the 1-thread reference");
+    print!("{}", report.render());
+    if let Err(e) = report.write_json(report_dir) {
+        eprintln!("warning: could not write JSON report: {e}");
+    } else {
+        println!(
+            "json report: {}",
+            report_dir.join(format!("scaling_{n_files}.json")).display()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let full = args.iter().any(|a| a == "--full");
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|spec| {
+            spec.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect()
+        })
+        .unwrap_or_else(|| if quick { vec![1, 2] } else { vec![1, 2, 4, 8] });
+    assert!(
+        threads.first() == Some(&1),
+        "the sweep needs the 1-thread run first as the bit-identity reference"
+    );
+
+    let report_dir = smartstore_bench::report::default_report_dir();
+
+    let sizes: Vec<usize> = if quick {
+        vec![2_000]
+    } else if full {
+        vec![10_000, 50_000]
+    } else {
+        vec![10_000]
+    };
+    for n in sizes {
+        sweep(n, &threads, &report_dir);
+    }
+}

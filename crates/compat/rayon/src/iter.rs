@@ -1,0 +1,625 @@
+//! Parallel iterators over the pool in [`crate::pool`].
+//!
+//! The pipeline abstraction is [`Chunked`]: a value that knows the
+//! length of its index space and can evaluate any sub-range of it, in
+//! order, into a sink. Sources (ranges, vectors, slices, chunked
+//! slices) and adapters (`map`, `filter`, `enumerate`) compose by
+//! wrapping each other's `eval`; terminal operations (`collect`,
+//! `for_each`, `sum`, `count`) hand the composed pipeline to
+//! [`run_chunked`], which deals disjoint index ranges to the pool.
+//!
+//! Ordering and determinism: chunk boundaries depend only on the
+//! length (see [`crate::pool::chunking`]), items within a chunk are
+//! produced in index order, and every combining terminal assembles
+//! per-chunk partials in chunk order — so `collect` preserves order
+//! exactly and even floating-point `sum` is bit-identical across
+//! thread counts.
+
+use crate::pool::run_chunked;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A parallel pipeline stage: an indexed space of items that can be
+/// evaluated range-by-range.
+///
+/// `len` is the size of the *index space*, not necessarily the number
+/// of items produced (`filter` keeps the index space and drops items).
+/// `enumerate` numbers the index space, so — exactly as with rayon's
+/// indexed iterators — it must not be applied downstream of `filter`.
+///
+/// # Safety
+/// Implementations may *move* items out of owned storage by index
+/// (see [`VecIntoIter`]). Callers must therefore evaluate disjoint
+/// ranges only, each index at most once per pipeline value. The
+/// terminals in this module uphold this via [`run_chunked`].
+pub unsafe trait Chunked: Send + Sync + Sized {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Size of the index space.
+    fn len(&self) -> usize;
+
+    /// True if the index space is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates positions `range` in order, feeding each produced
+    /// item to `sink`.
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item));
+}
+
+// ---------------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+#[derive(Clone, Debug)]
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        unsafe impl Chunked for RangeIter<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut($t)) {
+                for i in range {
+                    sink(self.start + i as $t);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u64, u32, i64, i32);
+
+/// Parallel draining iterator over an owned `Vec<T>`.
+///
+/// Items are moved out exactly once during the terminal drive. Any
+/// item *not* consumed — because a sibling chunk panicked mid-drive,
+/// or because the pipeline value was dropped without running a
+/// terminal at all — is **leaked** (its `Drop` never runs; the buffer
+/// itself is still freed). Leaking instead of dropping keeps the
+/// concurrent move-out free of per-item consumption tracking and can
+/// never double-drop; real rayon drops unconsumed items, so avoid
+/// relying on drop side effects of items fed through `into_par_iter`,
+/// and always finish pipelines with a terminal operation.
+pub struct VecIntoIter<T: Send> {
+    data: Vec<ManuallyDrop<T>>,
+}
+
+// Safety: items are only moved out under the exactly-once contract of
+// `Chunked::eval`; no shared mutation of the buffer itself occurs.
+unsafe impl<T: Send> Sync for VecIntoIter<T> {}
+
+unsafe impl<T: Send> Chunked for VecIntoIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(T)) {
+        for i in range {
+            // Safety: each index is evaluated at most once (trait
+            // contract), so this read is the unique move of item `i`.
+            let item = unsafe { std::ptr::read(self.data.as_ptr().add(i)) };
+            sink(ManuallyDrop::into_inner(item));
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIntoIter<T> {
+        let mut v = ManuallyDrop::new(self);
+        let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+        // Safety: `ManuallyDrop<T>` is `repr(transparent)` over `T`,
+        // so the buffer can be reinterpreted element-wise; dropping
+        // the resulting vec frees the buffer without dropping items.
+        let data = unsafe { Vec::from_raw_parts(ptr.cast::<ManuallyDrop<T>>(), len, cap) };
+        VecIntoIter { data }
+    }
+}
+
+/// Parallel iterator over `&[T]`, yielding `&T`.
+#[derive(Clone, Debug)]
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> Chunked for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[range] {
+            sink(item);
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over non-overlapping sub-slices of `&[T]`.
+#[derive(Clone, Debug)]
+pub struct Chunks<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+unsafe impl<'a, T: Sync> Chunked for Chunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(&'a [T])) {
+        for c in range {
+            let start = c * self.size;
+            let end = (start + self.size).min(self.slice.len());
+            sink(&self.slice[start..end]);
+        }
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable sub-slices.
+pub struct ChunksMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Safety: distinct chunk indexes map to disjoint sub-slices, and the
+// exactly-once contract of `Chunked::eval` guarantees each index is
+// evaluated by at most one thread.
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+unsafe impl<'a, T: Send> Chunked for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(&'a mut [T])) {
+        for c in range {
+            let start = c * self.size;
+            let end = (start + self.size).min(self.len);
+            // Safety: disjoint per chunk index (see impl-level note);
+            // the pointer stays valid for `'a`.
+            let s = unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) };
+            sink(s);
+        }
+    }
+}
+
+/// `par_chunks` for slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element sub-slices (the last may
+    /// be shorter). `size` must be non-zero.
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "par_chunks: chunk size must be non-zero");
+        Chunks { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` for slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `size`-element mutable sub-slices (the
+    /// last may be shorter). `size` must be non-zero.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// The [`ParallelIterator::map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<C, F> {
+    base: C,
+    f: F,
+}
+
+unsafe impl<C, F, R> Chunked for Map<C, F>
+where
+    C: Chunked,
+    F: Fn(C::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(R)) {
+        let f = &self.f;
+        self.base.eval(range, &mut |item| sink(f(item)));
+    }
+}
+
+/// The [`ParallelIterator::filter`] adapter.
+#[derive(Clone, Debug)]
+pub struct Filter<C, F> {
+    base: C,
+    f: F,
+}
+
+unsafe impl<C, F> Chunked for Filter<C, F>
+where
+    C: Chunked,
+    F: Fn(&C::Item) -> bool + Send + Sync,
+{
+    type Item = C::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut(C::Item)) {
+        let f = &self.f;
+        self.base.eval(range, &mut |item| {
+            if f(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+/// The [`ParallelIterator::enumerate`] adapter.
+#[derive(Clone, Debug)]
+pub struct Enumerate<C> {
+    base: C,
+}
+
+unsafe impl<C: Chunked> Chunked for Enumerate<C> {
+    type Item = (usize, C::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, range: Range<usize>, sink: &mut dyn FnMut((usize, C::Item))) {
+        let mut idx = range.start;
+        self.base.eval(range.clone(), &mut |item| {
+            sink((idx, item));
+            idx += 1;
+        });
+        // An index-exact upstream yields exactly one item per index.
+        // A filtered upstream would silently misnumber — the real
+        // rayon rejects that at compile time, so fail loudly here.
+        assert_eq!(
+            idx, range.end,
+            "enumerate() requires an index-exact upstream (one item per index); \
+             do not apply it after filter()"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Terminal operations + the user-facing traits.
+// ---------------------------------------------------------------------------
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+        run_chunked(iter.len(), &|chunk_idx, range| {
+            let mut out = Vec::with_capacity(range.len());
+            iter.eval(range, &mut |item| out.push(item));
+            parts.lock().unwrap().push((chunk_idx, out));
+        });
+        let mut parts = parts.into_inner().unwrap();
+        parts.sort_unstable_by_key(|&(i, _)| i);
+        let total = parts.iter().map(|(_, v)| v.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for (_, v) in parts {
+            out.extend(v);
+        }
+        out
+    }
+}
+
+/// The parallel-iterator operations. Blanket-implemented for every
+/// [`Chunked`] pipeline stage.
+pub trait ParallelIterator: Chunked {
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only items for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Pairs each item with its index. Must not be applied after
+    /// [`ParallelIterator::filter`] (indexed iterators only — same
+    /// restriction rayon enforces through its type system).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Calls `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_chunked(self.len(), &|_, range| {
+            self.eval(range, &mut |item| f(item));
+        });
+    }
+
+    /// Sums the items. Per-chunk partial sums are combined in chunk
+    /// order, and chunking is length-only, so the result is identical
+    /// for every thread count (sequential included).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let parts: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::new());
+        run_chunked(self.len(), &|chunk_idx, range| {
+            let mut buf = Vec::with_capacity(range.len());
+            self.eval(range, &mut |item| buf.push(item));
+            let partial: S = buf.into_iter().sum();
+            parts.lock().unwrap().push((chunk_idx, partial));
+        });
+        let mut parts = parts.into_inner().unwrap();
+        parts.sort_unstable_by_key(|&(i, _)| i);
+        parts.into_iter().map(|(_, s)| s).sum()
+    }
+
+    /// Counts the produced items (after filtering).
+    fn count(self) -> usize {
+        let n = AtomicUsize::new(0);
+        run_chunked(self.len(), &|_, range| {
+            let mut local = 0usize;
+            self.eval(range, &mut |_| local += 1);
+            n.fetch_add(local, Ordering::Relaxed);
+        });
+        n.into_inner()
+    }
+
+    /// Collects into `C`, preserving item order exactly as the
+    /// sequential iterator would.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+impl<C: Chunked> ParallelIterator for C {}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` — borrowing conversion, implemented for anything whose
+/// reference converts (slices, vectors).
+pub trait IntoParallelRefIterator<'data> {
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a borrow).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPoolBuilder;
+
+    fn with_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(f)
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        for t in [1, 2, 4, 8] {
+            let v: Vec<usize> = with_pool(t, || {
+                (0..10_000usize).into_par_iter().map(|x| x * 2).collect()
+            });
+            assert_eq!(v.len(), 10_000);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let data: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
+        let out: Vec<String> = with_pool(4, || {
+            data.into_par_iter()
+                .map(|mut s| {
+                    s.push('!');
+                    s
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[0], "item-0!");
+        assert_eq!(out[499], "item-499!");
+    }
+
+    #[test]
+    fn filter_then_count_and_collect() {
+        let (n, v) = with_pool(4, || {
+            let n = (0..1000usize)
+                .into_par_iter()
+                .filter(|x| x % 3 == 0)
+                .count();
+            let v: Vec<usize> = (0..1000usize)
+                .into_par_iter()
+                .filter(|x| x % 3 == 0)
+                .collect();
+            (n, v)
+        });
+        assert_eq!(n, 334);
+        assert_eq!(v, (0..1000usize).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_matches_sequential() {
+        let w: Vec<(usize, i32)> =
+            with_pool(3, || vec![5i32, 7, 9].into_par_iter().enumerate().collect());
+        assert_eq!(w, vec![(0, 5), (1, 7), (2, 9)]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        with_pool(4, || {
+            let e: Vec<usize> = (0..0usize).into_par_iter().collect();
+            assert!(e.is_empty());
+            let e2: Vec<u8> = Vec::<u8>::new().into_par_iter().collect();
+            assert!(e2.is_empty());
+            let s: Vec<usize> = (7..8usize).into_par_iter().collect();
+            assert_eq!(s, vec![7]);
+            (0..0usize)
+                .into_par_iter()
+                .for_each(|_| panic!("must not run"));
+        });
+    }
+
+    #[test]
+    fn float_sum_bit_identical_across_thread_counts() {
+        let data: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.37).sin() / 7.3).collect();
+        let sums: Vec<f64> = [1, 2, 4, 8]
+            .iter()
+            .map(|&t| with_pool(t, || data.par_iter().map(|&x| x * 1.000001).sum::<f64>()))
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    }
+
+    #[test]
+    fn par_iter_over_slice_and_vec() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let s: u64 = with_pool(2, || data.par_iter().map(|&x| x * x).sum());
+        assert_eq!(s, 55);
+        let slice: &[u64] = &data;
+        let s2: u64 = with_pool(2, || slice.par_iter().map(|&x| x).sum());
+        assert_eq!(s2, 15);
+    }
+
+    #[test]
+    fn par_chunks_sees_every_element_once() {
+        let data: Vec<usize> = (0..1003).collect();
+        let total: usize = with_pool(4, || {
+            data.par_chunks(17).map(|c| c.iter().sum::<usize>()).sum()
+        });
+        assert_eq!(total, 1003 * 1002 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_rows() {
+        let mut data = vec![0u64; 12 * 100];
+        with_pool(4, || {
+            data.par_chunks_mut(100)
+                .enumerate()
+                .for_each(|(row, chunk)| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = (row * 1000 + j) as u64;
+                    }
+                });
+        });
+        for row in 0..12 {
+            for j in 0..100 {
+                assert_eq!(data[row * 100 + j], (row * 1000 + j) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_map_propagates_and_leaks_no_unsafety() {
+        let data: Vec<Box<u32>> = (0..1000).map(Box::new).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_pool(4, || {
+                let _: Vec<u32> = data
+                    .into_par_iter()
+                    .map(|b| if *b == 777 { panic!("bad box") } else { *b })
+                    .collect();
+            })
+        }));
+        assert!(caught.is_err());
+    }
+}

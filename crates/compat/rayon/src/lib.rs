@@ -1,25 +1,47 @@
-//! Workspace-local, dependency-free stand-in for the `rayon` API subset
-//! this repository uses.
+//! Workspace-local, dependency-free implementation of the `rayon` API
+//! subset this repository uses — backed by a **real work-stealing
+//! thread pool**, not a sequential fallback.
 //!
-//! The build environment has no crate-registry access, so
-//! `into_par_iter()` here simply yields the ordinary sequential
-//! iterator: the call sites keep their shape (and can switch back to
-//! real data parallelism by swapping this shim for the actual `rayon`
-//! in the workspace manifests) while the semantics stay identical —
-//! rayon's parallel `collect` preserves order exactly like the
-//! sequential one.
+//! The build environment has no crate-registry access, so this crate
+//! reimplements, on top of `std::thread` + atomics only:
+//!
+//! * [`prelude`] — `into_par_iter` / `par_iter` with `map`, `filter`,
+//!   `enumerate`, `for_each`, `sum`, `count`, order-preserving
+//!   `collect`, plus `par_chunks` / `par_chunks_mut` on slices;
+//! * [`join`] and [`scope`] for fork-join task parallelism;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] with `install`, honoring
+//!   `RAYON_NUM_THREADS` for the global pool.
+//!
+//! Scheduling is a global injector plus cooperative chunk stealing
+//! (see [`mod@pool`]); panics inside parallel regions propagate to the
+//! caller. Two deliberate guarantees go *beyond* rayon:
+//!
+//! 1. **Order preservation** — `collect` always yields sequential
+//!    order (rayon guarantees this for indexed iterators; here it
+//!    holds universally).
+//! 2. **Bit-identical determinism** — chunk boundaries depend only on
+//!    input length, and partial results combine in chunk order, so
+//!    every result (floating-point reductions included) is identical
+//!    across thread counts, including a 1-thread pool. The workspace's
+//!    grouping/LSI pipelines rely on this for reproducibility.
+//!
+//! Swapping this shim for the actual `rayon` remains a one-line change
+//! in `[workspace.dependencies]`.
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::{
+    current_num_threads, default_thread_count, join, scope, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// The traits needed to call parallel-iterator methods.
 pub mod prelude {
-    /// Sequential re-interpretation of rayon's `IntoParallelIterator`:
-    /// the "parallel" iterator *is* the standard iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the item iterator (sequential fallback).
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -28,10 +50,22 @@ mod tests {
 
     #[test]
     fn par_iter_is_order_preserving() {
-        let v: Vec<usize> = (0..100).into_par_iter().map(|x| x * 2).collect();
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(v[0], 0);
         assert_eq!(v[99], 198);
         let w: Vec<(usize, i32)> = vec![5i32, 7, 9].into_par_iter().enumerate().collect();
         assert_eq!(w, vec![(0, 5), (1, 7), (2, 9)]);
+    }
+
+    #[test]
+    fn global_pool_works_without_setup() {
+        // Exercises the lazily-initialized global pool (size taken
+        // from RAYON_NUM_THREADS / hardware parallelism).
+        let n: usize = (0..10_000usize)
+            .into_par_iter()
+            .filter(|x| x % 7 == 0)
+            .count();
+        assert_eq!(n, 1429);
+        assert!(crate::current_num_threads() >= 1);
     }
 }

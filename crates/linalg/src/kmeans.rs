@@ -7,6 +7,7 @@
 
 use crate::sq_euclidean;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Result of a K-means run.
 #[derive(Clone, Debug)]
@@ -49,12 +50,17 @@ pub fn kmeans<R: Rng>(items: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R
 
     for _ in 0..max_iter {
         iterations += 1;
-        // Assignment step.
+        // Assignment step: each item's nearest-centroid search is
+        // independent, so this O(n·k·d) scan — the K-means hot loop —
+        // parallelizes with bit-identical results.
+        let best: Vec<usize> = items
+            .par_iter()
+            .map(|item| nearest_centroid(item, &centroids))
+            .collect();
         let mut changed = false;
-        for (i, item) in items.iter().enumerate() {
-            let best = nearest_centroid(item, &centroids);
-            if assignments[i] != best {
-                assignments[i] = best;
+        for (a, b) in assignments.iter_mut().zip(best) {
+            if *a != b {
+                *a = b;
                 changed = true;
             }
         }

@@ -68,15 +68,27 @@ impl RowScaler {
         Self { mean, inv_std }
     }
 
+    /// Standardizes a whole matrix. Copies once, then scales each row
+    /// in place through flat row slices (no per-element index
+    /// arithmetic, no temporaries), rows in parallel — each row's
+    /// arithmetic is independent, so the result is bit-identical to
+    /// the sequential sweep.
     fn apply_matrix(&self, a: &Matrix) -> Matrix {
-        let (d, n) = a.shape();
-        let mut out = Matrix::zeros(d, n);
-        for r in 0..d {
-            let (m, s) = (self.mean[r], self.inv_std[r]);
-            for c in 0..n {
-                out[(r, c)] = (a[(r, c)] - m) * s;
-            }
+        let mut out = a.clone();
+        let (d, n) = out.shape();
+        if d == 0 || n == 0 {
+            return out;
         }
+        let (mean, inv_std) = (&self.mean, &self.inv_std);
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| {
+                let (m, s) = (mean[r], inv_std[r]);
+                for x in row {
+                    *x = (*x - m) * s;
+                }
+            });
         out
     }
 
@@ -94,10 +106,14 @@ pub struct Lsi {
     config: LsiConfig,
     scaler: Option<RowScaler>,
     svd: TruncatedSvd,
-    /// Semantic coordinates of each item: `coords[j]` has length `p` and
-    /// equals column `j` of `Σ_p Vᵀ_p` (so inner products approximate
-    /// `AᵀA` entries).
-    coords: Vec<Vec<f64>>,
+    /// Semantic coordinates of all items, flattened `n × p` row-major:
+    /// row `j` equals column `j` of `Σ_p Vᵀ_p` (so inner products
+    /// approximate `AᵀA` entries). One allocation for the whole
+    /// corpus instead of one `Vec` per item — the coordinate table is
+    /// read in the O(n²) similarity hot loop.
+    coords: Vec<f64>,
+    /// Items fitted (`coords.len() == n_items * rank`).
+    n_items: usize,
 }
 
 impl Lsi {
@@ -113,18 +129,18 @@ impl Lsi {
         let svd = truncated_svd(&scaled, rank);
         let n = attr_by_item.cols();
         let p = svd.rank();
-        let coords = (0..n)
-            .map(|j| {
-                (0..p)
-                    .map(|r| svd.sigma[r] * svd.vt[(r, j)])
-                    .collect::<Vec<f64>>()
-            })
-            .collect();
+        let mut coords = vec![0.0; n * p];
+        for (j, row) in coords.chunks_exact_mut(p.max(1)).enumerate() {
+            for (r, c) in row.iter_mut().enumerate() {
+                *c = svd.sigma[r] * svd.vt[(r, j)];
+            }
+        }
         Self {
             config,
             scaler,
             svd,
             coords,
+            n_items: n,
         }
     }
 
@@ -143,7 +159,7 @@ impl Lsi {
 
     /// Number of items the model was fitted on.
     pub fn n_items(&self) -> usize {
-        self.coords.len()
+        self.n_items
     }
 
     /// Retained rank.
@@ -156,15 +172,17 @@ impl Lsi {
         self.config
     }
 
-    /// Semantic coordinates of item `j`.
+    /// Semantic coordinates of item `j` (a slice into the flat
+    /// coordinate table, length [`Self::rank`]).
     pub fn item_coords(&self, j: usize) -> &[f64] {
-        &self.coords[j]
+        let p = self.svd.rank();
+        &self.coords[j * p..(j + 1) * p]
     }
 
     /// Correlation (cosine in semantic space) between items `i` and `j`,
     /// in `[-1, 1]`.
     pub fn similarity(&self, i: usize, j: usize) -> f64 {
-        cosine_similarity(&self.coords[i], &self.coords[j])
+        cosine_similarity(self.item_coords(i), self.item_coords(j))
     }
 
     /// Folds an ad-hoc D-dimensional query into the semantic subspace,
@@ -179,7 +197,7 @@ impl Lsi {
 
     /// Correlation between an ad-hoc query vector and item `j`.
     pub fn query_similarity(&self, q: &[f64], j: usize) -> f64 {
-        cosine_similarity(&self.fold_query(q), &self.coords[j])
+        cosine_similarity(&self.fold_query(q), self.item_coords(j))
     }
 
     /// Index of the item most similar to the query, or `None` for an
@@ -187,7 +205,7 @@ impl Lsi {
     pub fn most_similar_item(&self, q: &[f64]) -> Option<usize> {
         let folded = self.fold_query(q);
         (0..self.n_items())
-            .map(|j| (j, cosine_similarity(&folded, &self.coords[j])))
+            .map(|j| (j, cosine_similarity(&folded, self.item_coords(j))))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .map(|(j, _)| j)
     }

@@ -5,8 +5,13 @@
 //! cache-friendly column sweeps, and panics loudly on shape mismatches
 //! (shape errors here are always programming bugs, never data errors).
 
+use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Below this many multiply-adds a matrix product runs sequentially:
+/// the parallel dispatch overhead would dominate the arithmetic.
+const PAR_MATMUL_FLOPS: usize = 1 << 15;
 
 /// A dense `rows × cols` matrix of `f64`, stored row-major.
 #[derive(Clone, PartialEq)]
@@ -106,6 +111,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// A single row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
@@ -148,7 +159,11 @@ impl Matrix {
     /// Matrix product `self * other`.
     ///
     /// Uses the classic ikj loop order so the innermost loop streams over
-    /// contiguous rows of both the output and `other`.
+    /// contiguous rows of both the output and `other`, and computes
+    /// output rows in parallel once the product is big enough to
+    /// amortize the dispatch. Each output row is produced by exactly
+    /// the sequential per-row computation, so the result is
+    /// bit-identical at every thread count.
     ///
     /// # Panics
     /// If `self.cols != other.rows`.
@@ -159,18 +174,30 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        if out.data.is_empty() {
+            return out;
+        }
+        let fill_row = |i: usize, out_row: &mut [f64]| {
             for k in 0..self.cols {
                 let a = self[(i, k)];
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
-                    out_row[j] += a * b;
+                for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
+                    *o += a * b;
                 }
             }
+        };
+        if self.rows * self.cols * other.cols < PAR_MATMUL_FLOPS {
+            for i in 0..self.rows {
+                fill_row(i, out.row_mut(i));
+            }
+        } else {
+            let cols = out.cols;
+            out.data
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(i, out_row)| fill_row(i, out_row));
         }
         out
     }
@@ -324,6 +351,33 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn large_matmul_matches_naive_triple_loop() {
+        // 48×48×48 > PAR_MATMUL_FLOPS ⇒ exercises the parallel path;
+        // must agree bit-for-bit with the naive product.
+        let n = 48;
+        let mut seed = 9u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let c = a.matmul(&b);
+        let mut naive = Matrix::zeros(n, n);
+        for i in 0..n {
+            for k in 0..n {
+                let av = a[(i, k)];
+                for j in 0..n {
+                    naive[(i, j)] += av * b[(k, j)];
+                }
+            }
+        }
+        assert_eq!(c, naive);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use smartstore_linalg::{kmeans, sq_euclidean, Lsi, LsiConfig};
 
 /// One level of grouping: which input items belong to which group.
@@ -41,31 +42,44 @@ pub struct GroupingHierarchy {
     pub levels: Vec<LevelGrouping>,
 }
 
-/// Centroid (arithmetic mean) of a set of vectors.
-fn centroid(vectors: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
+/// Centroid (arithmetic mean) of a set of vectors, written into a
+/// caller-provided scratch buffer (resized to the vector dimension) so
+/// hot loops can amortize the allocation across groups.
+fn centroid_into(vectors: &[Vec<f64>], members: &[usize], c: &mut Vec<f64>) {
     let d = vectors[members[0]].len();
-    let mut c = vec![0.0; d];
+    c.clear();
+    c.resize(d, 0.0);
     for &m in members {
         for (ci, &x) in c.iter_mut().zip(&vectors[m]) {
             *ci += x;
         }
     }
-    for ci in &mut c {
+    for ci in c.iter_mut() {
         *ci /= members.len() as f64;
     }
+}
+
+/// Centroid (arithmetic mean) of a set of vectors.
+fn centroid(vectors: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
+    let mut c = Vec::new();
+    centroid_into(vectors, members, &mut c);
     c
 }
 
 /// Within-group sum of squares — the paper's semantic-correlation
 /// measure `Σᵢ Σ_{fⱼ∈Gᵢ} (fⱼ − Cᵢ)²` (§1.1).
+///
+/// One centroid scratch buffer is reused across all groups (this runs
+/// once per candidate ε in the [`optimal_threshold`] sweep).
 pub fn wcss(vectors: &[Vec<f64>], groups: &[Vec<usize>]) -> f64 {
+    let mut scratch = Vec::new();
     groups
         .iter()
         .filter(|g| !g.is_empty())
         .map(|g| {
-            let c = centroid(vectors, g);
+            centroid_into(vectors, g, &mut scratch);
             g.iter()
-                .map(|&m| sq_euclidean(&vectors[m], &c))
+                .map(|&m| sq_euclidean(&vectors[m], &scratch))
                 .sum::<f64>()
         })
         .sum()
@@ -77,7 +91,6 @@ pub fn wcss(vectors: &[Vec<f64>], groups: &[Vec<usize>]) -> f64 {
 /// the partner with the largest correlation is preferred (§3.2.1), and
 /// merges respect `max_group_size` so that "group sizes are
 /// approximately equal" (Statement 1).
-#[allow(clippy::needless_range_loop)] // i<j pair enumeration reads best as indices
 pub fn group_level(
     vectors: &[Vec<f64>],
     epsilon: f64,
@@ -99,17 +112,7 @@ pub fn group_level(
     }
 
     let sims = kernel_similarities(vectors, lsi_rank);
-    // All pairs above the threshold, sorted by correlation descending.
-    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let c = sims[i][j];
-            if c > epsilon {
-                pairs.push((i, j, c));
-            }
-        }
-    }
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    let pairs = upper_triangle_pairs(&sims, Some(epsilon));
 
     // Union-find with size caps.
     let mut parent: Vec<usize> = (0..n).collect();
@@ -137,7 +140,7 @@ pub fn group_level(
     let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
     // Deterministic order: by smallest member.
     groups.sort_by_key(|g| g[0]);
-    let centroids = groups.iter().map(|g| centroid(vectors, g)).collect();
+    let centroids = groups.par_iter().map(|g| centroid(vectors, g)).collect();
     LevelGrouping {
         groups,
         centroids,
@@ -187,14 +190,47 @@ pub fn build_hierarchy(
     GroupingHierarchy { levels }
 }
 
+/// All upper-triangle `(i, j, sims[i][j])` pairs with `i < j` —
+/// restricted to correlations strictly above `min` when given — sorted
+/// by correlation descending (ties by lower `i`, then original
+/// enumeration order under the stable sort).
+///
+/// The O(n²) scan is parallel over rows; flattening in row order
+/// reproduces the sequential i-major, j-minor enumeration exactly, so
+/// the result is bit-identical at every thread count. Both grouping
+/// paths ([`group_level`], [`force_pair`]) share this enumeration —
+/// keeping them in lockstep is what preserves the parallel ≡
+/// sequential property.
+fn upper_triangle_pairs(sims: &[Vec<f64>], min: Option<f64>) -> Vec<(usize, usize, f64)> {
+    let n = sims.len();
+    let row_pairs: Vec<Vec<(usize, usize, f64)>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            sims[i][i + 1..]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| min.is_none_or(|m| c > m))
+                .map(|(off, &c)| (i, i + 1 + off, c))
+                .collect()
+        })
+        .collect();
+    let mut pairs: Vec<(usize, usize, f64)> = row_pairs.into_iter().flatten().collect();
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    pairs
+}
+
 /// Pairwise similarity in the LSI semantic subspace via a Gaussian
 /// kernel on Euclidean distance: `exp(-d²/(2·median_d²))`, mapped to
 /// [0, 1]. Compared with the raw inner product this respects
 /// *locality* — items with nearby semantic coordinates score high, items
 /// merely pointing in the same direction do not — which is what the
 /// admission-threshold semantics of §3.1.2 need.
-fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
-    use rayon::prelude::*;
+///
+/// Both O(n²) sweeps (distances, kernel transform) run in parallel
+/// over rows on the workspace thread pool; the output is bit-identical
+/// to a sequential evaluation at every thread count (property-tested
+/// in `tests/parallel.rs`).
+pub fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
     let n = vectors.len();
     let lsi = Lsi::fit_items(
         vectors,
@@ -234,17 +270,10 @@ fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64>> {
 
 /// Pairs items with their best partner regardless of the threshold
 /// (greedy matching by descending correlation), capped by `fanout`.
-#[allow(clippy::needless_range_loop)] // i<j pair enumeration reads best as indices
 fn force_pair(vectors: &[Vec<f64>], epsilon: f64, lsi_rank: usize, fanout: usize) -> LevelGrouping {
     let n = vectors.len();
     let sims = kernel_similarities(vectors, lsi_rank);
-    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            pairs.push((i, j, sims[i][j]));
-        }
-    }
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    let pairs = upper_triangle_pairs(&sims, None);
     let mut assigned = vec![false; n];
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for (i, j, _) in pairs {
@@ -254,8 +283,8 @@ fn force_pair(vectors: &[Vec<f64>], epsilon: f64, lsi_rank: usize, fanout: usize
             groups.push(vec![i, j]);
         }
     }
-    for i in 0..n {
-        if !assigned[i] {
+    for (i, done) in assigned.iter().enumerate() {
+        if !done {
             // Attach leftovers to the smallest existing group with room,
             // or start a singleton.
             if let Some(g) = groups
@@ -273,7 +302,7 @@ fn force_pair(vectors: &[Vec<f64>], epsilon: f64, lsi_rank: usize, fanout: usize
     for g in &mut groups {
         g.sort_unstable();
     }
-    let centroids = groups.iter().map(|g| centroid(vectors, g)).collect();
+    let centroids = groups.par_iter().map(|g| centroid(vectors, g)).collect();
     LevelGrouping {
         groups,
         centroids,
