@@ -2,7 +2,7 @@
 //! the actual Rust code, complementing the simulated-cost Table 4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smartstore::routing::RouteMode;
+use smartstore::QueryOptions;
 use smartstore_bench::baselines::{DbmsBaseline, RTreeBaseline};
 use smartstore_bench::fixture::{population, system, workload};
 use smartstore_trace::{QueryDistribution, TraceKind};
@@ -11,7 +11,7 @@ fn bench_queries(c: &mut Criterion) {
     let pop = population(TraceKind::Msn, 4000, 1);
     let db = DbmsBaseline::build(&pop.files);
     let rt = RTreeBaseline::build(&pop.files);
-    let mut sys = system(&pop, 40, 1);
+    let sys = system(&pop, 40, 1);
     let w = workload(&pop, QueryDistribution::Zipf, 32, 2);
 
     let mut g = c.benchmark_group("range_query");
@@ -36,7 +36,7 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| {
             let q = &w.ranges[i % w.ranges.len()];
             i += 1;
-            std::hint::black_box(sys.range_query(&q.lo, &q.hi, RouteMode::Offline))
+            std::hint::black_box(sys.query().range(&q.lo, &q.hi, &QueryOptions::offline()))
         })
     });
     g.finish();
@@ -63,7 +63,10 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| {
             let q = &w.topks[i % w.topks.len()];
             i += 1;
-            std::hint::black_box(sys.topk_query(&q.point, q.k, RouteMode::Offline))
+            std::hint::black_box(
+                sys.query()
+                    .topk(&q.point, &QueryOptions::offline().with_k(q.k)),
+            )
         })
     });
     g.finish();
@@ -82,7 +85,7 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| {
             let q = &w.points[i % w.points.len()];
             i += 1;
-            std::hint::black_box(sys.point_query(&q.name))
+            std::hint::black_box(sys.query().point(&q.name))
         })
     });
     g.finish();

@@ -1,0 +1,194 @@
+//! Serving-layer throughput: requests/sec through the typed protocol
+//! at 1, 2 and 4 shards.
+//!
+//! Builds a single reference system and sharded `MetadataServer`
+//! deployments over the same MSN-model trace, verifies every shard
+//! count answers the workload **bit-identically** to the reference
+//! (a throughput number for a wrong answer is worthless), then times
+//! batched query serving through the `Client` wire path. The table is
+//! printed and written as JSON (`serving.json`) under
+//! `target/bench-reports` (override with `BENCH_REPORT_DIR`) so the
+//! serving trajectory is machine-trackable across PRs.
+//!
+//! Run with `cargo bench -p smartstore-bench --bench serving`
+//! (`-- --quick` for the CI smoke size).
+
+use smartstore::{QueryOptions, SmartStoreConfig, SmartStoreSystem};
+use smartstore_bench::fixture::population;
+use smartstore_bench::Report;
+use smartstore_service::{Client, MetadataServer, Request, Response, ServerConfig};
+use smartstore_trace::query_gen::QueryGenConfig;
+use smartstore_trace::{QueryDistribution, QueryWorkload, TraceKind};
+use std::time::Instant;
+
+const TOTAL_UNITS: usize = 60;
+const BATCH: usize = 64;
+
+fn requests_of(w: &QueryWorkload) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for q in &w.points {
+        reqs.push(Request::Point {
+            name: q.name.clone(),
+        });
+    }
+    for q in &w.ranges {
+        reqs.push(Request::Range {
+            lo: q.lo.clone(),
+            hi: q.hi.clone(),
+            opts: QueryOptions::offline(),
+        });
+    }
+    for q in &w.topks {
+        reqs.push(Request::TopK {
+            point: q.point.clone(),
+            opts: QueryOptions::offline().with_k(q.k),
+        });
+    }
+    reqs
+}
+
+/// Answer ids per request — the bit-identity fingerprint.
+fn answers(responses: &[Response]) -> Vec<Vec<u64>> {
+    responses
+        .iter()
+        .map(|r| r.file_ids().expect("query responses only"))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let (n_files, n_each) = if quick { (2_000, 30) } else { (10_000, 120) };
+
+    let pop = population(TraceKind::Msn, n_files, 11);
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_range: n_each,
+            n_topk: n_each,
+            n_point: n_each,
+            k: 8,
+            distribution: QueryDistribution::Zipf,
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    let reqs = requests_of(&w);
+    println!(
+        "== serving bench: {n_files} files, {} requests, batch {BATCH} ==",
+        reqs.len()
+    );
+
+    // Reference answers from a single unsharded system.
+    let reference = SmartStoreSystem::build(
+        pop.files.clone(),
+        TOTAL_UNITS,
+        SmartStoreConfig::default(),
+        11,
+    );
+    let engine = reference.query();
+    let expected: Vec<Vec<u64>> = w
+        .points
+        .iter()
+        .map(|q| engine.point(&q.name).file_ids)
+        .chain(w.ranges.iter().map(|q| {
+            engine
+                .range(&q.lo, &q.hi, &QueryOptions::offline())
+                .file_ids
+        }))
+        .chain(w.topks.iter().map(|q| {
+            engine
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k))
+                .file_ids
+        }))
+        .collect();
+
+    let mut report = Report::new(
+        "serving",
+        "Request serving throughput vs shard count (typed protocol, wire codec)",
+        &[
+            "shards",
+            "requests",
+            "wall_ms",
+            "req_per_s",
+            "sim_latency_ms_mean",
+            "wire_kb",
+        ],
+    );
+
+    for shards in [1usize, 2, 4] {
+        let mut srv = MetadataServer::build(
+            pop.files.clone(),
+            &ServerConfig {
+                n_shards: shards,
+                units_per_shard: TOTAL_UNITS / shards,
+                seed: 11,
+                store_dir: None,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server builds");
+
+        // Bit-identity gate before timing.
+        let mut client = Client::new();
+        let mut all = Vec::new();
+        for chunk in reqs.chunks(BATCH) {
+            for r in chunk {
+                client.enqueue(r.clone());
+            }
+            all.extend(client.flush(&mut srv).expect("wire ok"));
+        }
+        assert_eq!(
+            answers(&all),
+            expected,
+            "{shards}-shard answers diverged from the single-system reference"
+        );
+
+        // Timed serving pass.
+        let mut client = Client::new();
+        let t = Instant::now();
+        let mut sim_latency_ns = 0u64;
+        let mut served = 0usize;
+        for chunk in reqs.chunks(BATCH) {
+            for r in chunk {
+                client.enqueue(r.clone());
+            }
+            for resp in client.flush(&mut srv).expect("wire ok") {
+                sim_latency_ns += resp.cost().map_or(0, |c| c.latency_ns);
+                served += 1;
+            }
+        }
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let stats = client.stats();
+        report.row(&[
+            shards.to_string(),
+            served.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{:.0}", served as f64 / (wall_ms / 1e3)),
+            format!("{:.3}", sim_latency_ns as f64 / served as f64 / 1e6),
+            format!(
+                "{:.1}",
+                (stats.bytes_sent + stats.bytes_received) as f64 / 1024.0
+            ),
+        ]);
+    }
+
+    report.note(format!(
+        "all shard counts verified bit-identical to a single {TOTAL_UNITS}-unit system before timing"
+    ));
+    report.note(
+        "single process: shard fan-out is sequential here, so wall-clock tracks total work; \
+         simulated latency models shards as parallel (max across shards)",
+    );
+    report.note(format!(
+        "host has {} hardware thread(s)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    print!("{}", report.render());
+    let dir = smartstore_bench::report::default_report_dir();
+    if let Err(e) = report.write_json(&dir) {
+        eprintln!("warning: could not write JSON report: {e}");
+    } else {
+        println!("json report: {}", dir.join("serving.json").display());
+    }
+}

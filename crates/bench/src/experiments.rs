@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartstore::autoconfig::AutoConfig;
 use smartstore::grouping::{optimal_threshold, partition_balanced_raw};
-use smartstore::routing::RouteMode;
 use smartstore::versioning::Change;
+use smartstore::QueryOptions;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_simnet::CostModel;
 use smartstore_trace::query_gen::{recall, QueryGenConfig};
@@ -208,7 +208,7 @@ fn batch_point(
         .points
         .iter()
         .map(|q| {
-            let out = sys.point_query(&q.name);
+            let out = sys.query().point(&q.name);
             (rng.gen_range(0..n_units), out.cost)
         })
         .collect();
@@ -234,7 +234,7 @@ fn batch_range(
         .ranges
         .iter()
         .map(|q| {
-            let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+            let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
             (rng.gen_range(0..n_units), out.cost)
         })
         .collect();
@@ -260,7 +260,9 @@ fn batch_topk(
         .topks
         .iter()
         .map(|q| {
-            let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+            let out = sys
+                .query()
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k));
             (rng.gen_range(0..n_units), out.cost)
         })
         .collect();
@@ -309,17 +311,19 @@ pub fn fig8() -> Report {
         &["distribution", "0 hop", "1 hop", "2 hops", ">=3 hops"],
     );
     for dist in QueryDistribution::ALL {
-        let mut sys = system(&pop, N_UNITS, 4);
+        let sys = system(&pop, N_UNITS, 4);
         let w = workload(&pop, dist, 150, 5);
         let mut hist = [0usize; 4];
         let mut total = 0usize;
         for q in &w.ranges {
-            let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+            let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
             hist[out.cost.group_hops.min(3)] += 1;
             total += 1;
         }
         for q in &w.topks {
-            let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+            let out = sys
+                .query()
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k));
             hist[out.cost.group_hops.min(3)] += 1;
             total += 1;
         }
@@ -360,14 +364,14 @@ pub fn fig9() -> Report {
         let mut total = 0usize;
         for f in pop.files.iter().step_by(9) {
             total += 1;
-            let out = sys.point_query(&f.name);
+            let out = sys.query().point(&f.name);
             if out.file_ids.contains(&f.file_id) && out.cost.units_probed <= 1 {
                 hits += 1;
             }
         }
         for (name, id) in &fresh_names {
             total += 1;
-            let out = sys.point_query(name);
+            let out = sys.query().point(name);
             if out.file_ids.contains(id) && out.cost.units_probed <= 1 {
                 hits += 1;
             }
@@ -452,13 +456,15 @@ fn recall_run(
         if q.ideal.is_empty() {
             continue;
         }
-        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
         range_recall += recall(&q.ideal, &out.file_ids);
         range_n += 1;
     }
     let mut topk_recall = 0.0;
     for q in &w.topks {
-        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        let out = sys
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k));
         topk_recall += recall(&q.ideal, &out.file_ids);
     }
     (
@@ -571,13 +577,13 @@ pub fn fig13() -> Report {
     );
     for n_units in [20usize, 40, 60, 80, 100] {
         let pop = population(TraceKind::Msn, n_units * 50, 11);
-        let mut sys = system(&pop, n_units, 11);
+        let sys = system(&pop, n_units, 11);
         let w = workload(&pop, QueryDistribution::Zipf, 80, 11);
         let (mut on_lat, mut off_lat, mut on_m, mut off_m) = (0u64, 0u64, 0u64, 0u64);
         let mut n = 0u64;
         for q in &w.ranges {
-            let on = sys.range_query(&q.lo, &q.hi, RouteMode::Online);
-            let off = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+            let on = sys.query().range(&q.lo, &q.hi, &QueryOptions::online());
+            let off = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
             on_lat += on.cost.latency_ns;
             off_lat += off.cost.latency_ns;
             on_m += on.cost.messages;
@@ -585,8 +591,12 @@ pub fn fig13() -> Report {
             n += 1;
         }
         for q in &w.topks {
-            let on = sys.topk_query(&q.point, q.k, RouteMode::Online);
-            let off = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+            let on = sys
+                .query()
+                .topk(&q.point, &QueryOptions::online().with_k(q.k));
+            let off = sys
+                .query()
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k));
             on_lat += on.cost.latency_ns;
             off_lat += off.cost.latency_ns;
             on_m += on.cost.messages;
@@ -640,11 +650,13 @@ pub fn fig14() -> Report {
             let (mut with_v, mut without_v) = (0u64, 0u64);
             for q in &w.ranges {
                 with_v += sys
-                    .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                    .query()
+                    .range(&q.lo, &q.hi, &QueryOptions::offline())
                     .cost
                     .latency_ns;
                 without_v += sys_nv
-                    .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                    .query()
+                    .range(&q.lo, &q.hi, &QueryOptions::offline())
                     .cost
                     .latency_ns;
             }
@@ -737,7 +749,7 @@ pub fn ablation_grouping() -> Report {
         ("random", Some(random)),
     ];
     for (name, assignment) in placements {
-        let mut sys = match assignment {
+        let sys = match assignment {
             None => {
                 SmartStoreSystem::build(pop.files.clone(), N_UNITS, SmartStoreConfig::default(), 15)
             }
@@ -752,14 +764,16 @@ pub fn ablation_grouping() -> Report {
         let w = workload(&pop, QueryDistribution::Zipf, 100, 16);
         let (mut zero, mut probed, mut lat, mut n) = (0usize, 0usize, 0u64, 0usize);
         for q in &w.ranges {
-            let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+            let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
             zero += usize::from(out.cost.group_hops == 0);
             probed += out.cost.units_probed;
             lat += out.cost.latency_ns;
             n += 1;
         }
         for q in &w.topks {
-            let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+            let out = sys
+                .query()
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k));
             zero += usize::from(out.cost.group_hops == 0);
             probed += out.cost.units_probed;
             lat += out.cost.latency_ns;
@@ -872,11 +886,11 @@ pub fn ablation_bloom() -> Report {
             bloom_bits: bits,
             ..Default::default()
         };
-        let mut sys = SmartStoreSystem::build(pop.files.clone(), N_UNITS, cfg, 19);
+        let sys = SmartStoreSystem::build(pop.files.clone(), N_UNITS, cfg, 19);
         // Ghost probes: absent names.
         let mut probed = 0usize;
         for i in 0..100 {
-            let out = sys.point_query(&format!("ghost_{i}"));
+            let out = sys.query().point(&format!("ghost_{i}"));
             probed += out.cost.units_probed;
         }
         // Real probes: existing names.
@@ -884,7 +898,7 @@ pub fn ablation_bloom() -> Report {
         let mut total = 0usize;
         for f in pop.files.iter().step_by(17) {
             total += 1;
-            if sys.point_query(&f.name).file_ids.contains(&f.file_id) {
+            if sys.query().point(&f.name).file_ids.contains(&f.file_id) {
                 hits += 1;
             }
         }
@@ -907,15 +921,15 @@ pub fn ablation_bloom() -> Report {
 pub fn ablation_replica() -> Report {
     const N_UNITS: usize = 40;
     let pop = population(TraceKind::Msn, 4000, 20);
-    let mut sys = system(&pop, N_UNITS, 20);
+    let sys = system(&pop, N_UNITS, 20);
     let w = workload(&pop, QueryDistribution::Zipf, 100, 21);
     let cost = CostModel::default();
     let extra_hop = cost.wire_ns(128);
     let (mut off_lat, mut off_m, mut on_lat, mut on_m) = (0u64, 0u64, 0u64, 0u64);
     let mut n = 0u64;
     for q in &w.ranges {
-        let off = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
-        let on = sys.range_query(&q.lo, &q.hi, RouteMode::Online);
+        let off = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
+        let on = sys.query().range(&q.lo, &q.hi, &QueryOptions::online());
         off_lat += off.cost.latency_ns;
         off_m += off.cost.messages;
         on_lat += on.cost.latency_ns;

@@ -168,6 +168,13 @@ impl DecodeError {
             reason: reason.into(),
         }
     }
+
+    /// Public constructor for codecs layered on top of this one (the
+    /// `smartstore-service` wire protocol reuses the primitive layer
+    /// and needs to report its own tag errors).
+    pub fn new_at(offset: usize, reason: impl Into<String>) -> Self {
+        Self::new(offset, reason)
+    }
 }
 
 /// Decode result alias.

@@ -4,8 +4,8 @@
 //! tail must be dropped cleanly with everything before it recovered.
 
 use proptest::prelude::*;
-use smartstore::routing::RouteMode;
 use smartstore::versioning::Change;
+use smartstore::QueryOptions;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_persist::{PersistError, SystemPersist as _};
 use smartstore_trace::query_gen::QueryGenConfig;
@@ -71,22 +71,30 @@ fn assert_query_equivalence(
     workload: &QueryWorkload,
 ) {
     for q in &workload.ranges {
-        let a = live.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids;
+        let a = live
+            .query()
+            .range(&q.lo, &q.hi, &QueryOptions::offline())
+            .file_ids;
         let b = reopened
-            .range_query(&q.lo, &q.hi, RouteMode::Offline)
+            .query()
+            .range(&q.lo, &q.hi, &QueryOptions::offline())
             .file_ids;
         assert_eq!(a, b, "range answers diverged");
     }
     for q in &workload.topks {
-        let a = live.topk_query(&q.point, q.k, RouteMode::Offline).file_ids;
+        let a = live
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k))
+            .file_ids;
         let b = reopened
-            .topk_query(&q.point, q.k, RouteMode::Offline)
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k))
             .file_ids;
         assert_eq!(a, b, "top-k answers diverged");
     }
     for q in &workload.points {
-        let a = live.point_query(&q.name).file_ids;
-        let b = reopened.point_query(&q.name).file_ids;
+        let a = live.query().point(&q.name).file_ids;
+        let b = reopened.query().point(&q.name).file_ids;
         assert_eq!(a, b, "point answers diverged for {}", q.name);
     }
 }

@@ -1,0 +1,98 @@
+//! The batching client.
+//!
+//! A [`Client`] accumulates typed [`Request`]s, ships them to a
+//! [`MetadataServer`] as one checksummed wire batch, and returns the
+//! decoded [`Response`]s in request order. Every flush round-trips the
+//! real wire encoding in both directions — the simulated network is a
+//! byte buffer, but the bytes are the same bytes a TCP transport would
+//! carry, so torn or corrupt batches surface exactly as they would in
+//! production. Shard scatter/gather and the deterministic merge happen
+//! per request inside the flush; wire volume and simulated wire time
+//! accumulate in [`ClientStats`].
+
+use crate::codec::{
+    decode_request_batch, decode_response_batch, encode_request_batch, encode_response_batch,
+    WireResult,
+};
+use crate::protocol::{Request, Response};
+use crate::server::MetadataServer;
+
+/// Client-side accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests flushed.
+    pub requests: u64,
+    /// Batches (flushes) sent.
+    pub batches: u64,
+    /// Request bytes put on the wire.
+    pub bytes_sent: u64,
+    /// Response bytes received.
+    pub bytes_received: u64,
+    /// Simulated wire time of all batches (request + response legs)
+    /// under the server's cost model.
+    pub wire_ns: u64,
+}
+
+/// A batching metadata-service client.
+#[derive(Clone, Debug, Default)]
+pub struct Client {
+    pending: Vec<Request>,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// A client with an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a request for the next flush.
+    pub fn enqueue(&mut self, req: Request) -> &mut Self {
+        self.pending.push(req);
+        self
+    }
+
+    /// Requests waiting in the current batch.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Ships the batch: encode → (wire) → decode → serve each request →
+    /// encode replies → (wire) → decode. Responses come back in request
+    /// order; the batch is cleared only on success, so a wire error
+    /// leaves it intact for retry.
+    pub fn flush(&mut self, server: &mut MetadataServer) -> WireResult<Vec<Response>> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Client → server leg.
+        let wire = encode_request_batch(&self.pending);
+        let reqs = decode_request_batch(&wire)?;
+        // Per-request scatter/gather + deterministic merge.
+        let responses: Vec<Response> = reqs.iter().map(|r| server.handle(r)).collect();
+        // Server → client leg.
+        let reply_wire = encode_response_batch(&responses);
+        let out = decode_response_batch(&reply_wire)?;
+        let cost = server.cost_model();
+        self.stats.requests += self.pending.len() as u64;
+        self.stats.batches += 1;
+        self.stats.bytes_sent += wire.len() as u64;
+        self.stats.bytes_received += reply_wire.len() as u64;
+        self.stats.wire_ns += cost.wire_ns(wire.len()) + cost.wire_ns(reply_wire.len());
+        self.pending.clear();
+        Ok(out)
+    }
+
+    /// Convenience: ship one request alone (existing batch contents are
+    /// flushed with it, in order; the reply to `req` is returned).
+    pub fn call(&mut self, server: &mut MetadataServer, req: Request) -> WireResult<Response> {
+        self.enqueue(req);
+        let mut out = self.flush(server)?;
+        Ok(out.pop().expect("flush returns one response per request"))
+    }
+}

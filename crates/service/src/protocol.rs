@@ -1,0 +1,324 @@
+//! The typed query/mutation protocol.
+//!
+//! A [`Request`] is everything a client can ask a metadata service:
+//! the paper's three query kinds (point §3.3.3, range §3.3.1, top-k
+//! §3.3.2), a metadata mutation (§4.4's change stream), and a
+//! structure-statistics probe (Fig. 7). A [`Response`] is the typed
+//! answer. Both are plain data — `Clone`/`Debug`/`PartialEq` — and
+//! wire-encodable through [`crate::codec`], so they can cross a
+//! (simulated) network, be logged, or be replayed.
+//!
+//! Responses from several shards merge deterministically
+//! ([`merge_responses`]): id sets union-sort-dedup exactly like a
+//! single [`smartstore::SmartStoreSystem`] sorts its own answers, and
+//! top-k hits carry their squared distances so the cross-shard merge
+//! reproduces the single system's `(distance, id)` order bit for bit.
+
+use smartstore::query::QueryOptions;
+use smartstore::routing::QueryCost;
+use smartstore::system::SystemStats;
+use smartstore::tree::NodeId;
+use smartstore::versioning::Change;
+
+/// One request to the metadata service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Filename lookup through the Bloom-filter hierarchy. Routing is
+    /// Bloom-guided and mode-independent, so it takes no options.
+    Point {
+        /// Queried filename.
+        name: String,
+    },
+    /// Multi-dimensional range query over the attribute space.
+    Range {
+        /// Inclusive lower corner (`ATTR_DIMS` wide).
+        lo: Vec<f64>,
+        /// Inclusive upper corner (`ATTR_DIMS` wide).
+        hi: Vec<f64>,
+        /// Routing options.
+        opts: QueryOptions,
+    },
+    /// Top-`opts.k` nearest-neighbour query.
+    TopK {
+        /// Query point (`ATTR_DIMS` wide).
+        point: Vec<f64>,
+        /// Routing options (`opts.k` is the result-set size).
+        opts: QueryOptions,
+    },
+    /// One metadata mutation (insert / delete / modify).
+    ApplyChange {
+        /// The change to apply.
+        change: Change,
+    },
+    /// Structure statistics of every shard.
+    Stats,
+}
+
+impl Request {
+    /// True for requests that never mutate server state.
+    pub fn is_read(&self) -> bool {
+        !matches!(self, Request::ApplyChange { .. })
+    }
+
+    /// Short label for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Point { .. } => "point",
+            Request::Range { .. } => "range",
+            Request::TopK { .. } => "topk",
+            Request::ApplyChange { .. } => "apply",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// Answer to a point or range query.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryReply {
+    /// Matching file ids, ascending and deduplicated.
+    pub file_ids: Vec<u64>,
+    /// Simulated cost (max-latency / summed messages across shards
+    /// once merged).
+    pub cost: QueryCost,
+}
+
+/// Answer to a top-k query: scored hits so a distributed merge can
+/// reproduce the single-system order exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopKReply {
+    /// `(file_id, squared distance)` pairs in ascending
+    /// `(distance, id)` order.
+    pub hits: Vec<(u64, f64)>,
+    /// Simulated cost.
+    pub cost: QueryCost,
+}
+
+impl TopKReply {
+    /// The hit ids in rank order.
+    pub fn file_ids(&self) -> Vec<u64> {
+        self.hits.iter().map(|&(id, _)| id).collect()
+    }
+}
+
+/// Acknowledgement of an applied change.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppliedReply {
+    /// The shard that absorbed the change; `None` for a no-op
+    /// (delete/modify of an unknown file).
+    pub shard: Option<usize>,
+    /// The first-level semantic group it landed in on that shard.
+    pub group: Option<NodeId>,
+}
+
+/// Structure statistics, one entry per shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Per-shard statistics, shard id order.
+    pub per_shard: Vec<SystemStats>,
+}
+
+impl StatsReply {
+    /// Units summed over shards.
+    pub fn total_units(&self) -> usize {
+        self.per_shard.iter().map(|s| s.n_units).sum()
+    }
+
+    /// First-level semantic groups summed over shards.
+    pub fn total_groups(&self) -> usize {
+        self.per_shard.iter().map(|s| s.n_groups).sum()
+    }
+}
+
+/// One response from the metadata service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Point/range answer.
+    Query(QueryReply),
+    /// Top-k answer.
+    TopK(TopKReply),
+    /// Mutation acknowledgement.
+    Applied(AppliedReply),
+    /// Statistics.
+    Stats(StatsReply),
+    /// The request could not be served (dimension mismatch, unknown
+    /// shard, decode failure surfaced server-side, …).
+    Error(String),
+}
+
+impl Response {
+    /// The answer ids of a query-shaped response, in rank/ascending
+    /// order; `None` for non-query responses.
+    pub fn file_ids(&self) -> Option<Vec<u64>> {
+        match self {
+            Response::Query(q) => Some(q.file_ids.clone()),
+            Response::TopK(t) => Some(t.file_ids()),
+            _ => None,
+        }
+    }
+
+    /// The simulated cost of a query-shaped response.
+    pub fn cost(&self) -> Option<QueryCost> {
+        match self {
+            Response::Query(q) => Some(q.cost),
+            Response::TopK(t) => Some(t.cost),
+            _ => None,
+        }
+    }
+}
+
+/// Folds per-shard costs: shards evaluate in parallel, so latency is
+/// the slowest shard's; messages and probe counts add.
+fn merge_costs(costs: impl IntoIterator<Item = QueryCost>) -> QueryCost {
+    let mut out = QueryCost::default();
+    for c in costs {
+        out.latency_ns = out.latency_ns.max(c.latency_ns);
+        out.messages += c.messages;
+        out.units_probed += c.units_probed;
+        out.group_hops += c.group_hops;
+    }
+    out
+}
+
+/// Merges per-shard point/range replies: union of id sets, ascending
+/// and deduplicated — exactly how a single system normalizes its own
+/// answer, so the merged reply is bit-identical to the unsharded one.
+pub fn merge_query_replies(replies: &[QueryReply]) -> QueryReply {
+    let mut file_ids: Vec<u64> = replies.iter().flat_map(|r| r.file_ids.clone()).collect();
+    file_ids.sort_unstable();
+    file_ids.dedup();
+    QueryReply {
+        file_ids,
+        cost: merge_costs(replies.iter().map(|r| r.cost)),
+    }
+}
+
+/// Merges per-shard scored top-k replies: global `(distance, id)`
+/// order, truncated to `k` — the same comparator the single system
+/// uses, so ranking and tie-breaks are identical.
+pub fn merge_topk_replies(replies: &[TopKReply], k: usize) -> TopKReply {
+    let mut hits: Vec<(u64, f64)> = replies.iter().flat_map(|r| r.hits.clone()).collect();
+    hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    hits.truncate(k);
+    TopKReply {
+        hits,
+        cost: merge_costs(replies.iter().map(|r| r.cost)),
+    }
+}
+
+/// Merges the per-shard responses to one request into the client-facing
+/// answer. Deterministic: no iteration-order or timing dependence.
+///
+/// Mismatched reply kinds (a shard answering a range request with a
+/// top-k reply, say) produce [`Response::Error`]; the first shard error
+/// wins otherwise.
+pub fn merge_responses(req: &Request, replies: Vec<Response>) -> Response {
+    if let Some(err) = replies.iter().find_map(|r| match r {
+        Response::Error(e) => Some(e.clone()),
+        _ => None,
+    }) {
+        return Response::Error(err);
+    }
+    match req {
+        Request::Point { .. } | Request::Range { .. } => {
+            let mut qs = Vec::with_capacity(replies.len());
+            for r in replies {
+                match r {
+                    Response::Query(q) => qs.push(q),
+                    other => return mismatched(req, &other),
+                }
+            }
+            Response::Query(merge_query_replies(&qs))
+        }
+        Request::TopK { opts, .. } => {
+            let mut ts = Vec::with_capacity(replies.len());
+            for r in replies {
+                match r {
+                    Response::TopK(t) => ts.push(t),
+                    other => return mismatched(req, &other),
+                }
+            }
+            Response::TopK(merge_topk_replies(&ts, opts.k))
+        }
+        Request::Stats => {
+            let mut per_shard = Vec::with_capacity(replies.len());
+            for r in replies {
+                match r {
+                    Response::Stats(s) => per_shard.extend(s.per_shard),
+                    other => return mismatched(req, &other),
+                }
+            }
+            Response::Stats(StatsReply { per_shard })
+        }
+        Request::ApplyChange { .. } => match replies.into_iter().next() {
+            Some(r @ Response::Applied(_)) => r,
+            Some(other) => mismatched(req, &other),
+            None => Response::Applied(AppliedReply::default()),
+        },
+    }
+}
+
+fn mismatched(req: &Request, got: &Response) -> Response {
+    Response::Error(format!(
+        "shard reply kind mismatch for {} request: {got:?}",
+        req.kind()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u64], latency: u64, messages: u64) -> QueryReply {
+        QueryReply {
+            file_ids: ids.to_vec(),
+            cost: QueryCost {
+                latency_ns: latency,
+                messages,
+                units_probed: 1,
+                group_hops: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn query_merge_unions_and_sorts() {
+        let merged = merge_query_replies(&[q(&[5, 9], 100, 3), q(&[1, 5], 250, 4)]);
+        assert_eq!(merged.file_ids, vec![1, 5, 9]);
+        assert_eq!(merged.cost.latency_ns, 250, "parallel shards: max");
+        assert_eq!(merged.cost.messages, 7, "messages add");
+    }
+
+    #[test]
+    fn topk_merge_orders_by_distance_then_id() {
+        let a = TopKReply {
+            hits: vec![(10, 1.0), (11, 3.0)],
+            cost: QueryCost::default(),
+        };
+        let b = TopKReply {
+            hits: vec![(7, 1.0), (12, 2.0)],
+            cost: QueryCost::default(),
+        };
+        let merged = merge_topk_replies(&[a, b], 3);
+        assert_eq!(merged.hits, vec![(7, 1.0), (10, 1.0), (12, 2.0)]);
+    }
+
+    #[test]
+    fn response_merge_propagates_shard_errors() {
+        let req = Request::Point { name: "x".into() };
+        let merged = merge_responses(
+            &req,
+            vec![
+                Response::Query(q(&[1], 1, 1)),
+                Response::Error("shard 1 down".into()),
+            ],
+        );
+        assert_eq!(merged, Response::Error("shard 1 down".into()));
+    }
+
+    #[test]
+    fn response_merge_rejects_kind_mismatch() {
+        let req = Request::Point { name: "x".into() };
+        let merged = merge_responses(&req, vec![Response::Stats(StatsReply::default())]);
+        assert!(matches!(merged, Response::Error(_)));
+    }
+}

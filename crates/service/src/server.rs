@@ -1,0 +1,512 @@
+//! The sharded metadata-server facade.
+//!
+//! The paper's deployment is N metadata servers, each owning the
+//! storage units of a few semantic groups (§2.2–2.3). [`MetadataServer`]
+//! reproduces that shape in one process: files are partitioned into
+//! `n_shards` coarse semantic shards with the *same* LSI sort-tile
+//! placement the single system uses for units, and every shard hosts
+//! its own [`SmartStoreSystem`] — its own semantic R-tree, version
+//! chains, and (optionally) its own store directory with snapshot +
+//! write-ahead log, so each server journals only its own groups.
+//!
+//! Reads scatter to every shard through the `&self`
+//! [`smartstore::query::QueryEngine`] and gather through the
+//! deterministic merges in [`crate::protocol`]; the merged answer is
+//! bit-identical to a single unsharded system's (the parity suite in
+//! `tests/parity.rs` asserts this across shard counts, query kinds and
+//! route modes). Writes route to exactly one shard: inserts to the
+//! shard whose root semantic vector is most correlated (the off-line
+//! placement rule of §3.4 lifted to shard granularity), deletes and
+//! modifies to the owning shard.
+
+use crate::codec::WireError;
+use crate::protocol::{AppliedReply, QueryReply, Request, Response, StatsReply, TopKReply};
+use smartstore::grouping::partition_tiled;
+use smartstore::tree::NodeId;
+use smartstore::versioning::Change;
+use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_linalg::cosine_similarity;
+use smartstore_persist::{PersistentStore, SystemPersist as _};
+use smartstore_simnet::CostModel;
+use smartstore_trace::{FileMetadata, ATTR_DIMS};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Service-layer failure.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Invalid deployment configuration.
+    Config(String),
+    /// Durable-store failure on a shard.
+    Persist(smartstore_persist::PersistError),
+    /// Wire encode/decode failure.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Config(msg) => write!(f, "service configuration error: {msg}"),
+            ServiceError::Persist(e) => write!(f, "shard store error: {e}"),
+            ServiceError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<smartstore_persist::PersistError> for ServiceError {
+    fn from(e: smartstore_persist::PersistError) -> Self {
+        ServiceError::Persist(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+/// Service result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// Deployment shape of a [`MetadataServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of shards (simulated metadata servers).
+    pub n_shards: usize,
+    /// Storage units hosted per shard.
+    pub units_per_shard: usize,
+    /// Per-shard SmartStore configuration.
+    pub cfg: SmartStoreConfig,
+    /// Build seed (shard `i` derives its own stream from it).
+    pub seed: u64,
+    /// When set, every shard persists under
+    /// `<store_dir>/shard-<i>/` with its own snapshot + WAL; `None`
+    /// runs in memory only.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 4,
+            units_per_shard: 15,
+            cfg: SmartStoreConfig::default(),
+            seed: 0x5e7f_face,
+            store_dir: None,
+        }
+    }
+}
+
+/// One shard: a full SmartStore system plus its optional durable store.
+struct Shard {
+    sys: SmartStoreSystem,
+    store: Option<PersistentStore>,
+    dir: Option<PathBuf>,
+}
+
+/// Descriptive snapshot of one shard's layout (for reports and docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Shard id.
+    pub id: usize,
+    /// Storage units hosted.
+    pub n_units: usize,
+    /// Files currently stored.
+    pub n_files: usize,
+    /// First-level semantic groups on this shard.
+    pub n_groups: usize,
+    /// On-disk store directory, when durable.
+    pub dir: Option<PathBuf>,
+}
+
+/// A sharded metadata service facade over N per-group
+/// [`SmartStoreSystem`] shards.
+pub struct MetadataServer {
+    shards: Vec<Shard>,
+    /// file id → owning shard.
+    owner: HashMap<u64, usize>,
+    cost: CostModel,
+}
+
+impl MetadataServer {
+    /// Builds a sharded deployment: `files` are split into
+    /// `cfg.n_shards` semantic shards (same LSI sort-tile placement the
+    /// single system uses for units) and each shard builds its own
+    /// system of `cfg.units_per_shard` units. With `store_dir` set,
+    /// every shard snapshots into its own directory and journals
+    /// subsequent changes to its own WAL.
+    pub fn build(files: Vec<FileMetadata>, cfg: &ServerConfig) -> Result<Self> {
+        if cfg.n_shards == 0 {
+            return Err(ServiceError::Config("n_shards must be positive".into()));
+        }
+        if cfg.units_per_shard == 0 {
+            return Err(ServiceError::Config(
+                "units_per_shard must be positive".into(),
+            ));
+        }
+        let buckets = Self::partition(files, cfg);
+        for (i, b) in buckets.iter().enumerate() {
+            if b.len() < cfg.units_per_shard {
+                return Err(ServiceError::Config(format!(
+                    "shard {i} received {} files for {} units; \
+                     use fewer shards or fewer units per shard",
+                    b.len(),
+                    cfg.units_per_shard
+                )));
+            }
+        }
+        let mut shards = Vec::with_capacity(cfg.n_shards);
+        let mut owner = HashMap::new();
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            for f in &bucket {
+                owner.insert(f.file_id, i);
+            }
+            let sys = SmartStoreSystem::build(
+                bucket,
+                cfg.units_per_shard,
+                cfg.cfg.clone(),
+                cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let (store, dir) = match &cfg.store_dir {
+                Some(base) => {
+                    let dir = shard_dir(base, i);
+                    let (store, _stats) = sys.save_snapshot(&dir)?;
+                    (Some(store), Some(dir))
+                }
+                None => (None, None),
+            };
+            shards.push(Shard { sys, store, dir });
+        }
+        if let Some(base) = &cfg.store_dir {
+            write_fleet_manifest(base, cfg.n_shards)?;
+        }
+        Ok(Self {
+            shards,
+            owner,
+            cost: CostModel::default(),
+        })
+    }
+
+    /// Cold-starts a durable deployment from `base`: the fleet manifest
+    /// says how many shards the deployment has, and every `shard-<i>/`
+    /// directory is recovered through its own snapshot + WAL replay.
+    /// A missing shard directory is an *error*, not a silently smaller
+    /// fleet — partial recovery would present data loss as clean empty
+    /// query results.
+    pub fn open(base: &Path) -> Result<Self> {
+        let n_shards = read_fleet_manifest(base)?;
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut owner = HashMap::new();
+        for i in 0..n_shards {
+            let dir = shard_dir(base, i);
+            let (sys, store, _report) = SmartStoreSystem::open_from_dir(&dir)?;
+            for f in sys.current_files() {
+                owner.insert(f.file_id, i);
+            }
+            shards.push(Shard {
+                sys,
+                store: Some(store),
+                dir: Some(dir),
+            });
+        }
+        Ok(Self {
+            shards,
+            owner,
+            cost: CostModel::default(),
+        })
+    }
+
+    /// Splits files into per-shard buckets along the grouping predicate
+    /// — shard placement is the unit-placement rule at coarser
+    /// granularity, so semantically correlated files co-locate on one
+    /// simulated server.
+    fn partition(files: Vec<FileMetadata>, cfg: &ServerConfig) -> Vec<Vec<FileMetadata>> {
+        if cfg.n_shards == 1 {
+            return vec![files];
+        }
+        let vectors: Vec<Vec<f64>> = files
+            .iter()
+            .map(|f| f.attr_subset(&cfg.cfg.grouping_dims))
+            .collect();
+        let assignment = partition_tiled(&vectors, cfg.n_shards, cfg.cfg.lsi_rank);
+        let mut buckets: Vec<Vec<FileMetadata>> = vec![Vec::new(); cfg.n_shards];
+        for (f, &a) in files.into_iter().zip(assignment.iter()) {
+            buckets[a].push(f);
+        }
+        buckets
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's system (tests, reports).
+    pub fn shard(&self, i: usize) -> &SmartStoreSystem {
+        &self.shards[i].sys
+    }
+
+    /// The cost model used for wire accounting.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The group→server mapping: every first-level semantic group in
+    /// the deployment, tagged with the shard that owns it. Shard-major,
+    /// group-ascending — the routing table a directory service would
+    /// publish.
+    pub fn group_map(&self) -> Vec<(usize, NodeId)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.sys
+                    .tree()
+                    .first_level_index_units()
+                    .into_iter()
+                    .map(move |g| (i, g))
+            })
+            .collect()
+    }
+
+    /// Per-shard layout description.
+    pub fn layout(&self) -> Vec<ShardInfo> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardInfo {
+                id: i,
+                n_units: s.sys.units().len(),
+                n_files: s.sys.units().iter().map(|u| u.len()).sum(),
+                n_groups: s.sys.tree().first_level_index_units().len(),
+                dir: s.dir.clone(),
+            })
+            .collect()
+    }
+
+    /// The shards a request must visit. Queries scatter to every shard
+    /// (each shard's own index prunes locally); mutations route to
+    /// exactly one — inserts to the most semantically correlated shard,
+    /// deletes/modifies to the owner. An empty vector means the request
+    /// is a no-op (mutation of an unknown file).
+    pub fn route(&self, req: &Request) -> Vec<usize> {
+        match req {
+            Request::Point { .. }
+            | Request::Range { .. }
+            | Request::TopK { .. }
+            | Request::Stats => (0..self.shards.len()).collect(),
+            Request::ApplyChange { change } => self.mutation_target(change).into_iter().collect(),
+        }
+    }
+
+    /// The single mutation-placement rule, shared by [`Self::route`]
+    /// (what a directory service would report) and [`Self::apply`]
+    /// (what actually happens) so the two can never diverge: inserts go
+    /// to the most semantically correlated shard, deletes/modifies to
+    /// the owner; `None` for mutations of unknown files.
+    fn mutation_target(&self, change: &Change) -> Option<usize> {
+        match change {
+            Change::Insert(f) => Some(self.most_correlated_shard(&f.attr_vector())),
+            Change::Delete(id) => self.owner.get(id).copied(),
+            Change::Modify(f) => self.owner.get(&f.file_id).copied(),
+        }
+    }
+
+    /// The shard whose root semantic vector is most correlated with
+    /// `v` (ties break to the lowest shard id).
+    fn most_correlated_shard(&self, v: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_corr = f64::NEG_INFINITY;
+        for (i, s) in self.shards.iter().enumerate() {
+            let root = s.sys.tree().root();
+            let corr = cosine_similarity(&s.sys.tree().node(root).centroid, v);
+            if corr > best_corr {
+                best_corr = corr;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Evaluates a *read* request on one shard through the shared
+    /// `&self` query engine. Mutations are rejected here — they go
+    /// through [`Self::apply`].
+    pub fn query_shard(&self, shard: usize, req: &Request) -> Response {
+        let Some(s) = self.shards.get(shard) else {
+            return Response::Error(format!("unknown shard {shard}"));
+        };
+        let engine = s.sys.query();
+        match req {
+            Request::Point { name } => {
+                let out = engine.point(name);
+                Response::Query(QueryReply {
+                    file_ids: out.file_ids,
+                    cost: out.cost,
+                })
+            }
+            Request::Range { lo, hi, opts } => {
+                // Wire input is untrusted: any f64 bit pattern decodes,
+                // but NaN or inverted bounds would panic the evaluator.
+                if lo.len() != ATTR_DIMS || hi.len() != ATTR_DIMS {
+                    return Response::Error(format!(
+                        "range dims {}x{} != {ATTR_DIMS}",
+                        lo.len(),
+                        hi.len()
+                    ));
+                }
+                if let Some(i) = (0..ATTR_DIMS)
+                    .find(|&i| !lo[i].is_finite() || !hi[i].is_finite() || lo[i] > hi[i])
+                {
+                    return Response::Error(format!(
+                        "range bounds invalid in dim {i}: [{}, {}]",
+                        lo[i], hi[i]
+                    ));
+                }
+                let out = engine.range(lo, hi, opts);
+                Response::Query(QueryReply {
+                    file_ids: out.file_ids,
+                    cost: out.cost,
+                })
+            }
+            Request::TopK { point, opts } => {
+                if point.len() != ATTR_DIMS {
+                    return Response::Error(format!("topk dims {} != {ATTR_DIMS}", point.len()));
+                }
+                if let Some(i) = (0..ATTR_DIMS).find(|&i| !point[i].is_finite()) {
+                    return Response::Error(format!(
+                        "topk point non-finite in dim {i}: {}",
+                        point[i]
+                    ));
+                }
+                let (hits, out) = engine.topk_scored(point, opts);
+                Response::TopK(TopKReply {
+                    hits,
+                    cost: out.cost,
+                })
+            }
+            Request::Stats => Response::Stats(StatsReply {
+                per_shard: vec![s.sys.stats()],
+            }),
+            Request::ApplyChange { .. } => {
+                Response::Error("mutations must go through the write path".into())
+            }
+        }
+    }
+
+    /// Applies one mutation: routes it to its shard, journals it to
+    /// that shard's WAL *before* the in-memory mutation (when durable),
+    /// and updates the file→shard ownership.
+    pub fn apply(&mut self, change: Change) -> Response {
+        // Untrusted wire input: a non-finite attribute vector would
+        // poison every later distance computation on the shard.
+        if let Change::Insert(f) | Change::Modify(f) = &change {
+            if f.attr_vector().iter().any(|x| !x.is_finite()) {
+                return Response::Error(format!(
+                    "change for file {} has a non-finite attribute",
+                    f.file_id
+                ));
+            }
+        }
+        let Some(si) = self.mutation_target(&change) else {
+            // No-op: mutation of a file this deployment has never seen.
+            return Response::Applied(AppliedReply {
+                shard: None,
+                group: None,
+            });
+        };
+        let shard = &mut self.shards[si];
+        let landed = match shard.store.as_mut() {
+            Some(store) => match shard.sys.apply_journaled(store, change.clone()) {
+                Ok(g) => g,
+                Err(e) => return Response::Error(format!("shard {si} journal error: {e}")),
+            },
+            None => shard.sys.apply_change(change.clone()),
+        };
+        match &change {
+            Change::Insert(f) => {
+                self.owner.insert(f.file_id, si);
+            }
+            Change::Delete(id) => {
+                self.owner.remove(id);
+            }
+            Change::Modify(_) => {}
+        }
+        Response::Applied(AppliedReply {
+            shard: Some(si),
+            group: landed,
+        })
+    }
+
+    /// Serves one request end to end: route, per-shard evaluation, and
+    /// the deterministic merge of [`crate::protocol::merge_responses`].
+    pub fn handle(&mut self, req: &Request) -> Response {
+        match req {
+            Request::ApplyChange { change } => self.apply(change.clone()),
+            _ => self.serve_read(req),
+        }
+    }
+
+    /// Read-only counterpart of [`Self::handle`] for concurrent
+    /// readers; mutations come back as [`Response::Error`].
+    pub fn serve_read(&self, req: &Request) -> Response {
+        if !req.is_read() {
+            return Response::Error("serve_read: mutation requires the write path".into());
+        }
+        let targets = self.route(req);
+        let replies: Vec<Response> = targets.iter().map(|&s| self.query_shard(s, req)).collect();
+        crate::protocol::merge_responses(req, replies)
+    }
+
+    /// Forces every shard's WAL to disk (group commit boundary).
+    pub fn sync(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            if let Some(store) = s.store.as_mut() {
+                store.sync()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn shard_dir(base: &Path, i: usize) -> PathBuf {
+    base.join(format!("shard-{i:04}"))
+}
+
+/// Name of the fleet manifest at the deployment root: a single decimal
+/// shard count, so `open` can tell a complete fleet from a partial one.
+const FLEET_MANIFEST: &str = "FLEET";
+
+fn write_fleet_manifest(base: &Path, n_shards: usize) -> Result<()> {
+    let path = base.join(FLEET_MANIFEST);
+    std::fs::write(&path, format!("{n_shards}\n")).map_err(|e| {
+        ServiceError::Config(format!(
+            "cannot write fleet manifest {}: {e}",
+            path.display()
+        ))
+    })
+}
+
+fn read_fleet_manifest(base: &Path) -> Result<usize> {
+    let path = base.join(FLEET_MANIFEST);
+    let raw = std::fs::read_to_string(&path).map_err(|e| {
+        ServiceError::Config(format!(
+            "cannot read fleet manifest {}: {e}",
+            path.display()
+        ))
+    })?;
+    let n: usize = raw.trim().parse().map_err(|e| {
+        ServiceError::Config(format!(
+            "fleet manifest {} is corrupt ({e}): {raw:?}",
+            path.display()
+        ))
+    })?;
+    if n == 0 {
+        return Err(ServiceError::Config(format!(
+            "fleet manifest {} declares zero shards",
+            path.display()
+        )));
+    }
+    Ok(n)
+}

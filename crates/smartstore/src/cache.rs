@@ -13,7 +13,7 @@
 //! query through the SmartStore system on every miss and admits the
 //! correlated files.
 
-use crate::routing::RouteMode;
+use crate::query::QueryOptions;
 use crate::system::SmartStoreSystem;
 use std::collections::HashMap;
 
@@ -117,8 +117,10 @@ impl SemanticCache {
 
     /// References file `id` (whose current attribute vector is `attrs`):
     /// records hit/miss, admits the entry, and on a miss runs the
-    /// prefetch policy through `sys`. Returns `true` on a hit.
-    pub fn reference(&mut self, sys: &mut SmartStoreSystem, id: u64, attrs: &[f64]) -> bool {
+    /// prefetch policy through `sys`'s shared read path (queries are
+    /// `&self`, so a cache can prefetch while other readers query).
+    /// Returns `true` on a hit.
+    pub fn reference(&mut self, sys: &SmartStoreSystem, id: u64, attrs: &[f64]) -> bool {
         let hit = self.entries.contains_key(&id);
         if hit {
             self.stats.hits += 1;
@@ -128,7 +130,7 @@ impl SemanticCache {
         self.stats.misses += 1;
         self.touch(id);
         if let PrefetchPolicy::TopK { k } = self.policy {
-            let out = sys.topk_query(attrs, k, RouteMode::Offline);
+            let out = sys.query().topk(attrs, &QueryOptions::offline().with_k(k));
             self.stats.prefetch_queries += 1;
             for fid in out.file_ids {
                 if fid != id && !self.entries.contains_key(&fid) {
@@ -161,10 +163,10 @@ mod tests {
 
     #[test]
     fn lru_evicts_oldest() {
-        let (mut sys, pop) = fixture();
+        let (sys, pop) = fixture();
         let mut c = SemanticCache::new(3, PrefetchPolicy::None);
         for id in 0..4u64 {
-            c.reference(&mut sys, id, &pop.files[id as usize].attr_vector());
+            c.reference(&sys, id, &pop.files[id as usize].attr_vector());
         }
         assert_eq!(c.len(), 3);
         assert!(!c.contains(0), "oldest entry evicted");
@@ -173,11 +175,11 @@ mod tests {
 
     #[test]
     fn repeat_references_hit() {
-        let (mut sys, pop) = fixture();
+        let (sys, pop) = fixture();
         let mut c = SemanticCache::new(10, PrefetchPolicy::None);
         let v = pop.files[7].attr_vector();
-        assert!(!c.reference(&mut sys, 7, &v));
-        assert!(c.reference(&mut sys, 7, &v));
+        assert!(!c.reference(&sys, 7, &v));
+        assert!(c.reference(&sys, 7, &v));
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
@@ -185,17 +187,17 @@ mod tests {
 
     #[test]
     fn topk_prefetch_admits_correlated_files() {
-        let (mut sys, pop) = fixture();
+        let (sys, pop) = fixture();
         let mut c = SemanticCache::new(100, PrefetchPolicy::TopK { k: 8 });
         let f = &pop.files[100];
-        c.reference(&mut sys, f.file_id, &f.attr_vector());
+        c.reference(&sys, f.file_id, &f.attr_vector());
         assert!(c.stats().prefetched > 0, "miss must trigger prefetch");
         assert!(c.len() > 1);
     }
 
     #[test]
     fn semantic_prefetch_beats_lru_on_correlated_stream() {
-        let (mut sys, pop) = fixture();
+        let (sys, pop) = fixture();
         // Stream: walk cluster members in bursts.
         let mut stream: Vec<&smartstore_trace::FileMetadata> = Vec::new();
         let mut by_cluster: HashMap<u32, Vec<&smartstore_trace::FileMetadata>> = HashMap::new();
@@ -215,15 +217,15 @@ mod tests {
                 stream.push(members[(burst * 5 + k) % members.len()]);
             }
         }
-        let run = |sys: &mut SmartStoreSystem, policy| {
+        let run = |sys: &SmartStoreSystem, policy| {
             let mut c = SemanticCache::new(300, policy);
             for f in &stream {
                 c.reference(sys, f.file_id, &f.attr_vector());
             }
             c.stats().hit_rate()
         };
-        let plain = run(&mut sys, PrefetchPolicy::None);
-        let smart = run(&mut sys, PrefetchPolicy::TopK { k: 6 });
+        let plain = run(&sys, PrefetchPolicy::None);
+        let smart = run(&sys, PrefetchPolicy::TopK { k: 6 });
         assert!(
             smart > plain,
             "semantic prefetch {smart:.3} must beat plain LRU {plain:.3}"

@@ -24,6 +24,10 @@
 //!   multi-mapping (§4.2–4.3);
 //! * [`routing`] — on-line multicast routing vs off-line pre-processing
 //!   with replicated first-level index vectors (§3.3–3.4, Fig. 13);
+//! * [`query`] — the `&self` read path: [`query::QueryOptions`] and the
+//!   [`query::QueryEngine`] shared view (many concurrent readers, one
+//!   journaling writer); the `smartstore-service` crate lifts it into a
+//!   wire protocol over sharded metadata servers;
 //! * [`versioning`] — consistency via backward-rolled versions (§4.4,
 //!   Fig. 14, Tables 5–6);
 //! * [`autoconfig`] — automatic configuration of per-attribute-subset
@@ -46,6 +50,7 @@ pub mod cache;
 pub mod config;
 pub mod grouping;
 pub mod mapping;
+pub mod query;
 pub mod replay;
 pub mod routing;
 pub mod system;
@@ -54,6 +59,7 @@ pub mod unit;
 pub mod versioning;
 
 pub use config::{PersistConfig, SmartStoreConfig};
+pub use query::{QueryEngine, QueryOptions};
 pub use system::{Journal, QueryOutcome, SmartStoreSystem, SystemParts, SystemStats};
 
 pub use tree::SemanticRTree;

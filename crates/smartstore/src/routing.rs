@@ -36,13 +36,14 @@ pub enum RouteMode {
 impl RouteMode {
     /// Both modes.
     pub const ALL: [RouteMode; 2] = [RouteMode::Online, RouteMode::Offline];
+}
 
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
+impl std::fmt::Display for RouteMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
             RouteMode::Online => "on-line",
             RouteMode::Offline => "off-line",
-        }
+        })
     }
 }
 

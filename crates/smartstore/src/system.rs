@@ -25,7 +25,7 @@ use smartstore_trace::{FileMetadata, ATTR_DIMS};
 use std::collections::HashMap;
 
 /// The answer and cost of one query.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryOutcome {
     /// Matching file ids (for point queries, at most one per hit unit).
     pub file_ids: Vec<u64>,
@@ -34,7 +34,7 @@ pub struct QueryOutcome {
 }
 
 /// System-level structure statistics (Fig. 7 inputs).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SystemStats {
     /// Number of storage units.
     pub n_units: usize,
@@ -297,10 +297,41 @@ impl SmartStoreSystem {
 
     // ------------------------------------------------------------------
     // Queries
+    //
+    // Evaluation is pure: storage units are the source of truth, index
+    // staleness arises only through the write path, and the lazy
+    // replica refresh (§3.4) is an explicit write-side step inside
+    // `apply_change`. Everything below therefore takes `&self`, so any
+    // number of readers can evaluate concurrently; the public surface
+    // is the [`crate::query::QueryEngine`] view.
     // ------------------------------------------------------------------
 
+    /// A shared read-only query view over this system (the `&self`
+    /// read path; see [`crate::query`]).
+    pub fn query(&self) -> crate::query::QueryEngine<'_> {
+        crate::query::QueryEngine::new(self)
+    }
+
     /// Multi-dimensional range query over the projected attribute space.
+    #[deprecated(note = "use `sys.query().range(lo, hi, &QueryOptions::with_mode(mode))`")]
     pub fn range_query(&mut self, lo: &[f64], hi: &[f64], mode: RouteMode) -> QueryOutcome {
+        self.eval_range(lo, hi, mode)
+    }
+
+    /// Top-k query routed in `mode`.
+    #[deprecated(note = "use `sys.query().topk(point, &QueryOptions::with_mode(mode).with_k(k))`")]
+    pub fn topk_query(&mut self, point: &[f64], k: usize, mode: RouteMode) -> QueryOutcome {
+        self.eval_topk(point, k, mode)
+    }
+
+    /// Filename point query via the Bloom-filter hierarchy (§3.3.3).
+    #[deprecated(note = "use `sys.query().point(name)`")]
+    pub fn point_query(&mut self, name: &str) -> QueryOutcome {
+        self.eval_point(name)
+    }
+
+    /// Range-query evaluation (see [`crate::query::QueryEngine::range`]).
+    pub(crate) fn eval_range(&self, lo: &[f64], hi: &[f64], mode: RouteMode) -> QueryOutcome {
         assert_eq!(lo.len(), ATTR_DIMS, "range_query: lo dims");
         assert_eq!(hi.len(), ATTR_DIMS, "range_query: hi dims");
         let route = self.tree.route_range(lo, hi);
@@ -341,10 +372,22 @@ impl SmartStoreSystem {
         }
     }
 
+    /// Top-k evaluation (see [`crate::query::QueryEngine::topk`]).
+    pub(crate) fn eval_topk(&self, point: &[f64], k: usize, mode: RouteMode) -> QueryOutcome {
+        self.eval_topk_scored(point, k, mode).1
+    }
+
     /// Top-k query with the paper's MaxD pruning (§3.3.2): units are
     /// probed in best-first MBR order; probing stops once the next
     /// unit's lower bound exceeds the current k-th best distance (MaxD).
-    pub fn topk_query(&mut self, point: &[f64], k: usize, mode: RouteMode) -> QueryOutcome {
+    /// Returns the `(file_id, squared distance)` pairs alongside the
+    /// outcome so distributed callers can merge shard answers exactly.
+    pub(crate) fn eval_topk_scored(
+        &self,
+        point: &[f64],
+        k: usize,
+        mode: RouteMode,
+    ) -> (Vec<(u64, f64)>, QueryOutcome) {
         assert_eq!(point.len(), ATTR_DIMS, "topk_query: point dims");
         let (order, nodes_visited) = self.tree.route_topk(point);
         let mut best: Vec<(u64, f64)> = Vec::new();
@@ -400,14 +443,15 @@ impl SmartStoreSystem {
             })
             .collect();
         cost.group_hops = self.hops_of_units(&contributing);
-        QueryOutcome {
-            file_ids: best.into_iter().map(|(id, _)| id).collect(),
+        let outcome = QueryOutcome {
+            file_ids: best.iter().map(|&(id, _)| id).collect(),
             cost,
-        }
+        };
+        (best, outcome)
     }
 
-    /// Filename point query via the Bloom-filter hierarchy (§3.3.3).
-    pub fn point_query(&mut self, name: &str) -> QueryOutcome {
+    /// Point-query evaluation (see [`crate::query::QueryEngine::point`]).
+    pub(crate) fn eval_point(&self, name: &str) -> QueryOutcome {
         let route = self.tree.route_point(name);
         let mut results = Vec::new();
         let mut work = Vec::new();

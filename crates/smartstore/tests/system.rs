@@ -1,8 +1,8 @@
 //! End-to-end tests of the assembled SmartStore system: build, query
 //! correctness/recall, change streams, versioning, reconfiguration.
 
-use smartstore::routing::RouteMode;
 use smartstore::versioning::Change;
+use smartstore::QueryOptions;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_trace::query_gen::{recall, QueryGenConfig};
 use smartstore_trace::{GeneratorConfig, MetadataPopulation, QueryDistribution, QueryWorkload};
@@ -56,7 +56,7 @@ fn units_are_balanced() {
 
 #[test]
 fn range_query_has_perfect_recall_on_fresh_index() {
-    let (mut sys, pop) = system(2000, 20, 9);
+    let (sys, pop) = system(2000, 20, 9);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -69,7 +69,7 @@ fn range_query_has_perfect_recall_on_fresh_index() {
         },
     );
     for q in &w.ranges {
-        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
         let r = recall(&q.ideal, &out.file_ids);
         assert!(
             r > 0.999,
@@ -84,7 +84,7 @@ fn range_query_has_perfect_recall_on_fresh_index() {
 
 #[test]
 fn topk_query_recall_on_fresh_index() {
-    let (mut sys, pop) = system(2000, 20, 10);
+    let (sys, pop) = system(2000, 20, 10);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -99,7 +99,9 @@ fn topk_query_recall_on_fresh_index() {
     );
     let mut total = 0.0;
     for q in &w.topks {
-        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        let out = sys
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k));
         assert_eq!(out.file_ids.len(), 8);
         total += recall(&q.ideal, &out.file_ids);
     }
@@ -112,10 +114,10 @@ fn topk_query_recall_on_fresh_index() {
 
 #[test]
 fn point_query_finds_files_and_rejects_ghosts() {
-    let (mut sys, pop) = system(1500, 15, 11);
+    let (sys, pop) = system(1500, 15, 11);
     let mut hits = 0;
     for f in pop.files.iter().step_by(37) {
-        let out = sys.point_query(&f.name);
+        let out = sys.query().point(&f.name);
         if out.file_ids.contains(&f.file_id) {
             hits += 1;
         }
@@ -125,13 +127,13 @@ fn point_query_finds_files_and_rejects_ghosts() {
         hits as f64 / probed as f64 > 0.88,
         "paper's point-query hit rate floor: {hits}/{probed}"
     );
-    let ghost = sys.point_query("ghost_file_does_not_exist");
+    let ghost = sys.query().point("ghost_file_does_not_exist");
     assert!(ghost.file_ids.is_empty());
 }
 
 #[test]
 fn topk_visits_few_units_thanks_to_maxd() {
-    let (mut sys, pop) = system(3000, 30, 12);
+    let (sys, pop) = system(3000, 30, 12);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -145,7 +147,9 @@ fn topk_visits_few_units_thanks_to_maxd() {
     );
     let mut total_units = 0;
     for q in &w.topks {
-        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        let out = sys
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k));
         total_units += out.cost.units_probed;
     }
     let avg = total_units as f64 / 30.0;
@@ -193,12 +197,16 @@ fn versioning_recovers_recall_after_changes() {
     for q in &w.ranges {
         rec_v += recall(
             &q.ideal,
-            &sys_v.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids,
+            &sys_v
+                .query()
+                .range(&q.lo, &q.hi, &QueryOptions::offline())
+                .file_ids,
         );
         rec_nv += recall(
             &q.ideal,
             &sys_nv
-                .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                .query()
+                .range(&q.lo, &q.hi, &QueryOptions::offline())
                 .file_ids,
         );
     }
@@ -237,7 +245,7 @@ fn insert_change_places_semantically() {
     assert_eq!(total, 1001);
     // Point query finds it via version recovery even though the tree's
     // Bloom replicas predate it.
-    let out = sys.point_query("fresh_file");
+    let out = sys.query().point("fresh_file");
     assert!(out.file_ids.contains(&1_000_000));
 }
 
@@ -254,7 +262,7 @@ fn delete_change_removes_file() {
         config: pop.config.clone(),
     };
     let (lo, hi) = pop2.attr_bounds();
-    let out = sys.range_query(&lo, &hi, RouteMode::Offline);
+    let out = sys.query().range(&lo, &hi, &QueryOptions::offline());
     assert!(!out.file_ids.contains(&victim));
 }
 
@@ -287,7 +295,7 @@ fn reconfigure_clears_versions_and_restores_recall() {
         },
     );
     for q in &w.ranges {
-        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
         assert!(recall(&q.ideal, &out.file_ids) > 0.999);
     }
 }
@@ -306,13 +314,13 @@ fn add_unit_integrates_into_tree() {
     assert_eq!(sys.units().len(), 11);
     let name = sys.units()[10].files()[0].name.clone();
     let expect = sys.units()[10].files()[0].file_id;
-    let out = sys.point_query(&name);
+    let out = sys.query().point(&name);
     assert!(out.file_ids.contains(&expect));
 }
 
 #[test]
 fn online_vs_offline_cost_shape() {
-    let (mut sys, pop) = system(2000, 24, 19);
+    let (sys, pop) = system(2000, 24, 19);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -326,8 +334,8 @@ fn online_vs_offline_cost_shape() {
     );
     let (mut on_msgs, mut off_msgs, mut on_lat, mut off_lat) = (0u64, 0u64, 0u64, 0u64);
     for q in &w.ranges {
-        let on = sys.range_query(&q.lo, &q.hi, RouteMode::Online);
-        let off = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        let on = sys.query().range(&q.lo, &q.hi, &QueryOptions::online());
+        let off = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
         on_msgs += on.cost.messages;
         off_msgs += off.cost.messages;
         on_lat += on.cost.latency_ns;
@@ -346,7 +354,7 @@ fn online_vs_offline_cost_shape() {
 fn most_queries_are_zero_hop() {
     // The headline grouping-efficiency claim (Fig. 8): most complex
     // queries are served inside a single semantic group.
-    let (mut sys, pop) = system(3000, 30, 20);
+    let (sys, pop) = system(3000, 30, 20);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -361,14 +369,16 @@ fn most_queries_are_zero_hop() {
     let mut zero = 0;
     let mut total = 0;
     for q in &w.ranges {
-        let out = sys.range_query(&q.lo, &q.hi, RouteMode::Offline);
+        let out = sys.query().range(&q.lo, &q.hi, &QueryOptions::offline());
         if out.cost.group_hops == 0 {
             zero += 1;
         }
         total += 1;
     }
     for q in &w.topks {
-        let out = sys.topk_query(&q.point, q.k, RouteMode::Offline);
+        let out = sys
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k));
         if out.cost.group_hops == 0 {
             zero += 1;
         }
@@ -434,4 +444,83 @@ fn stats_are_internally_consistent() {
     assert!(s.tree_height >= 2);
     assert!(s.tree_index_bytes > 0);
     assert!(s.per_unit_index_bytes >= sys.cfg.bloom_bits / 8);
+}
+
+#[test]
+fn two_threads_query_one_engine_concurrently() {
+    // The acceptance shape of the &self read path: many readers share
+    // one system (queries never mutate), and every concurrent answer is
+    // identical to the sequential one.
+    let (mut sys, pop) = system(2000, 20, 40);
+    // Churn first so version-chain recovery is part of what the
+    // concurrent readers exercise.
+    for f in pop.files.iter().step_by(17) {
+        let mut g = f.clone();
+        g.size = g.size.saturating_mul(7);
+        sys.apply_change(Change::Modify(g));
+    }
+    let w = QueryWorkload::generate(
+        &pop,
+        &QueryGenConfig {
+            n_range: 10,
+            n_topk: 10,
+            n_point: 10,
+            distribution: QueryDistribution::Zipf,
+            seed: 8,
+            ..Default::default()
+        },
+    );
+    let engine = sys.query();
+    let expected_ranges: Vec<_> = w
+        .ranges
+        .iter()
+        .map(|q| engine.range(&q.lo, &q.hi, &QueryOptions::offline()))
+        .collect();
+    let expected_topks: Vec<_> = w
+        .topks
+        .iter()
+        .map(|q| engine.topk(&q.point, &QueryOptions::online().with_k(q.k)))
+        .collect();
+    let expected_points: Vec<_> = w.points.iter().map(|q| engine.point(&q.name)).collect();
+
+    std::thread::scope(|s| {
+        let ranges = s.spawn(|| {
+            w.ranges
+                .iter()
+                .map(|q| engine.range(&q.lo, &q.hi, &QueryOptions::offline()))
+                .collect::<Vec<_>>()
+        });
+        let topks = s.spawn(|| {
+            w.topks
+                .iter()
+                .map(|q| engine.topk(&q.point, &QueryOptions::online().with_k(q.k)))
+                .collect::<Vec<_>>()
+        });
+        let points = s.spawn(|| {
+            w.points
+                .iter()
+                .map(|q| engine.point(&q.name))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(ranges.join().unwrap(), expected_ranges);
+        assert_eq!(topks.join().unwrap(), expected_topks);
+        assert_eq!(points.join().unwrap(), expected_points);
+    });
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_query_shims_delegate_to_engine() {
+    use smartstore::routing::RouteMode;
+    let (mut sys, pop) = system(1000, 10, 41);
+    let q = pop.files[77].attr_vector();
+    let lo: Vec<f64> = q.iter().map(|x| x - 0.3).collect();
+    let hi: Vec<f64> = q.iter().map(|x| x + 0.3).collect();
+    let via_engine = sys.query().range(&lo, &hi, &QueryOptions::offline());
+    assert_eq!(sys.range_query(&lo, &hi, RouteMode::Offline), via_engine);
+    let via_engine = sys.query().topk(&q, &QueryOptions::online().with_k(5));
+    assert_eq!(sys.topk_query(&q, 5, RouteMode::Online), via_engine);
+    let name = pop.files[77].name.clone();
+    let via_engine = sys.query().point(&name);
+    assert_eq!(sys.point_query(&name), via_engine);
 }

@@ -14,8 +14,8 @@
 //! cargo run --release --example admin_audit
 //! ```
 
-use smartstore_repro::smartstore::routing::RouteMode;
 use smartstore_repro::smartstore::versioning::Change;
+use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::{TraceKind, WorkloadModel, ATTR_DIMS};
 
@@ -73,7 +73,7 @@ fn main() {
     qlo[2] = update_start / 3600.0;
     qhi[2] = duration / 3600.0;
     qlo[5] = (4.0 * 1024.0 * 1024.0f64).ln(); // ≥ 4 MB written
-    let out = sys.range_query(&qlo, &qhi, RouteMode::Offline);
+    let out = sys.query().range(&qlo, &qhi, &QueryOptions::offline());
 
     let found = touched
         .iter()

@@ -15,7 +15,7 @@
 //! cargo run --release --example dedup_candidates
 //! ```
 
-use smartstore_repro::smartstore::routing::RouteMode;
+use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::{TraceKind, WorkloadModel};
 
@@ -50,7 +50,7 @@ fn main() {
         40 * 3
     );
 
-    let mut sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 21);
+    let sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 21);
 
     // For each master, shortlist its k nearest files — duplicates have
     // near-identical attributes, so they should dominate the shortlist.
@@ -60,7 +60,7 @@ fn main() {
     let mut total_units = 0usize;
     for (master, copies) in &copies_of {
         let point = by_id[master].attr_vector();
-        let out = sys.topk_query(&point, 8, RouteMode::Offline);
+        let out = sys.query().topk(&point, &QueryOptions::offline().with_k(8));
         recovered += copies.iter().filter(|c| out.file_ids.contains(c)).count();
         total_units += out.cost.units_probed;
     }

@@ -7,8 +7,8 @@
 //! cargo run --release --example persistence
 //! ```
 
-use smartstore_repro::smartstore::routing::RouteMode;
 use smartstore_repro::smartstore::versioning::Change;
+use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::query_gen::QueryGenConfig;
 use smartstore_repro::trace::{
@@ -69,12 +69,12 @@ fn main() {
     );
 
     // 4. "Crash": drop the live system and the store handle.
-    let mut live = sys; // keep one copy only to verify equivalence below
+    let live = sys; // keep one copy only to verify equivalence below
     drop(store);
 
     // 5. Recover: snapshot + WAL replay, no regrouping.
     let t0 = Instant::now();
-    let (mut reopened, _store, report) = SmartStoreSystem::open_from_dir(&dir).expect("recovery");
+    let (reopened, _store, report) = SmartStoreSystem::open_from_dir(&dir).expect("recovery");
     let open_time = t0.elapsed();
     println!(
         "reopened from disk in {open_time:?} (snapshot gen {}, {} WAL frames replayed, {} torn bytes dropped)",
@@ -106,26 +106,32 @@ fn main() {
     let mut checked = 0;
     for q in &w.ranges {
         assert_eq!(
-            live.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids,
+            live.query()
+                .range(&q.lo, &q.hi, &QueryOptions::offline())
+                .file_ids,
             reopened
-                .range_query(&q.lo, &q.hi, RouteMode::Offline)
+                .query()
+                .range(&q.lo, &q.hi, &QueryOptions::offline())
                 .file_ids,
         );
         checked += 1;
     }
     for q in &w.topks {
         assert_eq!(
-            live.topk_query(&q.point, q.k, RouteMode::Offline).file_ids,
+            live.query()
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k))
+                .file_ids,
             reopened
-                .topk_query(&q.point, q.k, RouteMode::Offline)
+                .query()
+                .topk(&q.point, &QueryOptions::offline().with_k(q.k))
                 .file_ids,
         );
         checked += 1;
     }
     for q in &w.points {
         assert_eq!(
-            live.point_query(&q.name).file_ids,
-            reopened.point_query(&q.name).file_ids,
+            live.query().point(&q.name).file_ids,
+            reopened.query().point(&q.name).file_ids,
         );
         checked += 1;
     }

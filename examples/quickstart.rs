@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use smartstore_repro::smartstore::routing::RouteMode;
+use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::query_gen::QueryGenConfig;
 use smartstore_repro::trace::{QueryDistribution, QueryWorkload, TraceKind, WorkloadModel};
@@ -22,7 +22,7 @@ fn main() {
     // 2. Build the system: files are partitioned into 50 storage units
     //    by semantic correlation; the units aggregate into a semantic
     //    R-tree; index units are mapped onto storage units.
-    let mut sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 42);
+    let sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 42);
     let stats = sys.stats();
     println!(
         "built system: {} units in {} semantic groups, R-tree height {}, index {} KB",
@@ -34,7 +34,7 @@ fn main() {
 
     // 3. A filename point query (the classic FS lookup).
     let name = &pop.files[1234].name;
-    let out = sys.point_query(name);
+    let out = sys.query().point(name);
     println!(
         "point query  '{name}': found={:?}  latency={:.2} ms  messages={}",
         out.file_ids,
@@ -57,7 +57,7 @@ fn main() {
         },
     );
     let rq = &w.ranges[0];
-    let out = sys.range_query(&rq.lo, &rq.hi, RouteMode::Offline);
+    let out = sys.query().range(&rq.lo, &rq.hi, &QueryOptions::offline());
     println!(
         "range query : {} results ({} ideal)  latency={:.2} ms  group hops={}",
         out.file_ids.len(),
@@ -69,7 +69,9 @@ fn main() {
     // 5. A top-k query: "file size around X, last visited around T —
     //    show me the 8 closest files".
     let tq = &w.topks[0];
-    let out = sys.topk_query(&tq.point, tq.k, RouteMode::Offline);
+    let out = sys
+        .query()
+        .topk(&tq.point, &QueryOptions::offline().with_k(tq.k));
     let hits = tq
         .ideal
         .iter()

@@ -13,7 +13,7 @@
 //! cargo run --release --example semantic_prefetch
 //! ```
 
-use smartstore_repro::smartstore::routing::RouteMode;
+use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::{TraceKind, WorkloadModel};
 use std::collections::{HashMap, VecDeque};
@@ -57,7 +57,7 @@ impl LruCache {
 
 fn main() {
     let pop = WorkloadModel::new(TraceKind::Msn).generate(6_000, 33);
-    let mut sys = SmartStoreSystem::build(pop.files.clone(), 60, SmartStoreConfig::default(), 33);
+    let sys = SmartStoreSystem::build(pop.files.clone(), 60, SmartStoreConfig::default(), 33);
 
     // Access stream with semantic locality: walk a cluster's files in
     // bursts (a job reading its campaign's outputs), jumping clusters.
@@ -106,7 +106,9 @@ fn main() {
             pf.touch(f.file_id);
         } else {
             pf.touch(f.file_id);
-            let out = sys.topk_query(&f.attr_vector(), 8, RouteMode::Offline);
+            let out = sys
+                .query()
+                .topk(&f.attr_vector(), &QueryOptions::offline().with_k(8));
             prefetch_queries += 1;
             for id in out.file_ids {
                 pf.touch(id);

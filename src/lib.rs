@@ -11,6 +11,7 @@ pub use smartstore_bptree as bptree;
 pub use smartstore_linalg as linalg;
 pub use smartstore_persist as persist;
 pub use smartstore_rtree as rtree;
+pub use smartstore_service as service;
 pub use smartstore_simnet as simnet;
 pub use smartstore_trace as trace;
 

@@ -4,7 +4,7 @@
 
 use smartstore_repro::bptree::Dbms;
 use smartstore_repro::rtree::{bulk::str_bulk_load, RTreeConfig, Rect};
-use smartstore_repro::smartstore::routing::RouteMode;
+use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_repro::trace::query_gen::{recall, QueryGenConfig};
 use smartstore_repro::trace::{
@@ -44,7 +44,7 @@ fn build_everything(
 
 #[test]
 fn three_engines_agree_on_range_answers() {
-    let (pop, mut sys, db, rt) = build_everything(TraceKind::Msn, 2000, 20, 1);
+    let (pop, sys, db, rt) = build_everything(TraceKind::Msn, 2000, 20, 1);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -56,7 +56,10 @@ fn three_engines_agree_on_range_answers() {
         },
     );
     for q in &w.ranges {
-        let mut smart = sys.range_query(&q.lo, &q.hi, RouteMode::Offline).file_ids;
+        let mut smart = sys
+            .query()
+            .range(&q.lo, &q.hi, &QueryOptions::offline())
+            .file_ids;
         let (mut dbms, _) = db.range_query(&q.lo, &q.hi);
         let query_rect = Rect::new(q.lo.clone(), q.hi.clone());
         let mut rtree: Vec<u64> = rt.range(&query_rect).into_iter().copied().collect();
@@ -73,7 +76,7 @@ fn three_engines_agree_on_range_answers() {
 
 #[test]
 fn topk_engines_agree_with_exhaustive_search() {
-    let (pop, mut sys, _db, rt) = build_everything(TraceKind::Eecs, 1500, 15, 3);
+    let (pop, sys, _db, rt) = build_everything(TraceKind::Eecs, 1500, 15, 3);
     let w = QueryWorkload::generate(
         &pop,
         &QueryGenConfig {
@@ -86,7 +89,10 @@ fn topk_engines_agree_with_exhaustive_search() {
         },
     );
     for q in &w.topks {
-        let smart = sys.topk_query(&q.point, q.k, RouteMode::Offline).file_ids;
+        let smart = sys
+            .query()
+            .topk(&q.point, &QueryOptions::offline().with_k(q.k))
+            .file_ids;
         assert!(
             recall(&q.ideal, &smart) > 0.99,
             "SmartStore top-k not exhaustive-exact"
@@ -123,10 +129,10 @@ fn deterministic_build_across_runs() {
 #[test]
 fn all_trace_kinds_build_and_answer() {
     for kind in TraceKind::ALL {
-        let (pop, mut sys, _, _) = build_everything(kind, 800, 8, 5);
+        let (pop, sys, _, _) = build_everything(kind, 800, 8, 5);
         sys.tree().check_invariants().unwrap();
         let f = &pop.files[17];
-        let out = sys.point_query(&f.name);
+        let out = sys.query().point(&f.name);
         assert!(
             out.file_ids.contains(&f.file_id),
             "{}: fresh system must answer point queries",
@@ -141,12 +147,12 @@ fn scale_up_preserves_query_semantics() {
     let pop = WorkloadModel::new(TraceKind::Msn).generate(400, 6);
     let scaled = scale_up(&pop, 4);
     assert_eq!(scaled.len(), 1600);
-    let mut sys = SmartStoreSystem::build(scaled.files.clone(), 16, SmartStoreConfig::default(), 6);
+    let sys = SmartStoreSystem::build(scaled.files.clone(), 16, SmartStoreConfig::default(), 6);
     // Every sub-trace copy of one original file is found by name.
     let orig = &pop.files[42];
     for sub in 0..4 {
         let name = format!("st{sub:03}_{}", orig.name);
-        let out = sys.point_query(&name);
+        let out = sys.query().point(&name);
         assert_eq!(out.file_ids.len(), 1, "copy {name} must resolve uniquely");
     }
 }
@@ -173,9 +179,9 @@ fn linalg_supports_the_full_pipeline() {
 
 #[test]
 fn bloom_point_queries_never_false_negative_on_fresh_system() {
-    let (pop, mut sys, _, _) = build_everything(TraceKind::Msn, 1000, 10, 9);
+    let (pop, sys, _, _) = build_everything(TraceKind::Msn, 1000, 10, 9);
     for f in pop.files.iter().step_by(13) {
-        let out = sys.point_query(&f.name);
+        let out = sys.query().point(&f.name);
         assert!(
             out.file_ids.contains(&f.file_id),
             "fresh Bloom hierarchy cannot produce false negatives"
