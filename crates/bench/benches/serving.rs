@@ -177,7 +177,8 @@ fn main() {
         "all shard counts verified bit-identical to a single {TOTAL_UNITS}-unit system before timing"
     ));
     report.note(
-        "single process: shard fan-out is sequential here, so wall-clock tracks total work; \
+        "shard fan-out runs on the shared thread pool (order-preserving collect keeps the \
+         merge deterministic); on a 1-core host wall-clock still tracks total work, while \
          simulated latency models shards as parallel (max across shards)",
     );
     report.note(format!(

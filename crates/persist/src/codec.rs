@@ -27,8 +27,10 @@ use smartstore_trace::{AttributeKind, FileMetadata, ATTR_DIMS};
 use std::collections::HashMap;
 
 /// Highest artifact format version this build reads and the version it
-/// writes.
-pub const FORMAT_VERSION: u16 = 1;
+/// writes. v2 added differential snapshots: the manifest carries the
+/// base + delta generation chain and the config carries
+/// `max_delta_chain`.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Upper bound on a single record's payload (sanity check against
 /// garbage length prefixes).
@@ -700,10 +702,15 @@ pub fn put_config(e: &mut Enc, c: &SmartStoreConfig) {
     e.u32(c.version_ratio);
     e.usize(c.persist.wal_sync_every);
     e.u64(c.persist.wal_compact_bytes);
+    e.usize(c.persist.max_delta_chain);
 }
 
-/// Decodes the full configuration.
-pub fn get_config(d: &mut Dec) -> DecResult<SmartStoreConfig> {
+/// Decodes the full configuration. `version` is the containing
+/// artifact's format version: v1 images predate `max_delta_chain`, so
+/// for them the field is not read and the default chain policy applies
+/// — reopening a v1 store upgrades it to differential compaction (its
+/// next manifest flip writes v2).
+pub fn get_config(d: &mut Dec, version: u16) -> DecResult<SmartStoreConfig> {
     let lsi_rank = d.usize()?;
     let n_dims = d.u32()? as usize;
     d.check_count(n_dims, 1)?;
@@ -733,6 +740,11 @@ pub fn get_config(d: &mut Dec) -> DecResult<SmartStoreConfig> {
         persist: PersistConfig {
             wal_sync_every: d.usize()?,
             wal_compact_bytes: d.u64()?,
+            max_delta_chain: if version >= 2 {
+                d.usize()?
+            } else {
+                PersistConfig::default().max_delta_chain
+            },
         },
     })
 }
@@ -888,7 +900,7 @@ mod tests {
         let mut e = Enc::new();
         put_config(&mut e, &c);
         let bytes = e.into_bytes();
-        let back = get_config(&mut Dec::new(&bytes)).unwrap();
+        let back = get_config(&mut Dec::new(&bytes), FORMAT_VERSION).unwrap();
         assert_eq!(back.lsi_rank, 4);
         assert_eq!(back.grouping_dims, c.grouping_dims);
         assert_eq!(back.persist, c.persist);

@@ -16,11 +16,15 @@
 //! * [`wal`] — the append-only change log with group-tagged frames,
 //!   batched `fsync` (group commit), and torn-tail-tolerant replay
 //!   (scan to the first bad checksum, truncate the rest);
-//! * [`store`] — [`PersistentStore`]: manifest + snapshot generations +
-//!   active WAL; **crash recovery** is `open` = load latest snapshot,
-//!   replay surviving WAL frames through the system's own deterministic
-//!   [`SmartStoreSystem::apply_change`], and **compaction** folds a
-//!   grown log into the next snapshot generation.
+//! * [`store`] — [`PersistentStore`]: manifest + snapshot chain +
+//!   active WAL; **crash recovery** is `open` = load the base snapshot,
+//!   fold the delta chain, replay surviving WAL frames through the
+//!   system's own deterministic [`SmartStoreSystem::apply_change`], and
+//!   **compaction** is incremental: per-unit dirty tracking lets it
+//!   write cheap *differential* generations (only the churn footprint
+//!   re-encodes) with the expensive encode off the write path, falling
+//!   back to a full rewrite when the chain outgrows
+//!   `persist.max_delta_chain`.
 //!
 //! The [`SystemPersist`] extension trait stitches it onto
 //! [`SmartStoreSystem`]:
@@ -45,8 +49,12 @@ pub mod store;
 pub mod wal;
 
 pub use error::{PersistError, Result};
-pub use snapshot::{load_snapshot, write_snapshot, SnapshotStats};
-pub use store::{PersistentStore, RecoveryReport, StoreOptions};
+pub use snapshot::{
+    load_delta, load_snapshot, write_delta, write_snapshot, DeltaStats, SnapshotStats,
+};
+pub use store::{
+    CompactionOutcome, DeltaCompaction, EncodedDelta, PersistentStore, RecoveryReport, StoreOptions,
+};
 pub use wal::{WalFrame, WalReplay, WalWriter};
 
 use smartstore::tree::NodeId;
@@ -60,18 +68,22 @@ use std::path::Path;
 /// system stays storage-agnostic; import it to get the methods.)
 pub trait SystemPersist: Sized {
     /// Snapshots the full system state into `dir` and returns the store
-    /// handle whose WAL will journal subsequent changes.
-    fn save_snapshot(&self, dir: &Path) -> Result<(PersistentStore, SnapshotStats)>;
+    /// handle whose WAL will journal subsequent changes. Resets the
+    /// system's per-unit dirty tracking: the written image covers
+    /// everything.
+    fn save_snapshot(&mut self, dir: &Path) -> Result<(PersistentStore, SnapshotStats)>;
 
-    /// Crash recovery: reassembles the system from `dir`'s latest
-    /// snapshot plus its write-ahead log (a torn tail is truncated).
+    /// Crash recovery: reassembles the system from `dir`'s snapshot
+    /// chain (base + differential generations) plus its write-ahead
+    /// log (a torn tail is truncated).
     fn open_from_dir(dir: &Path) -> Result<(Self, PersistentStore, RecoveryReport)>;
 
     /// Applies one change with write-ahead durability: the frame is
     /// appended (and group-tagged) *before* the in-memory mutation, and
-    /// the WAL is compacted into a fresh snapshot once it outgrows
-    /// `cfg.persist.wal_compact_bytes`. Returns the group the change
-    /// landed in.
+    /// the WAL is compacted into the next snapshot generation — a cheap
+    /// differential one while the churn footprint allows — once it
+    /// outgrows `cfg.persist.wal_compact_bytes`. Returns the group the
+    /// change landed in.
     fn apply_journaled(
         &mut self,
         store: &mut PersistentStore,
@@ -80,7 +92,7 @@ pub trait SystemPersist: Sized {
 }
 
 impl SystemPersist for SmartStoreSystem {
-    fn save_snapshot(&self, dir: &Path) -> Result<(PersistentStore, SnapshotStats)> {
+    fn save_snapshot(&mut self, dir: &Path) -> Result<(PersistentStore, SnapshotStats)> {
         PersistentStore::create(dir, self)
     }
 
@@ -99,7 +111,7 @@ impl SystemPersist for SmartStoreSystem {
         let landed = self
             .try_apply_change_journaled(change, |group, ch| store.append(group, ch).map(|_| ()))?;
         if store.should_compact() {
-            store.compact(self)?;
+            store.compact_incremental(self)?;
         }
         Ok(landed)
     }
@@ -223,26 +235,140 @@ mod tests {
             sys.apply_journaled(&mut store, Change::Insert(f)).unwrap();
         }
         assert!(store.generation() > 1, "compaction must have fired");
-        // Only the current generation's files remain.
+        // Exactly the manifest chain plus one active WAL remains.
         let names: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
-        let snaps = names.iter().filter(|n| n.ends_with(".snap")).count();
+        let fulls = names
+            .iter()
+            .filter(|n| n.starts_with("snapshot-") && n.ends_with(".snap"))
+            .count();
+        let deltas = names
+            .iter()
+            .filter(|n| n.starts_with("delta-") && n.ends_with(".snap"))
+            .count();
         let wals = names.iter().filter(|n| n.ends_with(".log")).count();
         assert_eq!(
-            (snaps, wals),
-            (1, 1),
+            (fulls, deltas, wals),
+            (1, store.delta_chain().len(), 1),
             "stale generations left behind: {names:?}"
         );
         // Reopen and verify equivalence.
         drop(store);
-        let (sys2, _, _) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+        let (sys2, store2, report) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+        assert_eq!(report.deltas_folded, store2.delta_chain().len());
         let mut a = sys.current_files();
         let mut b = sys2.current_files();
         a.sort_by_key(|f| f.file_id);
         b.sort_by_key(|f| f.file_id);
         assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_compaction_encodes_only_the_churn_footprint() {
+        let dir = tmpdir("delta_footprint");
+        let mut sys = small_system(400, 8, 29);
+        let (mut store, full) = sys.save_snapshot(&dir).unwrap();
+        // Concentrate churn on the files of a single unit.
+        let hot: Vec<_> = sys.units()[0].files().to_vec();
+        for (i, f) in hot.iter().take(6).cloned().enumerate() {
+            let mut m = f;
+            m.size += 1 + i as u64;
+            sys.apply_journaled(&mut store, Change::Modify(m)).unwrap();
+        }
+        let dirty = sys.dirty_count();
+        assert!((1..8).contains(&dirty), "churn stayed narrow: {dirty}");
+        let outcome = store.compact_incremental(&mut sys).unwrap();
+        assert!(outcome.is_delta());
+        assert!(
+            outcome.bytes_written() < full.bytes / 2,
+            "delta ({} B) should be far smaller than the full image ({} B)",
+            outcome.bytes_written(),
+            full.bytes
+        );
+        assert_eq!(sys.dirty_count(), 0, "cut resets dirty tracking");
+        assert_eq!(store.delta_chain().len(), 1);
+        // Recovery folds base + delta back to the live state.
+        drop(store);
+        let (sys2, _, report) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+        assert_eq!(report.deltas_folded, 1);
+        assert_eq!(report.replayed_frames, 0);
+        assert_eq!(
+            snapshot::encode_snapshot(&sys.to_parts()).0,
+            snapshot::encode_snapshot(&sys2.to_parts()).0,
+            "folded chain must be bit-identical to the live image"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_chain_overflow_falls_back_to_full_rewrite() {
+        let dir = tmpdir("chain_overflow");
+        let mut sys = small_system(300, 6, 31);
+        sys.cfg.persist.max_delta_chain = 2;
+        let (mut store, _) = sys.save_snapshot(&dir).unwrap();
+        let files = sys.current_files();
+        for round in 0..3u64 {
+            let mut f = files[round as usize].clone();
+            f.size += round + 1;
+            sys.apply_journaled(&mut store, Change::Modify(f)).unwrap();
+            let outcome = store.compact_incremental(&mut sys).unwrap();
+            if round < 2 {
+                assert!(outcome.is_delta(), "round {round} should be a delta");
+            } else {
+                assert!(!outcome.is_delta(), "chain overflow must rewrite in full");
+                assert!(store.delta_chain().is_empty(), "full rewrite resets chain");
+            }
+        }
+        drop(store);
+        let (sys2, _, report) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+        assert_eq!(report.deltas_folded, 0);
+        assert_eq!(
+            snapshot::encode_snapshot(&sys.to_parts()).0,
+            snapshot::encode_snapshot(&sys2.to_parts()).0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_keeps_journaling_while_delta_encodes() {
+        // The off-write-path shape: cut, encode on a worker thread
+        // while the writer appends to the fresh segment, install, then
+        // recover and verify the full history survived.
+        let dir = tmpdir("concurrent_encode");
+        let mut sys = small_system(300, 6, 37);
+        let (mut store, _) = sys.save_snapshot(&dir).unwrap();
+        let files = sys.current_files();
+        for i in 0..10u64 {
+            let mut f = files[i as usize].clone();
+            f.size += i;
+            sys.apply_journaled(&mut store, Change::Modify(f)).unwrap();
+        }
+        let cut = store.begin_delta_compaction(&mut sys).unwrap();
+        assert!(cut.n_dirty() >= 1);
+        let encoded = std::thread::scope(|s| {
+            let worker = s.spawn(move || cut.encode());
+            // Writer stays live during the encode: journal more churn
+            // into the post-cut segment.
+            for i in 10..20u64 {
+                let mut f = files[i as usize].clone();
+                f.size += i;
+                sys.apply_journaled(&mut store, Change::Modify(f)).unwrap();
+            }
+            worker.join().expect("encode thread")
+        });
+        store.install_delta(encoded).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let (sys2, _, report) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+        assert_eq!(report.deltas_folded, 1);
+        assert_eq!(report.replayed_frames, 10, "post-cut frames replayed");
+        assert_eq!(
+            snapshot::encode_snapshot(&sys.to_parts()).0,
+            snapshot::encode_snapshot(&sys2.to_parts()).0
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -280,7 +406,7 @@ mod tests {
         // generation with no log. The snapshot alone is consistent —
         // open must recreate the log empty, not fail.
         let dir = tmpdir("missing_wal");
-        let sys = small_system(200, 4, 13);
+        let mut sys = small_system(200, 4, 13);
         let (store, _) = sys.save_snapshot(&dir).unwrap();
         drop(store);
         let wal = std::fs::read_dir(&dir)
@@ -303,7 +429,7 @@ mod tests {
     #[test]
     fn open_sweeps_orphaned_compaction_artifacts() {
         let dir = tmpdir("sweep");
-        let sys = small_system(150, 3, 17);
+        let mut sys = small_system(150, 3, 17);
         let (store, _) = sys.save_snapshot(&dir).unwrap();
         drop(store);
         // A crashed compaction can leave temp files and an unreferenced

@@ -19,12 +19,27 @@
 //! including a missing END marker from a torn write — fails the load.
 //! Writers therefore go through a temp file + `fsync` + atomic rename,
 //! so a crash mid-write can never install a partial snapshot.
+//!
+//! # Differential snapshots
+//!
+//! A *delta* file (`DELTA_MAGIC`) is the same record stream with one
+//! twist: its UNIT section holds only the units **dirtied** since the
+//! previous generation (per-unit dirty tracking in
+//! [`smartstore::system::DirtyUnits`]), while the small index-side
+//! sections (tree, mapping, versions, pending) are present in full —
+//! they shift with every change but are dwarfed by unit records.
+//! [`fold_delta`] overlays a decoded delta onto base [`SystemParts`]
+//! deterministically: dirty units replace (or append) by unit id, the
+//! index sections are taken wholesale from the delta. Folding
+//! base + deltas in chain order reproduces the full image
+//! bit-for-bit.
 
 use crate::codec::{self, Dec, Enc, FrameError};
 use crate::error::{PersistError, Result};
 use rayon::prelude::*;
-use smartstore::system::SystemParts;
+use smartstore::system::{DeltaParts, SystemParts};
 use smartstore::tree::NodeId;
+use smartstore::unit::StorageUnit;
 use smartstore::versioning::VersionStore;
 use std::fs;
 use std::io::Write as _;
@@ -33,6 +48,9 @@ use std::path::Path;
 /// Magic prefix of snapshot files (7 bytes + 1 reserved).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SSSNAP\x00\x00";
 
+/// Magic prefix of differential-snapshot (delta) files.
+pub const DELTA_MAGIC: &[u8; 8] = b"SSDELT\x00\x00";
+
 const SEC_HEADER: u8 = 0x01;
 const SEC_CONFIG: u8 = 0x02;
 const SEC_UNIT: u8 = 0x03;
@@ -40,6 +58,7 @@ const SEC_TREE: u8 = 0x04;
 const SEC_MAPPING: u8 = 0x05;
 const SEC_VERSIONS: u8 = 0x06;
 const SEC_PENDING: u8 = 0x07;
+const SEC_DHEADER: u8 = 0x08;
 const SEC_END: u8 = 0xFF;
 
 /// Size/shape statistics of a written snapshot.
@@ -53,6 +72,76 @@ pub struct SnapshotStats {
     pub n_files: usize,
     /// Semantic R-tree arena nodes captured.
     pub n_nodes: usize,
+}
+
+/// Size/shape statistics of a written delta generation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaStats {
+    /// Total file bytes.
+    pub bytes: u64,
+    /// Dirty storage units re-encoded.
+    pub n_dirty_units: usize,
+    /// Total units in the system at the cut.
+    pub n_units_total: usize,
+    /// File-metadata records inside the re-encoded units.
+    pub n_files: usize,
+}
+
+/// Encodes + CRC-frames one SEC_UNIT record per unit, in parallel; the
+/// framed records splice back in slice order, so the byte stream is
+/// identical to a sequential encoding.
+fn encode_unit_records(units: &[StorageUnit]) -> Vec<Vec<u8>> {
+    units
+        .par_iter()
+        .map(|u| {
+            let mut e = Enc::new();
+            e.u8(SEC_UNIT);
+            codec::put_unit(&mut e, u);
+            let mut rec = Vec::new();
+            codec::put_record(&mut rec, &e.into_bytes());
+            rec
+        })
+        .collect()
+}
+
+/// Appends the index-side sections (tree, mapping, versions, pending)
+/// and the end marker — identical between full and delta images.
+fn put_index_sections(
+    out: &mut Vec<u8>,
+    tree: &smartstore::tree::TreeParts,
+    mapping: &smartstore::mapping::IndexMapping,
+    versions: &[(NodeId, VersionStore)],
+    pending: &[(NodeId, usize)],
+) {
+    let mut t = Enc::new();
+    t.u8(SEC_TREE);
+    codec::put_tree(&mut t, tree);
+    codec::put_record(out, &t.into_bytes());
+
+    let mut m = Enc::new();
+    m.u8(SEC_MAPPING);
+    codec::put_mapping(&mut m, mapping);
+    codec::put_record(out, &m.into_bytes());
+
+    let mut v = Enc::new();
+    v.u8(SEC_VERSIONS);
+    v.u32(versions.len() as u32);
+    for (group, vs) in versions {
+        v.usize(*group);
+        codec::put_version_store(&mut v, vs);
+    }
+    codec::put_record(out, &v.into_bytes());
+
+    let mut p = Enc::new();
+    p.u8(SEC_PENDING);
+    p.u32(pending.len() as u32);
+    for (group, count) in pending {
+        p.usize(*group);
+        p.usize(*count);
+    }
+    codec::put_record(out, &p.into_bytes());
+
+    codec::put_record(out, &[SEC_END]);
 }
 
 /// Serializes `parts` into snapshot bytes.
@@ -77,57 +166,22 @@ pub fn encode_snapshot(parts: &SystemParts) -> (Vec<u8>, SnapshotStats) {
     codec::put_config(&mut cfg, &parts.cfg);
     codec::put_record(&mut out, &cfg.into_bytes());
 
-    // Unit records dominate snapshot bytes; encode + CRC each one in
-    // parallel and splice the framed records back in unit order —
-    // record framing is self-contained, so the byte stream is
-    // identical to the sequential encoding.
-    let unit_records: Vec<Vec<u8>> = parts
-        .units
-        .par_iter()
-        .map(|u| {
-            let mut e = Enc::new();
-            e.u8(SEC_UNIT);
-            codec::put_unit(&mut e, u);
-            let mut rec = Vec::new();
-            codec::put_record(&mut rec, &e.into_bytes());
-            rec
-        })
-        .collect();
+    // Unit records dominate snapshot bytes; encode + CRC them in
+    // parallel on the shared pool.
+    let unit_records = encode_unit_records(&parts.units);
     let unit_bytes: usize = unit_records.iter().map(|r| r.len()).sum();
     out.reserve(unit_bytes);
     for rec in &unit_records {
         out.extend_from_slice(rec);
     }
 
-    let mut tree = Enc::new();
-    tree.u8(SEC_TREE);
-    codec::put_tree(&mut tree, &parts.tree);
-    codec::put_record(&mut out, &tree.into_bytes());
-
-    let mut mapping = Enc::new();
-    mapping.u8(SEC_MAPPING);
-    codec::put_mapping(&mut mapping, &parts.mapping);
-    codec::put_record(&mut out, &mapping.into_bytes());
-
-    let mut versions = Enc::new();
-    versions.u8(SEC_VERSIONS);
-    versions.u32(parts.versions.len() as u32);
-    for (group, vs) in &parts.versions {
-        versions.usize(*group);
-        codec::put_version_store(&mut versions, vs);
-    }
-    codec::put_record(&mut out, &versions.into_bytes());
-
-    let mut pending = Enc::new();
-    pending.u8(SEC_PENDING);
-    pending.u32(parts.pending.len() as u32);
-    for (group, count) in &parts.pending {
-        pending.usize(*group);
-        pending.usize(*count);
-    }
-    codec::put_record(&mut out, &pending.into_bytes());
-
-    codec::put_record(&mut out, &[SEC_END]);
+    put_index_sections(
+        &mut out,
+        &parts.tree,
+        &parts.mapping,
+        &parts.versions,
+        &parts.pending,
+    );
 
     let stats = SnapshotStats {
         bytes: out.len() as u64,
@@ -138,15 +192,62 @@ pub fn encode_snapshot(parts: &SystemParts) -> (Vec<u8>, SnapshotStats) {
     (out, stats)
 }
 
-/// Writes `parts` to `path` atomically: temp file in the same
+/// Serializes a differential cut into delta-file bytes: only the dirty
+/// units are re-encoded; the index-side sections ride along in full.
+pub fn encode_delta(delta: &DeltaParts) -> (Vec<u8>, DeltaStats) {
+    let mut out = Vec::new();
+    out.extend_from_slice(DELTA_MAGIC);
+    out.extend_from_slice(&codec::FORMAT_VERSION.to_le_bytes());
+
+    let n_files: usize = delta.units.iter().map(|u| u.len()).sum();
+
+    let mut header = Enc::new();
+    header.u8(SEC_DHEADER);
+    header.usize(delta.n_units_total);
+    header.usize(delta.units.len());
+    header.usize(n_files);
+    header.bool(delta.versioning_enabled);
+    header.u64(delta.maintenance_messages);
+    header.u64(delta.reseed);
+    codec::put_record(&mut out, &header.into_bytes());
+
+    let mut cfg = Enc::new();
+    cfg.u8(SEC_CONFIG);
+    codec::put_config(&mut cfg, &delta.cfg);
+    codec::put_record(&mut out, &cfg.into_bytes());
+
+    let unit_records = encode_unit_records(&delta.units);
+    let unit_bytes: usize = unit_records.iter().map(|r| r.len()).sum();
+    out.reserve(unit_bytes);
+    for rec in &unit_records {
+        out.extend_from_slice(rec);
+    }
+
+    put_index_sections(
+        &mut out,
+        &delta.tree,
+        &delta.mapping,
+        &delta.versions,
+        &delta.pending,
+    );
+
+    let stats = DeltaStats {
+        bytes: out.len() as u64,
+        n_dirty_units: delta.units.len(),
+        n_units_total: delta.n_units_total,
+        n_files,
+    };
+    (out, stats)
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same
 /// directory, `fsync`, rename over the target, `fsync` the directory.
-pub fn write_snapshot(parts: &SystemParts, path: &Path) -> Result<SnapshotStats> {
-    let (bytes, stats) = encode_snapshot(parts);
+fn write_atomic(bytes: &[u8], path: &Path) -> Result<()> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
@@ -155,6 +256,27 @@ pub fn write_snapshot(parts: &SystemParts, path: &Path) -> Result<SnapshotStats>
         // filesystems that reject directory syncs.
         let _ = d.sync_all();
     }
+    Ok(())
+}
+
+/// Writes `parts` to `path` atomically.
+pub fn write_snapshot(parts: &SystemParts, path: &Path) -> Result<SnapshotStats> {
+    let (bytes, stats) = encode_snapshot(parts);
+    write_atomic(&bytes, path)?;
+    Ok(stats)
+}
+
+/// Writes pre-encoded artifact bytes (from [`encode_delta`] or
+/// [`encode_snapshot`]) to `path` atomically — the install half of a
+/// two-phase compaction whose encode half ran off the write path.
+pub fn write_encoded(bytes: &[u8], path: &Path) -> Result<()> {
+    write_atomic(bytes, path)
+}
+
+/// Writes a differential cut to `path` atomically.
+pub fn write_delta(delta: &DeltaParts, path: &Path) -> Result<DeltaStats> {
+    let (bytes, stats) = encode_delta(delta);
+    write_atomic(&bytes, path)?;
     Ok(stats)
 }
 
@@ -216,7 +338,7 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
     if d.u8().map_err(dec_err)? != SEC_CONFIG {
         return Err(corrupt(path, pos, "expected config section"));
     }
-    let cfg = codec::get_config(&mut d).map_err(dec_err)?;
+    let cfg = codec::get_config(&mut d, version).map_err(dec_err)?;
     d.finish().map_err(dec_err)?;
 
     // UNITS
@@ -231,29 +353,75 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
         d.finish().map_err(dec_err)?;
     }
 
+    let ix = get_index_sections(bytes, &mut pos, path)?;
+
+    check_unit_refs(&units, &ix.tree, path)?;
+
+    Ok(SystemParts {
+        cfg,
+        units,
+        tree: ix.tree,
+        mapping: ix.mapping,
+        versions: ix.versions,
+        pending: ix.pending,
+        versioning_enabled,
+        maintenance_messages,
+        reseed,
+    })
+}
+
+/// The decoded index-side sections shared by full and delta images.
+struct IndexSections {
+    tree: smartstore::tree::TreeParts,
+    mapping: smartstore::mapping::IndexMapping,
+    versions: Vec<(NodeId, VersionStore)>,
+    pending: Vec<(NodeId, usize)>,
+}
+
+/// Decodes the TREE/MAPPING/VERSIONS/PENDING sections plus the END
+/// marker and trailing-data check — the read-side mirror of
+/// [`put_index_sections`], shared by [`decode_snapshot`] and
+/// [`decode_delta`].
+fn get_index_sections(bytes: &[u8], pos: &mut usize, path: &Path) -> Result<IndexSections> {
+    let next = |pos: &mut usize| -> Result<&[u8]> {
+        match codec::get_record(bytes, *pos) {
+            Ok((payload, np)) => {
+                let at = *pos;
+                *pos = np;
+                if payload.is_empty() {
+                    return Err(corrupt(path, at, "empty record"));
+                }
+                Ok(payload)
+            }
+            Err(FrameError::Eof) => Err(corrupt(path, *pos, "unexpected end of artifact")),
+            Err(FrameError::Torn { offset, reason }) => Err(corrupt(path, offset, reason)),
+        }
+    };
+    let dec_err = |e: codec::DecodeError| corrupt(path, e.offset, e.reason);
+
     // TREE
-    let payload = next(&mut pos)?;
+    let payload = next(pos)?;
     let mut d = Dec::new(payload);
     if d.u8().map_err(dec_err)? != SEC_TREE {
-        return Err(corrupt(path, pos, "expected tree section"));
+        return Err(corrupt(path, *pos, "expected tree section"));
     }
     let tree = codec::get_tree(&mut d).map_err(dec_err)?;
     d.finish().map_err(dec_err)?;
 
     // MAPPING
-    let payload = next(&mut pos)?;
+    let payload = next(pos)?;
     let mut d = Dec::new(payload);
     if d.u8().map_err(dec_err)? != SEC_MAPPING {
-        return Err(corrupt(path, pos, "expected mapping section"));
+        return Err(corrupt(path, *pos, "expected mapping section"));
     }
     let mapping = codec::get_mapping(&mut d).map_err(dec_err)?;
     d.finish().map_err(dec_err)?;
 
     // VERSIONS
-    let payload = next(&mut pos)?;
+    let payload = next(pos)?;
     let mut d = Dec::new(payload);
     if d.u8().map_err(dec_err)? != SEC_VERSIONS {
-        return Err(corrupt(path, pos, "expected versions section"));
+        return Err(corrupt(path, *pos, "expected versions section"));
     }
     let n_groups = d.u32().map_err(dec_err)? as usize;
     let mut versions: Vec<(NodeId, VersionStore)> = Vec::with_capacity(n_groups.min(1 << 20));
@@ -265,10 +433,10 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
     d.finish().map_err(dec_err)?;
 
     // PENDING
-    let payload = next(&mut pos)?;
+    let payload = next(pos)?;
     let mut d = Dec::new(payload);
     if d.u8().map_err(dec_err)? != SEC_PENDING {
-        return Err(corrupt(path, pos, "expected pending section"));
+        return Err(corrupt(path, *pos, "expected pending section"));
     }
     let n_pending = d.u32().map_err(dec_err)? as usize;
     let mut pending: Vec<(NodeId, usize)> = Vec::with_capacity(n_pending.min(1 << 20));
@@ -280,16 +448,36 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
     d.finish().map_err(dec_err)?;
 
     // END
-    let payload = next(&mut pos)?;
+    let payload = next(pos)?;
     if payload != [SEC_END] {
-        return Err(corrupt(path, pos, "expected end marker"));
+        return Err(corrupt(path, *pos, "expected end marker"));
     }
-    match codec::get_record(bytes, pos) {
+    match codec::get_record(bytes, *pos) {
         Err(FrameError::Eof) => {}
-        _ => return Err(corrupt(path, pos, "trailing data after end marker")),
+        _ => return Err(corrupt(path, *pos, "trailing data after end marker")),
     }
 
-    // Referential sanity: every leaf's unit id must exist.
+    Ok(IndexSections {
+        tree,
+        mapping,
+        versions,
+        pending,
+    })
+}
+
+/// Loads a snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<SystemParts> {
+    let bytes = fs::read(path)?;
+    decode_snapshot(&bytes, path)
+}
+
+/// Referential sanity shared by full-image decode and chain folding:
+/// every live leaf's unit id must resolve to a storage unit.
+pub(crate) fn check_unit_refs(
+    units: &[StorageUnit],
+    tree: &smartstore::tree::TreeParts,
+    path: &Path,
+) -> Result<()> {
     let unit_ids: std::collections::HashSet<usize> = units.iter().map(|u| u.id).collect();
     for n in &tree.nodes {
         if let Some(u) = n.unit {
@@ -302,22 +490,148 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
             }
         }
     }
+    Ok(())
+}
 
-    Ok(SystemParts {
+/// Decodes a delta file back into [`DeltaParts`]. Like full snapshots,
+/// deltas are written atomically, so *any* corruption fails the load.
+pub fn decode_delta(bytes: &[u8], path: &Path) -> Result<DeltaParts> {
+    if bytes.len() < 10 || &bytes[..8] != DELTA_MAGIC {
+        return Err(corrupt(path, 0, "bad delta magic"));
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version > codec::FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: codec::FORMAT_VERSION,
+        });
+    }
+    let mut pos = 10usize;
+    let next = |pos: &mut usize| -> Result<&[u8]> {
+        match codec::get_record(bytes, *pos) {
+            Ok((payload, np)) => {
+                let at = *pos;
+                *pos = np;
+                if payload.is_empty() {
+                    return Err(corrupt(path, at, "empty record"));
+                }
+                Ok(payload)
+            }
+            Err(FrameError::Eof) => Err(corrupt(path, *pos, "unexpected end of delta")),
+            Err(FrameError::Torn { offset, reason }) => Err(corrupt(path, offset, reason)),
+        }
+    };
+    let dec_err = |e: codec::DecodeError| corrupt(path, e.offset, e.reason);
+
+    // DHEADER
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_DHEADER {
+        return Err(corrupt(path, pos, "expected delta header section"));
+    }
+    let n_units_total = d.usize().map_err(dec_err)?;
+    let n_dirty = d.usize().map_err(dec_err)?;
+    let _n_files = d.usize().map_err(dec_err)?;
+    let versioning_enabled = d.bool().map_err(dec_err)?;
+    let maintenance_messages = d.u64().map_err(dec_err)?;
+    let reseed = d.u64().map_err(dec_err)?;
+    d.finish().map_err(dec_err)?;
+    if n_dirty > n_units_total {
+        return Err(corrupt(
+            path,
+            pos,
+            format!("delta claims {n_dirty} dirty of {n_units_total} total units"),
+        ));
+    }
+
+    // CONFIG
+    let payload = next(&mut pos)?;
+    let mut d = Dec::new(payload);
+    if d.u8().map_err(dec_err)? != SEC_CONFIG {
+        return Err(corrupt(path, pos, "expected config section"));
+    }
+    let cfg = codec::get_config(&mut d, version).map_err(dec_err)?;
+    d.finish().map_err(dec_err)?;
+
+    // Dirty UNITs
+    let mut units = Vec::with_capacity(n_dirty.min(1 << 20));
+    for _ in 0..n_dirty {
+        let payload = next(&mut pos)?;
+        let mut d = Dec::new(payload);
+        if d.u8().map_err(dec_err)? != SEC_UNIT {
+            return Err(corrupt(path, pos, "expected unit section"));
+        }
+        units.push(codec::get_unit(&mut d).map_err(dec_err)?);
+        d.finish().map_err(dec_err)?;
+    }
+    if !units.windows(2).all(|w| w[0].id < w[1].id) {
+        return Err(corrupt(path, pos, "delta units not ascending by id"));
+    }
+
+    let ix = get_index_sections(bytes, &mut pos, path)?;
+
+    Ok(DeltaParts {
         cfg,
         units,
-        tree,
-        mapping,
-        versions,
-        pending,
+        n_units_total,
+        tree: ix.tree,
+        mapping: ix.mapping,
+        versions: ix.versions,
+        pending: ix.pending,
         versioning_enabled,
         maintenance_messages,
         reseed,
     })
 }
 
-/// Loads a snapshot file.
-pub fn load_snapshot(path: &Path) -> Result<SystemParts> {
+/// Loads a delta file.
+pub fn load_delta(path: &Path) -> Result<DeltaParts> {
     let bytes = fs::read(path)?;
-    decode_snapshot(&bytes, path)
+    decode_delta(&bytes, path)
+}
+
+/// Overlays one delta generation onto accumulated base parts, in
+/// place. Deterministic: dirty units replace their base counterpart by
+/// id (or append, for units created after the base — unit ids are
+/// always the dense `0..n` of the units vector), and the index-side
+/// sections are taken wholesale from the delta, which captured them in
+/// full at its cut.
+pub fn fold_delta(base: &mut SystemParts, delta: DeltaParts, path: &Path) -> Result<()> {
+    for u in delta.units {
+        let id = u.id;
+        match id.cmp(&base.units.len()) {
+            std::cmp::Ordering::Less => base.units[id] = u,
+            std::cmp::Ordering::Equal => base.units.push(u),
+            std::cmp::Ordering::Greater => {
+                return Err(corrupt(
+                    path,
+                    0,
+                    format!(
+                        "delta unit {id} skips past base unit count {}",
+                        base.units.len()
+                    ),
+                ));
+            }
+        }
+    }
+    if base.units.len() != delta.n_units_total {
+        return Err(corrupt(
+            path,
+            0,
+            format!(
+                "folded unit count {} != delta total {}",
+                base.units.len(),
+                delta.n_units_total
+            ),
+        ));
+    }
+    base.cfg = delta.cfg;
+    base.tree = delta.tree;
+    base.mapping = delta.mapping;
+    base.versions = delta.versions;
+    base.pending = delta.pending;
+    base.versioning_enabled = delta.versioning_enabled;
+    base.maintenance_messages = delta.maintenance_messages;
+    base.reseed = delta.reseed;
+    check_unit_refs(&base.units, &base.tree, path)
 }

@@ -1,32 +1,48 @@
-//! The durable store: a directory of snapshot generations plus the
-//! active write-ahead log, tied together by a manifest.
+//! The durable store: a chain of snapshot generations plus the active
+//! write-ahead log, tied together by a manifest.
 //!
 //! Layout of a store directory:
 //!
 //! ```text
-//! MANIFEST              — checksummed pointer to the current generation
-//! snapshot-<gen>.snap   — point-in-time system image
-//! wal-<gen>.log         — changes applied since snapshot <gen>
+//! MANIFEST              — checksummed chain: base generation + deltas
+//! snapshot-<gen>.snap   — full point-in-time system image (chain base)
+//! delta-<gen>.snap      — differential generation: only the units
+//!                         dirtied since the previous generation
+//! wal-<gen>.log         — changes applied since generation <gen>
 //! ```
 //!
 //! *Crash recovery* (`PersistentStore::open`) = read the manifest, load
-//! its snapshot, replay its WAL (dropping a torn tail), and apply the
-//! surviving changes through [`SmartStoreSystem::apply_change`] — the
-//! same deterministic code path the live system took, so the recovered
-//! state matches the pre-crash state exactly up to the last durable
-//! frame.
+//! the base snapshot, fold the delta chain in order
+//! ([`snapshot::fold_delta`]), then replay the WAL segments from the
+//! chain end onward (dropping a torn tail) through
+//! [`SmartStoreSystem::apply_change`] — the same deterministic code
+//! path the live system took, so the recovered state matches the
+//! pre-crash state exactly up to the last durable frame.
 //!
-//! *Compaction* folds a grown WAL into a fresh snapshot generation:
-//! write `snapshot-<gen+1>` (atomic), start `wal-<gen+1>` empty, flip
-//! the manifest (atomic rename), then delete the old generation. A
-//! crash anywhere in that sequence leaves either the old or the new
-//! generation fully intact.
+//! *Compaction* is **incremental and off the write path**: a cut
+//! ([`PersistentStore::begin_delta_compaction`]) seals the current WAL,
+//! switches journaling to a fresh segment, and captures a copy-on-write
+//! view of just the dirty units — O(churn footprint). The expensive
+//! encode ([`DeltaCompaction::encode`], parallel per-unit on the shared
+//! pool) borrows neither the system nor the store, so the writer keeps
+//! journaling while it runs; [`PersistentStore::install_delta`] then
+//! writes the delta atomically and flips the manifest. (The automatic
+//! policy in [`PersistentStore::compact_incremental`] — what
+//! `apply_journaled` uses — runs the three phases back-to-back on the
+//! caller, so it blocks for the encode but still pays only O(churn)
+//! bytes; hand the cut to a worker thread yourself for a truly
+//! non-blocking writer, as the concurrency test does.) Once the delta
+//! chain outgrows `max_delta_chain` (or most units are dirty anyway), a
+//! full rewrite ([`PersistentStore::compact`]) resets the chain. A
+//! crash at *any* step boundary leaves a recoverable directory: the
+//! manifest always points at a complete chain, and un-flipped deltas /
+//! superseded WAL segments are swept as orphans on the next open.
 
 use crate::codec::{self, Dec, Enc, FrameError};
 use crate::error::{PersistError, Result};
-use crate::snapshot::{self, SnapshotStats};
+use crate::snapshot::{self, DeltaStats, SnapshotStats};
 use crate::wal::{self, WalWriter};
-use smartstore::system::Journal;
+use smartstore::system::{DeltaParts, Journal};
 use smartstore::tree::NodeId;
 use smartstore::versioning::Change;
 use smartstore::SmartStoreSystem;
@@ -42,12 +58,18 @@ const MANIFEST: &str = "MANIFEST";
 /// What recovery found while opening a store.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
-    /// Snapshot generation loaded.
+    /// Chain-end generation loaded (base snapshot + folded deltas).
     pub generation: u64,
-    /// Snapshot bytes read.
+    /// Base (full-image) generation of the chain.
+    pub base_generation: u64,
+    /// Delta generations folded on top of the base.
+    pub deltas_folded: usize,
+    /// Snapshot + delta bytes read.
     pub snapshot_bytes: u64,
-    /// WAL frames replayed on top of the snapshot.
+    /// WAL frames replayed on top of the folded chain.
     pub replayed_frames: usize,
+    /// WAL segments replayed (more than one after a crash mid-cut).
+    pub wal_segments: usize,
     /// Bytes of torn WAL tail dropped (0 for a clean shutdown).
     pub dropped_tail_bytes: u64,
 }
@@ -60,6 +82,9 @@ pub struct StoreOptions {
     pub wal_sync_every: usize,
     /// Compact once the WAL exceeds this many bytes.
     pub wal_compact_bytes: u64,
+    /// Delta generations to accumulate before a full rewrite; 0
+    /// disables differential snapshots.
+    pub max_delta_chain: usize,
 }
 
 impl From<&smartstore::config::PersistConfig> for StoreOptions {
@@ -67,7 +92,89 @@ impl From<&smartstore::config::PersistConfig> for StoreOptions {
         Self {
             wal_sync_every: c.wal_sync_every,
             wal_compact_bytes: c.wal_compact_bytes,
+            max_delta_chain: c.max_delta_chain,
         }
+    }
+}
+
+/// What one [`PersistentStore::compact_incremental`] call did.
+#[derive(Clone, Copy, Debug)]
+pub enum CompactionOutcome {
+    /// Full-image rewrite: chain reset to a fresh base.
+    Full(SnapshotStats),
+    /// Differential generation appended to the chain.
+    Delta(DeltaStats),
+}
+
+impl CompactionOutcome {
+    /// Bytes written to the new generation.
+    pub fn bytes_written(&self) -> u64 {
+        match self {
+            CompactionOutcome::Full(s) => s.bytes,
+            CompactionOutcome::Delta(s) => s.bytes,
+        }
+    }
+
+    /// True for a delta generation.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, CompactionOutcome::Delta(_))
+    }
+}
+
+/// The writer-side cut of an in-flight delta compaction: a
+/// copy-on-write view of the dirty units plus the index-side sections,
+/// captured in O(churn footprint) while the store switched journaling
+/// to a fresh WAL segment. Owns no borrow of the system or the store —
+/// ship it to a worker thread and [`Self::encode`] there while the
+/// writer keeps appending.
+#[derive(Debug)]
+pub struct DeltaCompaction {
+    next_gen: u64,
+    view: DeltaParts,
+}
+
+impl DeltaCompaction {
+    /// Units this delta will re-encode.
+    pub fn n_dirty(&self) -> usize {
+        self.view.units.len()
+    }
+
+    /// Total units in the system at the cut.
+    pub fn n_units_total(&self) -> usize {
+        self.view.n_units_total
+    }
+
+    /// The expensive half: parallel per-unit encode + CRC on the shared
+    /// pool ([`snapshot::encode_delta`]). Pure — runs entirely off the
+    /// write path.
+    pub fn encode(self) -> EncodedDelta {
+        let (bytes, stats) = snapshot::encode_delta(&self.view);
+        EncodedDelta {
+            next_gen: self.next_gen,
+            bytes,
+            stats,
+        }
+    }
+}
+
+/// An encoded delta generation awaiting
+/// [`PersistentStore::install_delta`].
+#[derive(Debug)]
+pub struct EncodedDelta {
+    next_gen: u64,
+    bytes: Vec<u8>,
+    stats: DeltaStats,
+}
+
+impl EncodedDelta {
+    /// Encoded size in bytes.
+    pub fn bytes_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Shape statistics of the encoded delta.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
     }
 }
 
@@ -77,6 +184,13 @@ impl From<&smartstore::config::PersistConfig> for StoreOptions {
 #[derive(Debug)]
 pub struct PersistentStore {
     dir: PathBuf,
+    /// Base (full-image) generation of the chain.
+    base_generation: u64,
+    /// Delta generations folded on top of the base, ascending.
+    deltas: Vec<u64>,
+    /// Active WAL generation. Equals the chain end right after a
+    /// compaction; runs ahead of it between a cut and its install, and
+    /// after a crash recovery that replayed extra segments.
     generation: u64,
     wal: WalWriter,
     opts: StoreOptions,
@@ -87,23 +201,34 @@ pub struct PersistentStore {
     /// to the in-memory system (memory kept mutating while frames were
     /// dropped), so further appends are refused — replaying a gapped
     /// log would silently reconstruct an inconsistent state. The only
-    /// way forward is [`Self::compact`], whose fresh full snapshot
-    /// makes the gapped log irrelevant.
+    /// way forward is a compaction, whose snapshot of the full
+    /// in-memory state makes the gapped log irrelevant.
     poisoned: bool,
+    /// A cut is in flight (begin without install). A second concurrent
+    /// cut would double-clear dirty tracking, so it is refused.
+    cut_pending: bool,
 }
 
 fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("snapshot-{generation:08}.snap"))
 }
 
+fn delta_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("delta-{generation:08}.snap"))
+}
+
 fn wal_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("wal-{generation:08}.log"))
 }
 
-fn write_manifest(dir: &Path, generation: u64) -> Result<()> {
+fn write_manifest(dir: &Path, base: u64, deltas: &[u64]) -> Result<()> {
     let mut payload = Enc::new();
     payload.u16(codec::FORMAT_VERSION);
-    payload.u64(generation);
+    payload.u64(base);
+    payload.u32(deltas.len() as u32);
+    for &g in deltas {
+        payload.u64(g);
+    }
     let mut bytes = Vec::new();
     bytes.extend_from_slice(MANIFEST_MAGIC);
     codec::put_record(&mut bytes, &payload.into_bytes());
@@ -120,7 +245,9 @@ fn write_manifest(dir: &Path, generation: u64) -> Result<()> {
     Ok(())
 }
 
-fn read_manifest(dir: &Path) -> Result<u64> {
+/// Reads the manifest: `(base generation, delta chain)`. v1 manifests
+/// (pre-differential) carry a single generation and an empty chain.
+fn read_manifest(dir: &Path) -> Result<(u64, Vec<u64>)> {
     let path = dir.join(MANIFEST);
     let bytes = match fs::read(&path) {
         Ok(b) => b,
@@ -150,84 +277,155 @@ fn read_manifest(dir: &Path) -> Result<u64> {
             supported: codec::FORMAT_VERSION,
         });
     }
-    let generation = d.u64().map_err(|e| corrupt(e.offset, e.reason))?;
-    Ok(generation)
+    let base = d.u64().map_err(|e| corrupt(e.offset, e.reason))?;
+    if version < 2 {
+        return Ok((base, Vec::new()));
+    }
+    let n = d.u32().map_err(|e| corrupt(e.offset, e.reason))? as usize;
+    let mut deltas = Vec::with_capacity(n.min(1 << 16));
+    let mut prev = base;
+    for _ in 0..n {
+        let g = d.u64().map_err(|e| corrupt(e.offset, e.reason))?;
+        if g <= prev {
+            return Err(corrupt(0, format!("delta chain not ascending at {g}")));
+        }
+        deltas.push(g);
+        prev = g;
+    }
+    Ok((base, deltas))
 }
 
 impl PersistentStore {
-    /// Creates a new store at `dir` (made if missing) holding a
-    /// snapshot of `system` as generation 1 with an empty WAL.
+    /// Creates a new store at `dir` (made if missing) holding a full
+    /// snapshot of `system` as generation 1 with an empty WAL, and
+    /// resets the system's dirty tracking — disk and memory now agree.
     /// Durability options come from `system.cfg.persist`.
-    pub fn create(dir: &Path, system: &SmartStoreSystem) -> Result<(Self, SnapshotStats)> {
+    pub fn create(dir: &Path, system: &mut SmartStoreSystem) -> Result<(Self, SnapshotStats)> {
         fs::create_dir_all(dir)?;
         let opts = StoreOptions::from(&system.cfg.persist);
         let generation = 1;
         let stats = snapshot::write_snapshot(&system.to_parts(), &snapshot_path(dir, generation))?;
         let wal = WalWriter::create(&wal_path(dir, generation), opts.wal_sync_every)?;
-        write_manifest(dir, generation)?;
+        write_manifest(dir, generation, &[])?;
+        system.clear_dirty();
         Ok((
             Self {
                 dir: dir.to_path_buf(),
+                base_generation: generation,
+                deltas: Vec::new(),
                 generation,
                 wal,
                 opts,
                 journal_error: None,
                 poisoned: false,
+                cut_pending: false,
             },
             stats,
         ))
     }
 
-    /// Opens an existing store: loads the manifest's snapshot, replays
-    /// the WAL (discarding a torn tail), and returns the recovered
+    /// Opens an existing store: loads the manifest's base snapshot,
+    /// folds the delta chain, replays the WAL segments from the chain
+    /// end onward (discarding a torn tail), and returns the recovered
     /// system together with the store handle positioned to keep
-    /// appending.
+    /// appending. The recovered system's dirty set is exactly the
+    /// replayed footprint — the units the next delta must re-encode.
     pub fn open(dir: &Path) -> Result<(SmartStoreSystem, Self, RecoveryReport)> {
-        let generation = read_manifest(dir)?;
-        let snap_path = snapshot_path(dir, generation);
-        let parts = snapshot::load_snapshot(&snap_path)?;
-        let snapshot_bytes = fs::metadata(&snap_path)?.len();
+        let (base, deltas) = read_manifest(dir)?;
+        let snap_path = snapshot_path(dir, base);
+        let mut parts = snapshot::load_snapshot(&snap_path)?;
+        let mut snapshot_bytes = fs::metadata(&snap_path)?.len();
+        for &g in &deltas {
+            let dpath = delta_path(dir, g);
+            let delta = snapshot::load_delta(&dpath)?;
+            snapshot_bytes += fs::metadata(&dpath)?.len();
+            snapshot::fold_delta(&mut parts, delta, &dpath)?;
+        }
+        let chain_end = deltas.last().copied().unwrap_or(base);
         let mut system = SmartStoreSystem::from_parts(parts);
         let opts = StoreOptions::from(&system.cfg.persist);
 
-        let wpath = wal_path(dir, generation);
-        // A missing WAL is recoverable: the snapshot alone is a
-        // consistent state (it can arise when a crash lands between
-        // compaction's manifest flip and the new log's directory entry
-        // reaching disk). Recreate it empty.
-        if !wpath.exists() {
-            WalWriter::create(&wpath, opts.wal_sync_every)?;
+        // Replay the chain-end segment plus any contiguous successor
+        // segments (a crash between a compaction cut and its install
+        // leaves the sealed old segment *and* the fresh one live). A
+        // missing chain-end WAL is recoverable: the folded chain alone
+        // is a consistent state (a crash can land between the manifest
+        // flip and the new log's directory entry reaching disk).
+        let first = wal_path(dir, chain_end);
+        if !first.exists() {
+            WalWriter::create(&first, opts.wal_sync_every)?;
         }
-        let replayed = wal::replay(&wpath)?;
-        let dropped_tail_bytes = match &replayed.torn {
-            Some(_) => fs::metadata(&wpath)?
-                .len()
-                .saturating_sub(replayed.good_bytes),
-            None => 0,
-        };
-        if replayed.torn.is_some() {
-            wal::truncate_to_good(&wpath, &replayed)?;
+        let mut active = chain_end;
+        let mut replayed_frames = 0usize;
+        let mut wal_segments = 0usize;
+        let mut dropped_tail_bytes = 0u64;
+        // Replay of the segment the store will keep appending to; set
+        // on every successfully replayed segment, so it is always the
+        // previous segment's replay when a successor turns out to be a
+        // creation artifact.
+        let mut active_replay: Option<wal::WalReplay> = None;
+        loop {
+            let wpath = wal_path(dir, active);
+            // A *successor* segment whose header never made it to disk
+            // (empty or truncated magic from a crash during segment
+            // creation) is a creation artifact; the history simply
+            // ends at the previous segment. Anything else — an I/O
+            // failure, or the chain-end segment itself not parsing —
+            // is a real error: the segment may hold acknowledged
+            // frames, and silently dropping it (the sweep would delete
+            // it) would destroy them.
+            if active != chain_end && !wal::has_valid_magic(&wpath)? {
+                active -= 1;
+                break;
+            }
+            let replayed = wal::replay(&wpath)?;
+            wal_segments += 1;
+            if let Some(_torn) = &replayed.torn {
+                dropped_tail_bytes += fs::metadata(&wpath)?
+                    .len()
+                    .saturating_sub(replayed.good_bytes);
+                wal::truncate_to_good(&wpath, &replayed)?;
+            }
+            for frame in &replayed.frames {
+                system.apply_change(frame.change.clone());
+            }
+            replayed_frames += replayed.frames.len();
+            // A torn segment ends the history: anything in a later
+            // segment was journaled after frames this one lost, so it
+            // must not be replayed on top of the truncated state.
+            let torn = replayed.torn.is_some();
+            active_replay = Some(replayed);
+            if torn || !wal_path(dir, active + 1).exists() {
+                break;
+            }
+            active += 1;
         }
-        for frame in &replayed.frames {
-            system.apply_change(frame.change.clone());
-        }
+        // The chain-end segment always replays (hard error otherwise),
+        // so at least one iteration stored its replay.
+        let active_replay = active_replay.expect("chain-end WAL segment was replayed");
         let report = RecoveryReport {
-            generation,
+            generation: chain_end,
+            base_generation: base,
+            deltas_folded: deltas.len(),
             snapshot_bytes,
-            replayed_frames: replayed.frames.len(),
+            replayed_frames,
+            wal_segments,
             dropped_tail_bytes,
         };
-        let wal = WalWriter::open_end(&wpath, opts.wal_sync_every, &replayed)?;
-        sweep_orphans(dir, generation);
+        let wal = WalWriter::open_end(&wal_path(dir, active), opts.wal_sync_every, &active_replay)?;
+        sweep_orphans(dir, base, &deltas, chain_end, active);
         Ok((
             system,
             Self {
                 dir: dir.to_path_buf(),
-                generation,
+                base_generation: base,
+                deltas,
+                generation: active,
                 wal,
                 opts,
                 journal_error: None,
                 poisoned: false,
+                cut_pending: false,
             },
             report,
         ))
@@ -241,7 +439,7 @@ impl PersistentStore {
         if self.poisoned {
             return Err(PersistError::Io(std::io::Error::other(
                 "journal poisoned by an earlier failed append (the log has a gap); \
-                 compact() to re-establish a consistent snapshot",
+                 compact to re-establish a consistent snapshot",
             )));
         }
         match self.wal.append(group, change) {
@@ -263,7 +461,7 @@ impl PersistentStore {
     }
 
     /// True when an append has failed and the WAL can no longer be
-    /// trusted to be gap-free; only [`Self::compact`] clears this.
+    /// trusted to be gap-free; only a compaction clears this.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
@@ -273,36 +471,178 @@ impl PersistentStore {
         self.wal.bytes() > self.opts.wal_compact_bytes
     }
 
-    /// Folds the WAL into a fresh snapshot of `system` (which must be
-    /// the state that *includes* every journaled change): writes
-    /// generation `g+1`, flips the manifest, deletes generation `g`.
-    /// Because the new snapshot captures the *full* in-memory state,
-    /// this also recovers a poisoned store — the gapped old log becomes
-    /// irrelevant.
-    pub fn compact(&mut self, system: &SmartStoreSystem) -> Result<SnapshotStats> {
+    /// Compacts the WAL into the next snapshot generation, choosing the
+    /// cheap path: a *delta* generation (re-encoding only the dirty
+    /// units) while the chain is short and the churn footprint is a
+    /// minority of the corpus, a full-image rewrite otherwise. This is
+    /// the policy entry point [`crate::SystemPersist::apply_journaled`]
+    /// uses.
+    pub fn compact_incremental(
+        &mut self,
+        system: &mut SmartStoreSystem,
+    ) -> Result<CompactionOutcome> {
+        let n_units = system.units().len();
+        let dirty = system.dirty_count();
+        // Two states force the full path regardless of policy: an
+        // abandoned in-flight cut (begin without install — e.g. an
+        // encode worker died) and a poisoned store (a failed install
+        // may have discarded dirty tracking, so a delta could silently
+        // omit acknowledged churn). The full rewrite below captures
+        // everything and resets both.
+        let use_delta = !self.cut_pending
+            && !self.poisoned
+            && self.opts.max_delta_chain > 0
+            && self.deltas.len() < self.opts.max_delta_chain
+            && dirty * 2 < n_units;
+        if use_delta {
+            let cut = self.begin_delta_compaction(system)?;
+            let encoded = cut.encode();
+            Ok(CompactionOutcome::Delta(self.install_delta(encoded)?))
+        } else {
+            Ok(CompactionOutcome::Full(self.compact(system)?))
+        }
+    }
+
+    /// The writer-side cut of a delta compaction, O(churn footprint):
+    /// seals the current WAL segment, switches journaling to a fresh
+    /// one, captures the copy-on-write view of the dirty units, and
+    /// resets the system's dirty tracking (changes landing after the
+    /// cut re-mark their units for the *next* delta). The expensive
+    /// encode happens on the returned [`DeltaCompaction`] — on a worker
+    /// thread if you like — while this store keeps accepting appends;
+    /// finish with [`Self::install_delta`].
+    pub fn begin_delta_compaction(
+        &mut self,
+        system: &mut SmartStoreSystem,
+    ) -> Result<DeltaCompaction> {
+        if self.cut_pending {
+            return Err(PersistError::Io(std::io::Error::other(
+                "a delta compaction cut is already in flight; install it first",
+            )));
+        }
+        if self.poisoned {
+            // A poisoned store may have lost dirty tracking to a failed
+            // install — a delta cut here could silently omit
+            // acknowledged churn. Only the full rewrite is sound.
+            return Err(PersistError::Io(std::io::Error::other(
+                "store is poisoned; only a full compact() re-establishes a consistent snapshot",
+            )));
+        }
+        // Seal the old segment: every pre-cut frame durable before the
+        // manifest can ever supersede them.
+        self.wal.sync()?;
+        let next = self.generation + 1;
+        let new_wal = WalWriter::create(&wal_path(&self.dir, next), self.opts.wal_sync_every)?;
+        let view = system.to_delta_parts();
+        system.clear_dirty();
+        self.wal = new_wal;
+        self.generation = next;
+        self.cut_pending = true;
+        Ok(DeltaCompaction {
+            next_gen: next,
+            view,
+        })
+    }
+
+    /// Installs an encoded delta generation: writes the delta file
+    /// atomically, flips the manifest to the extended chain, and
+    /// retires the superseded WAL segments. On failure the store is
+    /// poisoned — the cut already cleared dirty tracking, so only a
+    /// full compaction (which re-encodes everything) can guarantee a
+    /// complete next generation.
+    pub fn install_delta(&mut self, encoded: EncodedDelta) -> Result<DeltaStats> {
+        if !self.cut_pending || encoded.next_gen != self.generation {
+            return Err(PersistError::Io(std::io::Error::other(format!(
+                "install_delta: generation {} does not match the in-flight cut",
+                encoded.next_gen
+            ))));
+        }
+        self.cut_pending = false;
+        let next = encoded.next_gen;
+        let prev_end = self.chain_end();
+        let install = (|| -> Result<()> {
+            snapshot::write_encoded(&encoded.bytes, &delta_path(&self.dir, next))?;
+            let mut chain = self.deltas.clone();
+            chain.push(next);
+            write_manifest(&self.dir, self.base_generation, &chain)?;
+            self.deltas = chain;
+            Ok(())
+        })();
+        if let Err(e) = install {
+            self.poisoned = true;
+            return Err(e);
+        }
+        // A poison present here necessarily arose *after* the cut
+        // (begin refuses poisoned stores): the gap lives in the
+        // still-active post-cut segment, which this install does not
+        // supersede — it must survive. Only a full compaction heals it.
+        if !self.poisoned {
+            self.journal_error = None;
+        }
+        // Superseded segments are unreachable now; removal is
+        // best-effort (the orphan sweep catches leftovers).
+        for g in prev_end..next {
+            let _ = fs::remove_file(wal_path(&self.dir, g));
+        }
+        Ok(encoded.stats)
+    }
+
+    /// Folds everything into a fresh *full* snapshot of `system` (which
+    /// must be the state that *includes* every journaled change):
+    /// writes generation `g+1`, flips the manifest to a single-element
+    /// chain, deletes the old chain and WAL segments, and resets the
+    /// system's dirty tracking. Because the new snapshot captures the
+    /// full in-memory state, this also recovers a poisoned store — the
+    /// gapped old log becomes irrelevant.
+    pub fn compact(&mut self, system: &mut SmartStoreSystem) -> Result<SnapshotStats> {
         if !self.poisoned {
             // A gapped WAL cannot be synced meaningfully; skip straight
             // to the snapshot that supersedes it.
             self.wal.sync()?;
         }
         let next = self.generation + 1;
+        let prev_end = self.chain_end();
         let stats = snapshot::write_snapshot(&system.to_parts(), &snapshot_path(&self.dir, next))?;
         let new_wal = WalWriter::create(&wal_path(&self.dir, next), self.opts.wal_sync_every)?;
-        write_manifest(&self.dir, next)?;
-        let old = self.generation;
+        write_manifest(&self.dir, next, &[])?;
+        let old_base = self.base_generation;
+        let old_deltas = std::mem::take(&mut self.deltas);
         self.wal = new_wal;
+        self.base_generation = next;
         self.generation = next;
         self.poisoned = false;
+        self.cut_pending = false;
         self.journal_error = None;
-        // Old generation is unreachable now; removal is best-effort.
-        let _ = fs::remove_file(snapshot_path(&self.dir, old));
-        let _ = fs::remove_file(wal_path(&self.dir, old));
+        system.clear_dirty();
+        // Old generations are unreachable now; removal is best-effort.
+        let _ = fs::remove_file(snapshot_path(&self.dir, old_base));
+        for g in old_deltas {
+            let _ = fs::remove_file(delta_path(&self.dir, g));
+        }
+        for g in prev_end..next {
+            let _ = fs::remove_file(wal_path(&self.dir, g));
+        }
         Ok(stats)
     }
 
-    /// Current snapshot generation.
+    /// The chain-end generation: last delta, or the base.
+    fn chain_end(&self) -> u64 {
+        self.deltas.last().copied().unwrap_or(self.base_generation)
+    }
+
+    /// Active WAL generation.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Base (full-image) generation of the snapshot chain.
+    pub fn base_generation(&self) -> u64 {
+        self.base_generation
+    }
+
+    /// Delta generations currently folded on top of the base.
+    pub fn delta_chain(&self) -> &[u64] {
+        &self.deltas
     }
 
     /// Current WAL size in bytes.
@@ -340,22 +680,25 @@ impl Journal for PersistentStore {
 }
 
 /// Best-effort cleanup of artifacts a crashed compaction can leave
-/// behind: `*.tmp` files and snapshot/WAL files of generations other
-/// than the current one. Never touches the manifest.
-fn sweep_orphans(dir: &Path, current: u64) {
+/// behind: `*.tmp` files, snapshot/delta files outside the manifest
+/// chain, and WAL segments outside the live `chain end ..= active`
+/// run. Never touches the manifest.
+fn sweep_orphans(dir: &Path, base: u64, deltas: &[u64], chain_end: u64, active: u64) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
-    let keep_snap = snapshot_path(dir, current);
-    let keep_wal = wal_path(dir, current);
+    let keep: std::collections::HashSet<PathBuf> = std::iter::once(snapshot_path(dir, base))
+        .chain(deltas.iter().map(|&g| delta_path(dir, g)))
+        .chain((chain_end..=active).map(|g| wal_path(dir, g)))
+        .collect();
     for entry in entries.flatten() {
         let p = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        let stale = name.ends_with(".tmp")
-            || (name.starts_with("snapshot-") && name.ends_with(".snap") && p != keep_snap)
-            || (name.starts_with("wal-") && name.ends_with(".log") && p != keep_wal);
-        if stale {
+        let managed = (name.starts_with("snapshot-") && name.ends_with(".snap"))
+            || (name.starts_with("delta-") && name.ends_with(".snap"))
+            || (name.starts_with("wal-") && name.ends_with(".log"));
+        if name.ends_with(".tmp") || (managed && !keep.contains(&p)) {
             let _ = fs::remove_file(&p);
         }
     }

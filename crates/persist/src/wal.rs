@@ -54,6 +54,24 @@ pub struct WalReplay {
     pub torn: Option<(u64, String)>,
 }
 
+/// Whether `path` starts with a complete, valid WAL magic. A short or
+/// mismatched header means the file never finished creation — the
+/// crash-artifact probe store recovery uses before trusting a
+/// successor segment.
+pub fn has_valid_magic(path: &Path) -> std::io::Result<bool> {
+    use std::io::Read as _;
+    let mut f = File::open(path)?;
+    let mut head = [0u8; WAL_MAGIC.len()];
+    let mut got = 0;
+    while got < head.len() {
+        match f.read(&mut head[got..])? {
+            0 => return Ok(false),
+            n => got += n,
+        }
+    }
+    Ok(&head == WAL_MAGIC)
+}
+
 /// Scans a WAL file, tolerating a torn tail.
 ///
 /// Only I/O failures and a bad *header* are hard errors; any bad frame

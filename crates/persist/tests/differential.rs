@@ -1,0 +1,250 @@
+//! Differential-snapshot properties: for *any* change stream, opening
+//! a base + delta chain is bit-identical to opening a fresh full
+//! snapshot of the same state, and a crash at every step boundary of
+//! the two-phase compaction (cut → encode → install) leaves a
+//! directory that recovers to exactly the live state.
+
+use proptest::prelude::*;
+use smartstore::versioning::Change;
+use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore_persist::{snapshot, SystemPersist as _};
+use smartstore_trace::{FileMetadata, GeneratorConfig, MetadataPopulation};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "smartstore_differential_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn build_system(n_files: usize, n_units: usize, seed: u64) -> SmartStoreSystem {
+    let pop = MetadataPopulation::generate(GeneratorConfig {
+        n_files,
+        n_clusters: (n_units / 2).max(2),
+        seed,
+        ..GeneratorConfig::default()
+    });
+    SmartStoreSystem::build(pop.files, n_units, SmartStoreConfig::default(), seed)
+}
+
+fn churn(files: &[FileMetadata], ops: &[(u8, u64, u64)]) -> Vec<Change> {
+    ops.iter()
+        .map(|&(kind, pick, salt)| {
+            let base = &files[(pick as usize) % files.len()];
+            match kind % 3 {
+                0 => {
+                    let mut f = base.clone();
+                    f.file_id = 20_000_000 + salt;
+                    f.name = format!("delta_{salt}");
+                    f.size = 1 + salt;
+                    Change::Insert(f)
+                }
+                1 => Change::Delete(base.file_id),
+                _ => {
+                    let mut f = base.clone();
+                    f.size = f.size.wrapping_mul(3).max(1);
+                    f.mtime += 23.0;
+                    Change::Modify(f)
+                }
+            }
+        })
+        .collect()
+}
+
+/// The bit-identity fingerprint: the full-snapshot encoding of a
+/// system's complete exported state.
+fn fingerprint(sys: &SmartStoreSystem) -> Vec<u8> {
+    snapshot::encode_snapshot(&sys.to_parts()).0
+}
+
+/// Recursive file copy of one store directory (staging crash states).
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap() {
+        let e = e.unwrap();
+        std::fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any change stream and any chain policy, the state recovered
+    /// from base + deltas (+ WAL) is bit-identical to the state
+    /// recovered from one fresh full snapshot of the live system.
+    #[test]
+    fn chain_open_is_bit_identical_to_full_snapshot_open(
+        n_files in 150usize..350,
+        n_units in 4usize..9,
+        ops in prop::collection::vec((0u8..3, 0u64..100_000, 0u64..100_000), 30..140),
+        max_chain in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let chain_dir = tmpdir("chain");
+        let full_dir = tmpdir("full");
+        let mut live = build_system(n_files, n_units, seed);
+        // Aggressive compaction so real chains build up mid-stream.
+        live.cfg.persist.wal_compact_bytes = 700;
+        live.cfg.persist.max_delta_chain = max_chain;
+        let (mut store, _) = live.save_snapshot(&chain_dir).unwrap();
+        let base_files = live.current_files();
+        for ch in churn(&base_files, &ops) {
+            live.apply_journaled(&mut store, ch).unwrap();
+        }
+        store.sync().unwrap();
+        let chain_len = store.delta_chain().len();
+        prop_assert!(chain_len <= max_chain, "chain {chain_len} exceeds policy {max_chain}");
+        drop(store);
+
+        let (chain_sys, _, report) = SmartStoreSystem::open_from_dir(&chain_dir).unwrap();
+        prop_assert_eq!(report.deltas_folded, chain_len);
+
+        // Reference: one fresh full image of the same live state.
+        let (full_store, _) = live.save_snapshot(&full_dir).unwrap();
+        drop(full_store);
+        let (full_sys, _, full_report) = SmartStoreSystem::open_from_dir(&full_dir).unwrap();
+        prop_assert_eq!(full_report.deltas_folded, 0);
+
+        let live_print = fingerprint(&live);
+        prop_assert_eq!(&fingerprint(&chain_sys), &live_print, "chain open diverged from live");
+        prop_assert_eq!(&fingerprint(&full_sys), &live_print, "full open diverged from live");
+        let _ = std::fs::remove_dir_all(&chain_dir);
+        let _ = std::fs::remove_dir_all(&full_dir);
+    }
+}
+
+/// A crash at every step boundary of the two-phase compaction recovers
+/// to exactly the live state. The install order is: seal old WAL →
+/// create new WAL (cut) → encode → write delta (atomic) → flip
+/// manifest → delete old WAL; the delta is therefore finalized *before*
+/// the flip, and the simulated states below cover both sides of the
+/// flip plus a torn delta temp file.
+#[test]
+fn crash_at_every_compaction_step_recovers_to_live_state() {
+    let dir = tmpdir("crash_steps");
+    let mut live = build_system(300, 6, 77);
+    live.cfg.persist.wal_sync_every = 1;
+    let (mut store, _) = live.save_snapshot(&dir).unwrap();
+    let files = live.current_files();
+
+    // Pre-cut churn.
+    let pre: Vec<(u8, u64, u64)> = (0..12u64).map(|i| ((i % 3) as u8, i * 13, i)).collect();
+    for ch in churn(&files, &pre) {
+        live.apply_journaled(&mut store, ch).unwrap();
+    }
+    let cut = store.begin_delta_compaction(&mut live).unwrap();
+
+    // Post-cut churn lands in the fresh segment while the delta is
+    // still in flight.
+    let post: Vec<(u8, u64, u64)> = (0..8u64)
+        .map(|i| ((i % 3) as u8, i * 31, 100 + i))
+        .collect();
+    for ch in churn(&files, &post) {
+        live.apply_journaled(&mut store, ch).unwrap();
+    }
+    store.sync().unwrap();
+
+    // Crash state A — cut done, delta never encoded/installed: the
+    // sealed old segment and the fresh one are both live.
+    let state_a = tmpdir("state_a");
+    copy_dir(&dir, &state_a);
+
+    // The install will retire these; keep copies to stage the
+    // intermediate states.
+    let manifest_pre_flip = std::fs::read(dir.join("MANIFEST")).unwrap();
+    let old_wal_name = "wal-00000001.log";
+    let old_wal_bytes = std::fs::read(dir.join(old_wal_name)).unwrap();
+
+    let encoded = cut.encode();
+    store.install_delta(encoded).unwrap();
+    store.sync().unwrap();
+    assert_eq!(store.delta_chain(), &[2]);
+    drop(store);
+
+    // Crash state B — delta file written but manifest not yet flipped:
+    // restore the pre-flip manifest and the old WAL alongside the
+    // already-written delta.
+    let state_b = tmpdir("state_b");
+    copy_dir(&dir, &state_b);
+    std::fs::write(state_b.join("MANIFEST"), &manifest_pre_flip).unwrap();
+    std::fs::write(state_b.join(old_wal_name), &old_wal_bytes).unwrap();
+
+    // Crash state C — manifest flipped but the old WAL segment never
+    // deleted.
+    let state_c = tmpdir("state_c");
+    copy_dir(&dir, &state_c);
+    std::fs::write(state_c.join(old_wal_name), &old_wal_bytes).unwrap();
+
+    // Crash state D — a torn delta temp file from a crash mid-write,
+    // on top of state A.
+    let state_d = tmpdir("state_d");
+    copy_dir(&state_a, &state_d);
+    std::fs::write(state_d.join("delta-00000002.tmp"), b"torn partial delta").unwrap();
+
+    let live_print = fingerprint(&live);
+    for (name, state, expect_deltas) in [
+        ("A: cut, no install", &state_a, 0usize),
+        ("B: delta written, manifest not flipped", &state_b, 0),
+        ("C: flipped, old WAL survives", &state_c, 1),
+        ("D: torn delta temp", &state_d, 0),
+    ] {
+        let (recovered, store2, report) =
+            SmartStoreSystem::open_from_dir(state).unwrap_or_else(|e| {
+                panic!("crash state {name} failed to open: {e}");
+            });
+        assert_eq!(report.deltas_folded, expect_deltas, "state {name}");
+        assert_eq!(
+            fingerprint(&recovered),
+            live_print,
+            "state {name} diverged from the live system"
+        );
+        // Orphans must be gone after recovery.
+        drop(store2);
+        for e in std::fs::read_dir(state).unwrap() {
+            let n = e.unwrap().file_name().to_string_lossy().into_owned();
+            assert!(
+                !n.ends_with(".tmp"),
+                "state {name}: temp orphan {n} not swept"
+            );
+        }
+        let _ = std::fs::remove_dir_all(state);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Disabling differential snapshots (`max_delta_chain = 0`) keeps the
+/// pre-differential behavior: every compaction is a full rewrite and
+/// no delta file ever appears.
+#[test]
+fn zero_max_chain_always_rewrites_in_full() {
+    let dir = tmpdir("no_deltas");
+    let mut live = build_system(250, 5, 55);
+    live.cfg.persist.wal_compact_bytes = 400;
+    live.cfg.persist.max_delta_chain = 0;
+    let (mut store, _) = live.save_snapshot(&dir).unwrap();
+    let files = live.current_files();
+    let ops: Vec<(u8, u64, u64)> = (0..60u64).map(|i| ((i % 3) as u8, i * 7, i)).collect();
+    for ch in churn(&files, &ops) {
+        live.apply_journaled(&mut store, ch).unwrap();
+    }
+    assert!(store.generation() > 1, "compaction fired");
+    assert!(store.delta_chain().is_empty());
+    let any_delta = std::fs::read_dir(&dir).unwrap().any(|e| {
+        e.unwrap()
+            .file_name()
+            .to_string_lossy()
+            .starts_with("delta-")
+    });
+    assert!(!any_delta, "no delta files with max_delta_chain = 0");
+    drop(store);
+    let (recovered, _, _) = SmartStoreSystem::open_from_dir(&dir).unwrap();
+    assert_eq!(fingerprint(&recovered), fingerprint(&live));
+    let _ = std::fs::remove_dir_all(&dir);
+}

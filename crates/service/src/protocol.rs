@@ -194,10 +194,14 @@ pub fn merge_query_replies(replies: &[QueryReply]) -> QueryReply {
 
 /// Merges per-shard scored top-k replies: global `(distance, id)`
 /// order, truncated to `k` — the same comparator the single system
-/// uses, so ranking and tie-breaks are identical.
+/// uses, so ranking and tie-breaks are identical. `total_cmp` keeps
+/// that order for the non-negative distances real shards produce while
+/// removing the panic path a NaN from a malformed reply would hit with
+/// `partial_cmp(..).unwrap()`; reply *validation* (NaN ⇒ error, not a
+/// silently ranked hit) happens in [`merge_responses`].
 pub fn merge_topk_replies(replies: &[TopKReply], k: usize) -> TopKReply {
     let mut hits: Vec<(u64, f64)> = replies.iter().flat_map(|r| r.hits.clone()).collect();
-    hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     hits.truncate(k);
     TopKReply {
         hits,
@@ -233,7 +237,17 @@ pub fn merge_responses(req: &Request, replies: Vec<Response>) -> Response {
             let mut ts = Vec::with_capacity(replies.len());
             for r in replies {
                 match r {
-                    Response::TopK(t) => ts.push(t),
+                    Response::TopK(t) => {
+                        // Wire replies are untrusted: a poisoned
+                        // (non-finite) distance must degrade to an
+                        // error, never rank among real hits.
+                        if let Some(&(id, d)) = t.hits.iter().find(|&&(_, d)| !d.is_finite()) {
+                            return Response::Error(format!(
+                                "shard top-k hit for file {id} has non-finite distance {d}"
+                            ));
+                        }
+                        ts.push(t);
+                    }
                     other => return mismatched(req, &other),
                 }
             }
@@ -320,5 +334,54 @@ mod tests {
         let req = Request::Point { name: "x".into() };
         let merged = merge_responses(&req, vec![Response::Stats(StatsReply::default())]);
         assert!(matches!(merged, Response::Error(_)));
+    }
+
+    #[test]
+    fn poisoned_topk_hit_degrades_to_error_not_panic() {
+        // Regression: the merge used `partial_cmp(..).unwrap()`, so a
+        // NaN distance from any shard panicked the client-side merge
+        // even though the wire boundary validates *request* floats.
+        let req = Request::TopK {
+            point: vec![0.0; 12],
+            opts: QueryOptions::offline().with_k(2),
+        };
+        let good = TopKReply {
+            hits: vec![(1, 0.5), (2, 1.5)],
+            cost: QueryCost::default(),
+        };
+        let poisoned = TopKReply {
+            hits: vec![(9, f64::NAN)],
+            cost: QueryCost::default(),
+        };
+        let merged = merge_responses(&req, vec![Response::TopK(good), Response::TopK(poisoned)]);
+        match merged {
+            Response::Error(e) => assert!(e.contains("file 9"), "unexpected error text: {e}"),
+            other => panic!("poisoned hit must merge to an error, got {other:?}"),
+        }
+        // Infinite distances are equally un-rankable.
+        let inf = TopKReply {
+            hits: vec![(3, f64::INFINITY)],
+            cost: QueryCost::default(),
+        };
+        let req2 = Request::TopK {
+            point: vec![0.0; 12],
+            opts: QueryOptions::offline().with_k(1),
+        };
+        assert!(matches!(
+            merge_responses(&req2, vec![Response::TopK(inf)]),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn topk_direct_merge_is_nan_safe() {
+        // Even when called directly (bypassing merge_responses'
+        // validation), the comparator must not panic.
+        let r = TopKReply {
+            hits: vec![(1, f64::NAN), (2, 0.25)],
+            cost: QueryCost::default(),
+        };
+        let merged = merge_topk_replies(&[r], 2);
+        assert_eq!(merged.hits[0], (2, 0.25), "finite hits rank first");
     }
 }

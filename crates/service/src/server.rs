@@ -21,6 +21,7 @@
 
 use crate::codec::WireError;
 use crate::protocol::{AppliedReply, QueryReply, Request, Response, StatsReply, TopKReply};
+use rayon::prelude::*;
 use smartstore::grouping::partition_tiled;
 use smartstore::tree::NodeId;
 use smartstore::versioning::Change;
@@ -163,7 +164,7 @@ impl MetadataServer {
             for f in &bucket {
                 owner.insert(f.file_id, i);
             }
-            let sys = SmartStoreSystem::build(
+            let mut sys = SmartStoreSystem::build(
                 bucket,
                 cfg.units_per_shard,
                 cfg.cfg.clone(),
@@ -246,6 +247,12 @@ impl MetadataServer {
     /// Read access to one shard's system (tests, reports).
     pub fn shard(&self, i: usize) -> &SmartStoreSystem {
         &self.shards[i].sys
+    }
+
+    /// Read access to one shard's durable store, when the deployment
+    /// persists (tests, compaction telemetry).
+    pub fn shard_store(&self, i: usize) -> Option<&PersistentStore> {
+        self.shards[i].store.as_ref()
     }
 
     /// The cost model used for wire accounting.
@@ -450,12 +457,22 @@ impl MetadataServer {
 
     /// Read-only counterpart of [`Self::handle`] for concurrent
     /// readers; mutations come back as [`Response::Error`].
+    ///
+    /// The shard fan-out runs on the shared thread pool: every shard
+    /// evaluates through its `&self` query engine in parallel, and the
+    /// pool's order-preserving `collect` hands the replies to the merge
+    /// in shard order — the merged answer is bit-identical to the
+    /// sequential dispatch at every thread count (the serving bench
+    /// gates on exactly that before timing).
     pub fn serve_read(&self, req: &Request) -> Response {
         if !req.is_read() {
             return Response::Error("serve_read: mutation requires the write path".into());
         }
         let targets = self.route(req);
-        let replies: Vec<Response> = targets.iter().map(|&s| self.query_shard(s, req)).collect();
+        let replies: Vec<Response> = targets
+            .par_iter()
+            .map(|&s| self.query_shard(s, req))
+            .collect();
         crate::protocol::merge_responses(req, replies)
     }
 
