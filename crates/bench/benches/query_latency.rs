@@ -1,99 +1,318 @@
-//! Criterion micro-benchmarks for single-query latency (wall-clock of
-//! the actual Rust code, complementing the simulated-cost Table 4).
+//! Query-latency benchmark: the columnar read path vs the pre-columnar
+//! record walk, with a JSON trajectory report.
+//!
+//! The storage-unit scan used to re-project every record per query
+//! (four `ln()` calls + divides in `attr_vector`), full-sort all n
+//! records to keep k, and prefix-scan names behind the Bloom probe.
+//! The columnar path scans a flat SoA coordinate table, keeps k in a
+//! bounded heap, and resolves names through a slot map. This bench
+//! keeps the *pre-columnar implementation alive as a reference*:
+//! identical routing (the shared semantic R-tree), per-unit evaluation
+//! by record walk, and the old sort-merge for top-k.
+//!
+//! Every query's answer is checked **bit-identical** between the two
+//! paths before timing (ids and squared distances; a latency number
+//! for a wrong answer is worthless), then both paths are timed over
+//! the same workload. The table is printed and written as JSON
+//! (`query_latency.json`) under `target/bench-reports` (override with
+//! `BENCH_REPORT_DIR`); CI copies it into `results/` so the perf
+//! trajectory accumulates per PR.
+//!
+//! Run with `cargo bench -p smartstore-bench --bench query_latency`
+//! (`-- --quick` for the CI smoke: 4k files only; the default runs
+//! 4k and 50k).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smartstore::QueryOptions;
-use smartstore_bench::baselines::{DbmsBaseline, RTreeBaseline};
+use smartstore::{QueryOptions, SmartStoreSystem};
 use smartstore_bench::fixture::{population, system, workload};
-use smartstore_trace::{QueryDistribution, TraceKind};
+use smartstore_bench::Report;
+use smartstore_rtree::Rect;
+use smartstore_trace::{QueryDistribution, QueryWorkload, TraceKind};
+use std::time::Instant;
 
-fn bench_queries(c: &mut Criterion) {
-    let pop = population(TraceKind::Msn, 4000, 1);
-    let db = DbmsBaseline::build(&pop.files);
-    let rt = RTreeBaseline::build(&pop.files);
-    let sys = system(&pop, 40, 1);
-    let w = workload(&pop, QueryDistribution::Zipf, 32, 2);
+/// Minimum speedup the columnar path must show on the unit-scan-bound
+/// query kinds (range, top-k) at every scale — the PR's acceptance
+/// gate. Single-core valid: nothing here depends on thread count.
+const MIN_SPEEDUP: f64 = 1.3;
 
-    let mut g = c.benchmark_group("range_query");
-    g.bench_function(BenchmarkId::new("dbms", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.ranges[i % w.ranges.len()];
-            i += 1;
-            std::hint::black_box(db.range(&q.lo, &q.hi))
-        })
-    });
-    g.bench_function(BenchmarkId::new("rtree", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.ranges[i % w.ranges.len()];
-            i += 1;
-            std::hint::black_box(rt.range(&q.lo, &q.hi))
-        })
-    });
-    g.bench_function(BenchmarkId::new("smartstore", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.ranges[i % w.ranges.len()];
-            i += 1;
-            std::hint::black_box(sys.query().range(&q.lo, &q.hi, &QueryOptions::offline()))
-        })
-    });
-    g.finish();
+// ---------------------------------------------------------------------
+// Reference ("before"): the pre-columnar record walk, same routing.
+// ---------------------------------------------------------------------
 
-    let mut g = c.benchmark_group("topk_query");
-    g.bench_function(BenchmarkId::new("dbms", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.topks[i % w.topks.len()];
-            i += 1;
-            std::hint::black_box(db.topk(&q.point, q.k))
-        })
-    });
-    g.bench_function(BenchmarkId::new("rtree", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.topks[i % w.topks.len()];
-            i += 1;
-            std::hint::black_box(rt.topk(&q.point, q.k))
-        })
-    });
-    g.bench_function(BenchmarkId::new("smartstore", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.topks[i % w.topks.len()];
-            i += 1;
-            std::hint::black_box(
-                sys.query()
-                    .topk(&q.point, &QueryOptions::offline().with_k(q.k)),
-            )
-        })
-    });
-    g.finish();
-
-    let mut g = c.benchmark_group("point_query");
-    g.bench_function(BenchmarkId::new("dbms", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.points[i % w.points.len()];
-            i += 1;
-            std::hint::black_box(db.point(&q.name))
-        })
-    });
-    g.bench_function(BenchmarkId::new("smartstore", 4000), |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let q = &w.points[i % w.points.len()];
-            i += 1;
-            std::hint::black_box(sys.query().point(&q.name))
-        })
-    });
-    g.finish();
+fn ref_unit_range(u: &smartstore::StorageUnit, lo: &[f64], hi: &[f64], out: &mut Vec<u64>) {
+    if let Some(m) = u.mbr() {
+        let q = Rect::new(lo.to_vec(), hi.to_vec());
+        if !m.intersects(&q) {
+            return;
+        }
+    }
+    for f in u.files() {
+        let v = f.attr_vector();
+        if v.iter()
+            .zip(lo.iter().zip(hi))
+            .all(|(&x, (&l, &h))| l <= x && x <= h)
+        {
+            out.push(f.file_id);
+        }
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_queries
+fn ref_unit_topk(u: &smartstore::StorageUnit, point: &[f64], k: usize) -> Vec<(u64, f64)> {
+    let mut scored: Vec<(u64, f64)> = u
+        .files()
+        .iter()
+        .map(|f| {
+            let d = f
+                .attr_vector()
+                .iter()
+                .zip(point)
+                .map(|(&a, &q)| (a - q) * (a - q))
+                .sum::<f64>();
+            (f.file_id, d)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
 }
-criterion_main!(benches);
+
+fn ref_range(sys: &SmartStoreSystem, lo: &[f64], hi: &[f64]) -> Vec<u64> {
+    let route = sys.tree().route_range(lo, hi);
+    let mut out = Vec::new();
+    for &u in &route.target_units {
+        ref_unit_range(&sys.units()[u], lo, hi, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The pre-columnar MaxD walk: best-first unit order, per-unit
+/// full-sort top-k, re-sort the merged list after every unit.
+fn ref_topk(sys: &SmartStoreSystem, point: &[f64], k: usize) -> Vec<(u64, f64)> {
+    let (order, _) = sys.tree().route_topk(point);
+    let mut best: Vec<(u64, f64)> = Vec::new();
+    for &(u, lower_bound) in &order {
+        let max_d = if best.len() == k {
+            best.last().map(|&(_, d)| d).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+        if lower_bound > max_d {
+            break;
+        }
+        best.extend(ref_unit_topk(&sys.units()[u], point, k));
+        best.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        best.truncate(k);
+    }
+    best
+}
+
+fn ref_point(sys: &SmartStoreSystem, name: &str) -> Vec<u64> {
+    let route = sys.tree().route_point(name);
+    let mut out = Vec::new();
+    for &u in &route.target_units {
+        let unit = &sys.units()[u];
+        if !unit.bloom().contains(name.as_bytes()) {
+            continue;
+        }
+        for f in unit.files() {
+            if f.name == name {
+                out.push(f.file_id);
+                break;
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------
+
+fn identity_gate(sys: &SmartStoreSystem, w: &QueryWorkload, opts: &QueryOptions) {
+    let engine = sys.query();
+    for q in &w.ranges {
+        assert_eq!(
+            ref_range(sys, &q.lo, &q.hi),
+            engine.range(&q.lo, &q.hi, opts).file_ids,
+            "range answers diverged from the record-walk reference"
+        );
+    }
+    for q in &w.topks {
+        let want = ref_topk(sys, &q.point, q.k);
+        let (got, _) = engine.topk_scored(&q.point, &opts.with_k(q.k));
+        assert_eq!(got.len(), want.len(), "top-k cardinality diverged");
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.0, b.0, "top-k ids diverged");
+            assert!(
+                a.1.to_bits() == b.1.to_bits(),
+                "top-k distance bits diverged: {} vs {}",
+                a.1,
+                b.1
+            );
+        }
+    }
+    for q in &w.points {
+        assert_eq!(
+            ref_point(sys, &q.name),
+            engine.point(&q.name).file_ids,
+            "point answers diverged from the prefix-scan reference"
+        );
+    }
+}
+
+/// Best-round ns/query of `f` over `rounds` passes of a
+/// `queries`-query workload. Min-over-rounds filters scheduler
+/// preemptions — on a shared 1-core host a single 10 ms tick landing
+/// inside a ~ms timing loop would otherwise swamp the mean.
+fn time_ns(rounds: usize, queries: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64 / queries as f64);
+    }
+    best
+}
+
+fn bench_scale(n_files: usize, rounds: usize, report: &mut Report) {
+    let n_units = (n_files / 100).max(4);
+    println!("== query latency: {n_files} files, {n_units} units, {rounds} rounds ==");
+    let pop = population(TraceKind::Msn, n_files, 1);
+    let mut sys = system(&pop, n_units, 1);
+    // Version chains are empty here; disable the overlay so both paths
+    // evaluate exactly the unit scans plus routing.
+    sys.set_versioning(false);
+    let w = workload(&pop, QueryDistribution::Zipf, 48, 2);
+    let opts = QueryOptions::offline();
+
+    identity_gate(&sys, &w, &opts);
+
+    let engine = sys.query();
+    let before_range = time_ns(rounds, w.ranges.len(), || {
+        for q in &w.ranges {
+            std::hint::black_box(ref_range(&sys, &q.lo, &q.hi));
+        }
+    });
+    let after_range = time_ns(rounds, w.ranges.len(), || {
+        for q in &w.ranges {
+            std::hint::black_box(engine.range(&q.lo, &q.hi, &opts));
+        }
+    });
+    let before_topk = time_ns(rounds, w.topks.len(), || {
+        for q in &w.topks {
+            std::hint::black_box(ref_topk(&sys, &q.point, q.k));
+        }
+    });
+    let after_topk = time_ns(rounds, w.topks.len(), || {
+        for q in &w.topks {
+            std::hint::black_box(engine.topk(&q.point, &opts.with_k(q.k)));
+        }
+    });
+    let before_point = time_ns(rounds, w.points.len(), || {
+        for q in &w.points {
+            std::hint::black_box(ref_point(&sys, &q.name));
+        }
+    });
+    let after_point = time_ns(rounds, w.points.len(), || {
+        for q in &w.points {
+            std::hint::black_box(engine.point(&q.name));
+        }
+    });
+
+    // Unit-local name resolution with routing and Bloom probes factored
+    // out: the full point path is dominated by MD5 Bloom hashing
+    // (identical in both paths), so the indexed-lookup win only shows
+    // on the raw lookup itself.
+    let point_targets: Vec<(usize, &str)> = w
+        .points
+        .iter()
+        .flat_map(|q| {
+            sys.tree()
+                .route_point(&q.name)
+                .target_units
+                .into_iter()
+                .map(move |u| (u, q.name.as_str()))
+        })
+        .collect();
+    let point_rounds = rounds * 50;
+    let before_point_unit = time_ns(point_rounds, point_targets.len(), || {
+        for &(u, name) in &point_targets {
+            std::hint::black_box(sys.units()[u].files().iter().find(|f| f.name == name));
+        }
+    });
+    let after_point_unit = time_ns(point_rounds, point_targets.len(), || {
+        for &(u, name) in &point_targets {
+            std::hint::black_box(sys.units()[u].lookup_name(name));
+        }
+    });
+
+    for (kind, before, after, gated) in [
+        ("range", before_range, after_range, true),
+        ("topk", before_topk, after_topk, true),
+        ("point", before_point, after_point, false),
+        ("point_unit", before_point_unit, after_point_unit, false),
+    ] {
+        let speedup = before / after.max(1e-9);
+        report.row(&[
+            n_files.to_string(),
+            kind.to_string(),
+            format!("{before:.0}"),
+            format!("{after:.0}"),
+            format!("{speedup:.2}"),
+        ]);
+        println!("  {kind:<10} {before:>10.0} ns -> {after:>8.0} ns  ({speedup:.2}x)");
+        if gated {
+            assert!(
+                speedup >= MIN_SPEEDUP,
+                "{kind} at {n_files} files: columnar speedup {speedup:.2}x \
+                 below the {MIN_SPEEDUP}x gate"
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+
+    let mut report = Report::new(
+        "query_latency",
+        "Columnar read path vs pre-columnar record walk (mean ns/query, best of R rounds, identical routing)",
+        &["files", "kind", "before_ns", "after_ns", "speedup"],
+    );
+
+    bench_scale(4_000, if quick { 5 } else { 12 }, &mut report);
+    if !quick {
+        bench_scale(50_000, 4, &mut report);
+    }
+
+    report.note(
+        "before = record walk (per-record attr_vector projection, full-sort top-k, \
+         prefix name scan); after = columnar path (flat SoA coords, bounded heap, \
+         name→slot map). Both route through the same semantic R-tree and every \
+         answer is verified bit-identical before timing.",
+    );
+    report.note(format!(
+        "range and top-k are gated at ≥{MIN_SPEEDUP}x; results are single-thread \
+         (no thread-count dependence), valid on a 1-core host"
+    ));
+    report.note(
+        "full-path point latency is dominated by the MD5 Bloom probes of routing \
+         and admission (identical in both paths); point_unit isolates the raw \
+         name resolution the columnar path changed (name→slot map vs prefix scan)",
+    );
+    report.note(
+        "point-query simulated cost follows the indexed-lookup rule (1 record on a \
+         hit); see LocalWork / routing::point_query_cost",
+    );
+    print!("{}", report.render());
+    let dir = smartstore_bench::report::default_report_dir();
+    if let Err(e) = report.write_json(&dir) {
+        eprintln!("warning: could not write JSON report: {e}");
+    } else {
+        println!("json report: {}", dir.join("query_latency.json").display());
+    }
+}

@@ -157,6 +157,28 @@ impl Lsi {
         Self::fit(&a, config)
     }
 
+    /// Fits from a flat row-major item table (`n × d`, one row per
+    /// item) — the SoA shape columnar callers hold, so no per-item
+    /// `Vec` is ever materialized. Numerically identical to
+    /// [`Self::fit_items`] over the same values.
+    pub fn fit_flat(table: &[f64], d: usize, config: LsiConfig) -> Self {
+        assert!(d > 0, "fit_flat: need at least one dimension");
+        assert_eq!(
+            table.len() % d,
+            0,
+            "fit_flat: table length {} is not a multiple of d = {d}",
+            table.len()
+        );
+        let n = table.len() / d;
+        let mut a = Matrix::zeros(d, n);
+        for (j, item) in table.chunks_exact(d).enumerate() {
+            for (r, &x) in item.iter().enumerate() {
+                a[(r, j)] = x;
+            }
+        }
+        Self::fit(&a, config)
+    }
+
     /// Number of items the model was fitted on.
     pub fn n_items(&self) -> usize {
         self.n_items

@@ -22,7 +22,7 @@
 use crate::codec::WireError;
 use crate::protocol::{AppliedReply, QueryReply, Request, Response, StatsReply, TopKReply};
 use rayon::prelude::*;
-use smartstore::grouping::partition_tiled;
+use smartstore::grouping::partition_tiled_flat;
 use smartstore::tree::NodeId;
 use smartstore::versioning::Change;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};
@@ -227,11 +227,15 @@ impl MetadataServer {
         if cfg.n_shards == 1 {
             return vec![files];
         }
-        let vectors: Vec<Vec<f64>> = files
-            .iter()
-            .map(|f| f.attr_subset(&cfg.cfg.grouping_dims))
-            .collect();
-        let assignment = partition_tiled(&vectors, cfg.n_shards, cfg.cfg.lsi_rank);
+        // One flat n×d projection table (no per-record Vec) feeds the
+        // LSI sort-tile placement directly.
+        let table = smartstore_trace::attr_subset_table(&files, &cfg.cfg.grouping_dims);
+        let assignment = partition_tiled_flat(
+            &table,
+            cfg.cfg.grouping_dims.len(),
+            cfg.n_shards,
+            cfg.cfg.lsi_rank,
+        );
         let mut buckets: Vec<Vec<FileMetadata>> = vec![Vec::new(); cfg.n_shards];
         for (f, &a) in files.into_iter().zip(assignment.iter()) {
             buckets[a].push(f);

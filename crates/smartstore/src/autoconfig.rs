@@ -146,7 +146,7 @@ impl AutoConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grouping::partition_balanced;
+    use crate::grouping::partition_balanced_flat;
     use smartstore_trace::{GeneratorConfig, MetadataPopulation};
 
     fn units(n_units: usize) -> Vec<StorageUnit> {
@@ -156,8 +156,9 @@ mod tests {
             seed: 41,
             ..GeneratorConfig::default()
         });
-        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
-        let assignment = partition_balanced(&vectors, n_units, 3, 41);
+        let table = smartstore_trace::attr_table(&pop.files);
+        let assignment =
+            partition_balanced_flat(&table, smartstore_trace::ATTR_DIMS, n_units, 3, 41);
         let mut buckets: Vec<Vec<smartstore_trace::FileMetadata>> = vec![Vec::new(); n_units];
         for (f, &a) in pop.files.into_iter().zip(assignment.iter()) {
             buckets[a].push(f);

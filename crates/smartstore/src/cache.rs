@@ -118,8 +118,10 @@ impl SemanticCache {
     /// References file `id` (whose current attribute vector is `attrs`):
     /// records hit/miss, admits the entry, and on a miss runs the
     /// prefetch policy through `sys`'s shared read path (queries are
-    /// `&self`, so a cache can prefetch while other readers query).
-    /// Returns `true` on a hit.
+    /// `&self`, so a cache can prefetch while other readers query; the
+    /// top-k prefetch itself rides the units' columnar bounded-heap
+    /// scan, so a miss costs O(n log k) coordinate work, not a
+    /// re-projection of every record). Returns `true` on a hit.
     pub fn reference(&mut self, sys: &SmartStoreSystem, id: u64, attrs: &[f64]) -> bool {
         let hit = self.entries.contains_key(&id);
         if hit {

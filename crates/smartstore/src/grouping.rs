@@ -330,8 +330,50 @@ pub fn partition_balanced(
             standardize: true,
         },
     );
+    balanced_from_lsi(&lsi, n, n_parts, seed)
+}
+
+/// [`partition_balanced`] over a flat row-major `n × dims` item table —
+/// the allocation-free SoA entry point (one table allocation instead of
+/// a `Vec` per item). Bit-identical to the slice-of-vectors form over
+/// the same values.
+pub fn partition_balanced_flat(
+    table: &[f64],
+    dims: usize,
+    n_parts: usize,
+    lsi_rank: usize,
+    seed: u64,
+) -> Vec<usize> {
+    // dims > 0 and the length-multiple invariant are re-asserted by
+    // `Lsi::fit_flat` below.
+    assert!(
+        dims > 0,
+        "partition_balanced_flat: need at least one dimension"
+    );
+    let n = table.len() / dims;
+    assert!(
+        n_parts > 0,
+        "partition_balanced_flat: need at least one part"
+    );
+    assert!(
+        n >= n_parts,
+        "partition_balanced_flat: more parts than items"
+    );
+    let lsi = Lsi::fit_flat(
+        table,
+        dims,
+        LsiConfig {
+            rank: lsi_rank,
+            standardize: true,
+        },
+    );
+    balanced_from_lsi(&lsi, n, n_parts, seed)
+}
+
+/// Shared balanced-partition tail over a fitted LSI model.
+fn balanced_from_lsi(lsi: &Lsi, n: usize, n_parts: usize, seed: u64) -> Vec<usize> {
     let coords: Vec<Vec<f64>> = (0..n).map(|i| lsi.item_coords(i).to_vec()).collect();
-    partition_coords(vectors.len(), &coords, n_parts, seed)
+    partition_coords(n, &coords, n_parts, seed)
 }
 
 /// [`partition_balanced`] without the LSI projection: K-means directly
@@ -440,6 +482,41 @@ pub fn partition_tiled(vectors: &[Vec<f64>], n_parts: usize, lsi_rank: usize) ->
             standardize: true,
         },
     );
+    tiled_from_lsi(&lsi, n, n_parts)
+}
+
+/// [`partition_tiled`] over a flat row-major `n × dims` item table —
+/// the allocation-free SoA entry point used by the system/service build
+/// paths (`attr_subset_table` feeds it directly). Bit-identical to the
+/// slice-of-vectors form over the same values.
+pub fn partition_tiled_flat(
+    table: &[f64],
+    dims: usize,
+    n_parts: usize,
+    lsi_rank: usize,
+) -> Vec<usize> {
+    // dims > 0 and the length-multiple invariant are re-asserted by
+    // `Lsi::fit_flat` below.
+    assert!(
+        dims > 0,
+        "partition_tiled_flat: need at least one dimension"
+    );
+    let n = table.len() / dims;
+    assert!(n_parts > 0, "partition_tiled_flat: need at least one part");
+    assert!(n >= n_parts, "partition_tiled_flat: more parts than items");
+    let lsi = Lsi::fit_flat(
+        table,
+        dims,
+        LsiConfig {
+            rank: lsi_rank,
+            standardize: true,
+        },
+    );
+    tiled_from_lsi(&lsi, n, n_parts)
+}
+
+/// Shared sort-tile tail over a fitted LSI model.
+fn tiled_from_lsi(lsi: &Lsi, n: usize, n_parts: usize) -> Vec<usize> {
     let coords: Vec<Vec<f64>> = (0..n).map(|i| lsi.item_coords(i).to_vec()).collect();
     let cap = n.div_ceil(n_parts);
     let mut order: Vec<usize> = (0..n).collect();

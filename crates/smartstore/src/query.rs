@@ -17,6 +17,12 @@
 //! [`QueryOptions`] replaces the loose `RouteMode` + `k` argument
 //! soup with one wire-encodable options struct shared by the in-process
 //! API and the `smartstore-service` request protocol.
+//!
+//! Evaluation itself runs on the storage units' *columnar* read path
+//! (flat SoA coordinate scans, bounded-heap top-k, indexed point
+//! lookups — see [`crate::unit`]); the engine, the semantic cache's
+//! prefetch queries, and the service layer's shard fan-out all inherit
+//! it through these entry points.
 
 use crate::routing::RouteMode;
 use crate::system::{QueryOutcome, SmartStoreSystem};

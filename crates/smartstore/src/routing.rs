@@ -160,6 +160,13 @@ pub fn complex_query_cost(
 
 /// Cost of a filename point query: Bloom-guided descent, then exact
 /// lookup at the positive units.
+///
+/// Record accounting follows the *indexed-lookup* rule (see
+/// [`LocalWork`]): each positive unit resolves the name through its
+/// name→slot map, so `records` is 1 at a unit that holds the file and
+/// 0 at a Bloom-false-positive unit — not the prefix-scan length the
+/// pre-columnar store paid. Simulated point latencies are accordingly
+/// lower than pre-columnar reports for the same trace.
 pub fn point_query_cost(
     route: &Route,
     unit_work: &[(usize, LocalWork)],
@@ -187,7 +194,7 @@ pub fn point_query_cost(
 mod tests {
     use super::*;
     use crate::config::SmartStoreConfig;
-    use crate::grouping::partition_balanced;
+    use crate::grouping::partition_balanced_flat;
     use crate::mapping::map_index_units;
     use crate::unit::StorageUnit;
     use rand::rngs::StdRng;
@@ -201,8 +208,9 @@ mod tests {
             seed: 31,
             ..GeneratorConfig::default()
         });
-        let vectors: Vec<Vec<f64>> = pop.files.iter().map(|f| f.attr_vector().to_vec()).collect();
-        let assignment = partition_balanced(&vectors, n_units, 3, 31);
+        let table = smartstore_trace::attr_table(&pop.files);
+        let assignment =
+            partition_balanced_flat(&table, smartstore_trace::ATTR_DIMS, n_units, 3, 31);
         let mut buckets: Vec<Vec<smartstore_trace::FileMetadata>> = vec![Vec::new(); n_units];
         for (f, &a) in pop.files.into_iter().zip(assignment.iter()) {
             buckets[a].push(f);

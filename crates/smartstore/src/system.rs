@@ -12,7 +12,7 @@
 //! paper's tables and figures.
 
 use crate::config::SmartStoreConfig;
-use crate::grouping::partition_tiled;
+use crate::grouping::partition_tiled_flat;
 use crate::mapping::{map_index_units, IndexMapping};
 use crate::routing::{complex_query_cost, point_query_cost, QueryCost, RouteMode};
 use crate::tree::{NodeId, SemanticRTree};
@@ -246,11 +246,11 @@ impl SmartStoreSystem {
         // Placement clusters on the grouping predicate (the attribute
         // subset of Statement 1), not the full D-dim space — the noisy
         // dimensions would otherwise swamp the semantic correlation.
-        let vectors: Vec<Vec<f64>> = files
-            .iter()
-            .map(|f| f.attr_subset(&cfg.grouping_dims))
-            .collect();
-        let assignment = partition_tiled(&vectors, n_units, cfg.lsi_rank);
+        // The projection is built as one flat n×d table (no per-record
+        // Vec), the shape the LSI fit consumes directly.
+        let table = smartstore_trace::attr_subset_table(&files, &cfg.grouping_dims);
+        let assignment =
+            partition_tiled_flat(&table, cfg.grouping_dims.len(), n_units, cfg.lsi_rank);
         Self::build_with_assignment(files, &assignment, n_units, cfg, seed)
     }
 
@@ -554,29 +554,27 @@ impl SmartStoreSystem {
     ) -> (Vec<(u64, f64)>, QueryOutcome) {
         assert_eq!(point.len(), ATTR_DIMS, "topk_query: point dims");
         let (order, nodes_visited) = self.tree.route_topk(point);
-        let mut best: Vec<(u64, f64)> = Vec::new();
+        // Cross-unit merge through the same bounded heap the units use:
+        // O(log k) per candidate instead of re-sorting the merged list
+        // after every unit, with the heap's k-th best doubling as the
+        // MaxD bound. total_cmp ordering — identical order for the
+        // non-negative squared distances that arise here, and no panic
+        // path on a NaN.
+        let mut top = crate::unit::TopK::new(k);
         let mut work: Vec<(usize, LocalWork)> = Vec::new();
         let mut visited_units = Vec::new();
         for &(u, lower_bound) in &order {
-            let max_d = if best.len() == k {
-                best.last().map(|&(_, d)| d).unwrap_or(f64::INFINITY)
-            } else {
-                f64::INFINITY
-            };
-            if lower_bound > max_d {
+            if lower_bound > top.max_d() {
                 break; // MaxD pruning: no better result can exist here.
             }
-            let (top, w) = self.units[u].topk_query(point, k);
+            let (unit_top, w) = self.units[u].topk_query(point, k);
             work.push((u, w));
             visited_units.push(u);
-            for (id, d) in top {
-                best.push((id, d));
+            for (id, d) in unit_top {
+                top.push(id, d);
             }
-            // total_cmp: identical order for the non-negative squared
-            // distances that arise here, and no panic path on a NaN.
-            best.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            best.truncate(k);
         }
+        let mut best = top.into_sorted();
         // Routing structure for cost purposes: the units actually probed.
         let route = crate::tree::Route {
             target_units: visited_units.clone(),
@@ -821,8 +819,7 @@ impl SmartStoreSystem {
             // Recomputed summaries mutate the stored unit image.
             self.dirty.mark(u);
             self.units[u].recompute_summaries();
-            let unit = self.units[u].clone();
-            self.tree.update_leaf_summary(&unit);
+            self.tree.update_leaf_summary(&self.units[u]);
         }
         // Replica multicast to every storage unit (§3.4).
         self.maintenance_messages += self.units.len() as u64;
@@ -834,6 +831,50 @@ impl SmartStoreSystem {
             // Multicast of the flushed versions to remote replicas.
             self.maintenance_messages += self.units.len() as u64;
         }
+    }
+
+    /// Bulk deletion for admin/GC sweeps (retention policies, dedup
+    /// purges): groups `ids` by owning unit and removes each unit's
+    /// batch with **one** compaction + summary recompute
+    /// ([`StorageUnit::remove_files`]) instead of the change stream's
+    /// per-file removal, then republishes the fresh leaf summaries to
+    /// the index — the deleting units come out *consistent*, not stale,
+    /// so no lazy-update debt accrues. Version chains record the
+    /// deletes (off-line replicas may still hold the ids), ownership
+    /// and dirty tracking update as usual. Unknown ids are ignored;
+    /// returns the number of records removed.
+    ///
+    /// This is the in-memory admin path, deliberately not journaled —
+    /// route individual deletes through
+    /// [`Self::apply_change_journaled`] when a WAL must see them, or
+    /// snapshot after the sweep.
+    pub fn remove_files_bulk(&mut self, ids: &[u64]) -> usize {
+        let mut per_unit: HashMap<usize, Vec<u64>> = HashMap::new();
+        for &id in ids {
+            if let Some(&u) = self.owner.get(&id) {
+                per_unit.entry(u).or_default().push(id);
+            }
+        }
+        let mut units: Vec<usize> = per_unit.keys().copied().collect();
+        units.sort_unstable();
+        let mut removed_total = 0;
+        for u in units {
+            self.dirty.mark(u);
+            let removed = self.units[u].remove_files(&per_unit[&u]);
+            let group = self.group_of_unit(u);
+            for f in &removed {
+                self.owner.remove(&f.file_id);
+                if self.versioning_enabled {
+                    self.versions
+                        .entry(group)
+                        .or_insert_with(|| VersionStore::new(self.cfg.version_ratio))
+                        .record(Change::Delete(f.file_id));
+                }
+            }
+            removed_total += removed.len();
+            self.tree.update_leaf_summary(&self.units[u]);
+        }
+        removed_total
     }
 
     /// Forces a full index rebuild (reconfiguration): recomputes unit

@@ -5,18 +5,167 @@
 //! A storage unit holds the metadata of its files, a Bloom filter over
 //! their filenames, the unit's semantic vector (attribute centroid) and
 //! its MBR in attribute space.
+//!
+//! # Columnar read path
+//!
+//! Queries never walk the record structs. Alongside the row store
+//! (`files`), every unit maintains a *columnar projection*:
+//!
+//! * `coords` — a flat row-major `n × ATTR_DIMS` table; row `i` is
+//!   `files[i].attr_vector()`, computed **once** at mutation time
+//!   instead of on every scan (the projection does four `ln()` calls
+//!   per record — recomputing it per query made scans
+//!   transcendental-bound, not memory-bound);
+//! * `ids` — the `file_id` column, so a scan touches the (large,
+//!   string-carrying) records only for actual hits;
+//! * `name_slots` — filename → slot positions, so a point lookup behind
+//!   the Bloom probe is a hash probe instead of a prefix scan.
+//!
+//! The projection is *derived state*: it is maintained by every
+//! mutation path and rebuilt deterministically from `files` in
+//! [`StorageUnit::from_parts`], so persisted snapshot images carry no
+//! trace of it and need no format change. Scan results are
+//! bit-identical to the pre-columnar record walk because `attr_vector`
+//! is a pure function of the record and the scan visits rows in the
+//! same order.
 
 use smartstore_bloom::BloomFilter;
 use smartstore_rtree::Rect;
 use smartstore_trace::{FileMetadata, ATTR_DIMS};
+use std::collections::HashMap;
 
 /// Work performed by a local query, for latency accounting.
+///
+/// Cost-accounting rule for `records`: scan-evaluated queries (range,
+/// top-k) examine every record of the unit; the *indexed* point lookup
+/// examines exactly one record on a hit and none on a miss — the
+/// name→slot map resolves the filename behind the Bloom probe, so a
+/// Bloom false positive costs a hash probe, not a prefix scan.
+/// [`crate::routing::point_query_cost`] prices records under the same
+/// rule.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LocalWork {
     /// Metadata records examined.
     pub records: usize,
     /// Bloom filters probed.
     pub filters: usize,
+}
+
+/// Bounded top-k accumulator over `(file_id, squared distance)` pairs:
+/// a max-heap of the k best seen so far, ordered by `(distance, id)`
+/// under `f64::total_cmp` (no panic path on NaN). O(log k) per
+/// candidate instead of the O(n log n) full sort, and
+/// [`TopK::into_sorted`] yields exactly what
+/// `sort_by((distance, id)) + truncate(k)` over all pushed candidates
+/// would.
+#[derive(Clone, Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<ScoredId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ScoredId {
+    d: f64,
+    id: u64,
+}
+
+impl PartialEq for ScoredId {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for ScoredId {}
+
+impl Ord for ScoredId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d.total_cmp(&other.d).then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for ScoredId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k.min(1 << 12) + 1),
+        }
+    }
+
+    /// The current k-th best distance — the MaxD pruning bound of
+    /// §3.3.2. Infinite until k candidates are retained.
+    pub(crate) fn max_d(&self) -> f64 {
+        if self.heap.len() == self.k {
+            self.heap.peek().map_or(f64::INFINITY, |e| e.d)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offers one candidate.
+    pub(crate) fn push(&mut self, id: u64, d: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = ScoredId { d, id };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry < *worst {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// The retained candidates in ascending `(distance, id)` order.
+    pub(crate) fn into_sorted(self) -> Vec<(u64, f64)> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| (e.id, e.d))
+            .collect()
+    }
+}
+
+/// Appends one row to the columnar projection: coordinate row, id, and
+/// the name→slot entry for the next slot (`ids.len()`). Free-standing
+/// over the three columns so callers iterating `files` can borrow it
+/// disjointly; the single append path shared by the insert, rebuild
+/// and compaction sites.
+fn push_row(
+    coords: &mut Vec<f64>,
+    ids: &mut Vec<u64>,
+    name_slots: &mut HashMap<String, Vec<usize>>,
+    row: &[f64],
+    id: u64,
+    name: &str,
+) {
+    let slot = ids.len();
+    coords.extend_from_slice(row);
+    ids.push(id);
+    name_slots.entry(name.to_owned()).or_default().push(slot);
+}
+
+/// Unlinks `slot` from `name`'s slot list, dropping the entry when it
+/// empties — shared by the removal and rename paths.
+fn unlink_name_slot(name_slots: &mut HashMap<String, Vec<usize>>, name: &str, slot: usize) {
+    let drop_entry = match name_slots.get_mut(name) {
+        Some(slots) => {
+            slots.retain(|&s| s != slot);
+            slots.is_empty()
+        }
+        None => false,
+    };
+    if drop_entry {
+        name_slots.remove(name);
+    }
 }
 
 /// One metadata server's local state.
@@ -28,6 +177,15 @@ pub struct StorageUnit {
     bloom: BloomFilter,
     centroid: Vec<f64>,
     mbr: Option<Rect>,
+    /// Columnar projection: flat row-major `n × ATTR_DIMS` attribute
+    /// table; row `i` is `files[i].attr_vector()`.
+    coords: Vec<f64>,
+    /// `file_id` column; `ids[i] == files[i].file_id`.
+    ids: Vec<u64>,
+    /// filename → slots holding a file of that name, ascending (point
+    /// queries resolve to the first slot, matching the pre-columnar
+    /// first-match-in-store-order scan).
+    name_slots: HashMap<String, Vec<usize>>,
 }
 
 impl StorageUnit {
@@ -44,6 +202,9 @@ impl StorageUnit {
             bloom: BloomFilter::new(bloom_bits, bloom_hashes),
             centroid: vec![0.0; ATTR_DIMS],
             mbr: None,
+            coords: Vec::new(),
+            ids: Vec::new(),
+            name_slots: HashMap::new(),
         };
         for f in files {
             unit.insert_file(f);
@@ -55,7 +216,9 @@ impl StorageUnit {
     /// summaries: a persisted unit must come back with exactly the
     /// (possibly stale) Bloom filter, centroid and MBR it was saved
     /// with, so that queries against the reopened system answer
-    /// identically to the live one.
+    /// identically to the live one. The columnar projection is derived
+    /// purely from `files`, so it is rebuilt here deterministically —
+    /// persisted images carry no columnar section.
     pub fn from_parts(
         id: usize,
         files: Vec<FileMetadata>,
@@ -64,12 +227,67 @@ impl StorageUnit {
         mbr: Option<Rect>,
     ) -> Self {
         assert_eq!(centroid.len(), ATTR_DIMS, "from_parts: centroid dims");
-        Self {
+        let mut unit = Self {
             id,
             files,
             bloom,
             centroid,
             mbr,
+            coords: Vec::new(),
+            ids: Vec::new(),
+            name_slots: HashMap::new(),
+        };
+        unit.rebuild_columns();
+        unit
+    }
+
+    /// Rebuilds the derived columnar projection from `files`.
+    fn rebuild_columns(&mut self) {
+        self.coords.clear();
+        self.coords.reserve(self.files.len() * ATTR_DIMS);
+        self.ids.clear();
+        self.ids.reserve(self.files.len());
+        self.name_slots.clear();
+        for f in &self.files {
+            push_row(
+                &mut self.coords,
+                &mut self.ids,
+                &mut self.name_slots,
+                &f.attr_vector(),
+                f.file_id,
+                &f.name,
+            );
+        }
+    }
+
+    /// Appends a file's columnar projection (call immediately before
+    /// pushing the record onto `files`).
+    fn append_columns(&mut self, file: &FileMetadata) {
+        push_row(
+            &mut self.coords,
+            &mut self.ids,
+            &mut self.name_slots,
+            &file.attr_vector(),
+            file.file_id,
+            &file.name,
+        );
+    }
+
+    /// Drops slot `pos` from the columnar projection, shifting later
+    /// slots down by one (call *before* `files.remove(pos)`, while the
+    /// record is still present). O(n), matching the `Vec::remove`
+    /// memmove it accompanies; store order is preserved so summary
+    /// recomputation stays bit-identical to the pre-columnar path.
+    fn remove_column_slot(&mut self, pos: usize) {
+        unlink_name_slot(&mut self.name_slots, &self.files[pos].name, pos);
+        self.coords.drain(pos * ATTR_DIMS..(pos + 1) * ATTR_DIMS);
+        self.ids.remove(pos);
+        for slots in self.name_slots.values_mut() {
+            for s in slots.iter_mut() {
+                if *s > pos {
+                    *s -= 1;
+                }
+            }
         }
     }
 
@@ -105,7 +323,75 @@ impl StorageUnit {
         self.mbr.as_ref()
     }
 
-    /// Adds a file, updating Bloom filter, centroid and MBR.
+    /// The flat row-major `n × ATTR_DIMS` columnar attribute table;
+    /// row `i` equals `files()[i].attr_vector()` bit-for-bit.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The `file_id` column; `file_ids()[i] == files()[i].file_id`.
+    pub fn file_ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Verifies the columnar projection against a from-scratch rebuild
+    /// from `files` (test/diagnostic hook; the coherence proptest
+    /// drives this under arbitrary mutation streams).
+    pub fn check_columnar_coherence(&self) -> Result<(), String> {
+        if self.coords.len() != self.files.len() * ATTR_DIMS {
+            return Err(format!(
+                "coords holds {} values for {} files",
+                self.coords.len(),
+                self.files.len()
+            ));
+        }
+        if self.ids.len() != self.files.len() {
+            return Err(format!(
+                "ids holds {} entries for {} files",
+                self.ids.len(),
+                self.files.len()
+            ));
+        }
+        let mut expected_slots: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (slot, f) in self.files.iter().enumerate() {
+            if self.ids[slot] != f.file_id {
+                return Err(format!(
+                    "ids[{slot}] = {} but files[{slot}].file_id = {}",
+                    self.ids[slot], f.file_id
+                ));
+            }
+            let row = &self.coords[slot * ATTR_DIMS..(slot + 1) * ATTR_DIMS];
+            let v = f.attr_vector();
+            if row
+                .iter()
+                .zip(v.iter())
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                return Err(format!("coords row {slot} diverges from attr_vector"));
+            }
+            expected_slots.entry(&f.name).or_default().push(slot);
+        }
+        if self.name_slots.len() != expected_slots.len() {
+            return Err(format!(
+                "name_slots holds {} names, files hold {}",
+                self.name_slots.len(),
+                expected_slots.len()
+            ));
+        }
+        for (name, slots) in &expected_slots {
+            match self.name_slots.get(*name) {
+                Some(got) if got == slots => {}
+                Some(got) => {
+                    return Err(format!("name {name:?}: slots {got:?}, expected {slots:?}"))
+                }
+                None => return Err(format!("name {name:?} missing from name_slots")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a file, updating Bloom filter, centroid, MBR and the
+    /// columnar projection.
     pub fn insert_file(&mut self, file: FileMetadata) {
         self.bloom.insert(file.name.as_bytes());
         let v = file.attr_vector();
@@ -118,6 +404,14 @@ impl StorageUnit {
             Some(m) => m.union(&point),
             None => point,
         });
+        push_row(
+            &mut self.coords,
+            &mut self.ids,
+            &mut self.name_slots,
+            &v,
+            file.file_id,
+            &file.name,
+        );
         self.files.push(file);
     }
 
@@ -126,37 +420,106 @@ impl StorageUnit {
     /// false negatives … identified when the target metadata is
     /// accessed", §5.4.1); the centroid and MBR are recomputed.
     pub fn remove_file(&mut self, file_id: u64) -> Option<FileMetadata> {
-        let pos = self.files.iter().position(|f| f.file_id == file_id)?;
-        let removed = self.files.remove(pos);
+        let removed = self.remove_file_raw(file_id)?;
         self.recompute_summaries();
         Some(removed)
+    }
+
+    /// Removes a batch of files by id with a *single* order-preserving
+    /// compaction pass and one summary recompute — the bulk form of
+    /// [`Self::remove_file`], whose per-file `Vec::remove` +
+    /// `recompute_summaries` is O(n) each, O(n·m) for m removals.
+    /// Returns the removed records in store order; ids not present are
+    /// ignored. The final state is bit-identical to one
+    /// [`Self::remove_file`] call per listed id — the list is a
+    /// *multiset*, so an id listed m times removes the first m
+    /// occurrences in store order (duplicate ids can exist —
+    /// [`Self::insert_file_raw`] does not dedupe).
+    pub fn remove_files(&mut self, file_ids: &[u64]) -> Vec<FileMetadata> {
+        if file_ids.is_empty() {
+            return Vec::new();
+        }
+        // Multiset of pending removals: an id listed twice removes two
+        // occurrences, exactly like two remove_file calls would.
+        let mut victims: HashMap<u64, usize> = HashMap::new();
+        for &id in file_ids {
+            *victims.entry(id).or_insert(0) += 1;
+        }
+        let old_files = std::mem::take(&mut self.files);
+        let old_coords = std::mem::take(&mut self.coords);
+        let old_ids = std::mem::take(&mut self.ids);
+        self.name_slots.clear();
+        self.files = Vec::with_capacity(old_files.len());
+        self.coords = Vec::with_capacity(old_coords.len());
+        self.ids = Vec::with_capacity(old_ids.len());
+        let mut removed = Vec::new();
+        for (row, f) in old_files.into_iter().enumerate() {
+            let take = match victims.get_mut(&old_ids[row]) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if take {
+                removed.push(f);
+            } else {
+                push_row(
+                    &mut self.coords,
+                    &mut self.ids,
+                    &mut self.name_slots,
+                    &old_coords[row * ATTR_DIMS..(row + 1) * ATTR_DIMS],
+                    old_ids[row],
+                    &f.name,
+                );
+                self.files.push(f);
+            }
+        }
+        self.recompute_summaries();
+        removed
     }
 
     /// Adds a file *without* refreshing the unit's summaries — the
     /// change stream mutates data immediately while index summaries
     /// (Bloom/centroid/MBR) stay stale until a lazy update
-    /// ([`Self::recompute_summaries`]) fires, per §3.4/§4.4.
+    /// ([`Self::recompute_summaries`]) fires, per §3.4/§4.4. The
+    /// columnar projection (data, not index) is maintained eagerly.
     pub fn insert_file_raw(&mut self, file: FileMetadata) {
+        self.append_columns(&file);
         self.files.push(file);
     }
 
     /// Removes a file by id without refreshing summaries.
     pub fn remove_file_raw(&mut self, file_id: u64) -> Option<FileMetadata> {
         let pos = self.files.iter().position(|f| f.file_id == file_id)?;
+        self.remove_column_slot(pos);
         Some(self.files.remove(pos))
     }
 
     /// Replaces a file's metadata in place without refreshing summaries;
     /// inserts if absent.
     pub fn modify_file_raw(&mut self, file: FileMetadata) {
-        match self.files.iter_mut().find(|f| f.file_id == file.file_id) {
-            Some(slot) => *slot = file,
-            None => self.files.push(file),
+        match self.files.iter().position(|f| f.file_id == file.file_id) {
+            Some(slot) => {
+                self.coords[slot * ATTR_DIMS..(slot + 1) * ATTR_DIMS]
+                    .copy_from_slice(&file.attr_vector());
+                if self.files[slot].name != file.name {
+                    unlink_name_slot(&mut self.name_slots, &self.files[slot].name, slot);
+                    let slots = self.name_slots.entry(file.name.clone()).or_default();
+                    let at = slots.partition_point(|&s| s < slot);
+                    slots.insert(at, slot);
+                }
+                self.files[slot] = file;
+            }
+            None => self.insert_file_raw(file),
         }
     }
 
     /// Rebuilds centroid, MBR and Bloom filter from current contents
-    /// (used after bulk changes and version flushes).
+    /// (used after bulk changes and version flushes). Reads the
+    /// columnar table instead of re-projecting every record — same
+    /// values summed in the same store order, so the recomputed
+    /// summaries are bit-identical to the pre-columnar walk.
     pub fn recompute_summaries(&mut self) {
         let n = self.files.len();
         self.centroid = vec![0.0; ATTR_DIMS];
@@ -165,12 +528,11 @@ impl StorageUnit {
         if n == 0 {
             return;
         }
-        for f in &self.files {
-            let v = f.attr_vector();
-            for (c, &x) in self.centroid.iter_mut().zip(v.iter()) {
+        for row in self.coords.chunks_exact(ATTR_DIMS) {
+            for (c, &x) in self.centroid.iter_mut().zip(row) {
                 *c += x;
             }
-            let p = Rect::point(&v);
+            let p = Rect::point(row);
             self.mbr = Some(match self.mbr.take() {
                 Some(m) => m.union(&p),
                 None => p,
@@ -185,7 +547,11 @@ impl StorageUnit {
     }
 
     /// Local point query: probe the Bloom filter, and on a positive hit
-    /// scan for the exact filename.
+    /// resolve the filename through the name→slot index — one record
+    /// examined on a hit, none on a Bloom false positive (see
+    /// [`LocalWork`] for the cost-accounting rule). With duplicate
+    /// names the first slot in store order answers, matching the
+    /// pre-columnar prefix scan.
     pub fn point_query(&self, name: &str) -> (Option<&FileMetadata>, LocalWork) {
         let mut work = LocalWork {
             records: 0,
@@ -194,16 +560,29 @@ impl StorageUnit {
         if !self.bloom.contains(name.as_bytes()) {
             return (None, work);
         }
-        for f in &self.files {
-            work.records += 1;
-            if f.name == name {
-                return (Some(f), work);
+        match self.lookup_name(name) {
+            Some(f) => {
+                work.records = 1;
+                (Some(f), work)
             }
+            None => (None, work),
         }
-        (None, work)
     }
 
-    /// Local range query over the projected attribute space.
+    /// Resolves an exact filename through the name→slot index, skipping
+    /// the Bloom probe — the raw indexed lookup behind
+    /// [`Self::point_query`]. With duplicate names the first slot in
+    /// store order answers.
+    pub fn lookup_name(&self, name: &str) -> Option<&FileMetadata> {
+        self.name_slots
+            .get(name)
+            .and_then(|slots| slots.first())
+            .map(|&slot| &self.files[slot])
+    }
+
+    /// Local range query over the projected attribute space: a linear
+    /// pass over the flat coordinate table (no per-record projection,
+    /// records touched only through the id column).
     pub fn range_query(&self, lo: &[f64], hi: &[f64]) -> (Vec<u64>, LocalWork) {
         let mut out = Vec::new();
         let mut work = LocalWork::default();
@@ -214,47 +593,48 @@ impl StorageUnit {
                 return (out, work);
             }
         }
-        for f in &self.files {
-            work.records += 1;
-            let v = f.attr_vector();
-            if v.iter()
+        for (slot, row) in self.coords.chunks_exact(ATTR_DIMS).enumerate() {
+            if row
+                .iter()
                 .zip(lo.iter().zip(hi))
                 .all(|(&x, (&l, &h))| l <= x && x <= h)
             {
-                out.push(f.file_id);
+                out.push(self.ids[slot]);
             }
         }
+        work.records = self.files.len();
         (out, work)
     }
 
     /// Local top-k: the unit's k nearest files to `point`, with squared
-    /// distances (for cross-unit merge).
+    /// distances (for cross-unit merge). A bounded-heap pass over the
+    /// coordinate table — O(n log k) instead of the previous full
+    /// O(n log n) sort, `total_cmp` ordered (no NaN panic path), and
+    /// bit-identical to sort-then-truncate output.
     pub fn topk_query(&self, point: &[f64], k: usize) -> (Vec<(u64, f64)>, LocalWork) {
-        let mut scored: Vec<(u64, f64)> = self
-            .files
-            .iter()
-            .map(|f| {
-                let d = f
-                    .attr_vector()
-                    .iter()
-                    .zip(point)
-                    .map(|(&a, &q)| (a - q) * (a - q))
-                    .sum::<f64>();
-                (f.file_id, d)
-            })
-            .collect();
+        let mut top = TopK::new(k);
+        for (slot, row) in self.coords.chunks_exact(ATTR_DIMS).enumerate() {
+            let mut d = 0.0;
+            for (&a, &q) in row.iter().zip(point) {
+                d += (a - q) * (a - q);
+            }
+            // Full (distance, id) comparison inside push — an equal
+            // distance with a smaller id still displaces the worst.
+            top.push(self.ids[slot], d);
+        }
         let work = LocalWork {
             records: self.files.len(),
             filters: 0,
         };
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-        scored.truncate(k);
-        (scored, work)
+        (top.into_sorted(), work)
     }
 
     /// Approximate resident bytes of the unit's index state (Bloom
     /// filter + centroid + MBR), excluding the metadata records
-    /// themselves — the quantity Fig. 7 compares across systems.
+    /// themselves — the quantity Fig. 7 compares across systems. The
+    /// columnar projection is a scan acceleration of the *data*, not
+    /// part of the paper's index-size comparison, so it is excluded
+    /// like the records it mirrors.
     pub fn index_size_bytes(&self) -> usize {
         self.bloom.size_bytes() + ATTR_DIMS * 8 * 3
     }
@@ -387,16 +767,126 @@ mod tests {
     fn recompute_after_bulk_mutation() {
         let mut u = unit_with(20);
         let before_mbr = u.mbr().unwrap().clone();
-        // Remove half the files.
+        // Remove half the files in one compaction pass.
         let ids: Vec<u64> = u.files()[..10].iter().map(|f| f.file_id).collect();
-        for id in ids {
-            u.remove_file(id);
-        }
+        let removed = u.remove_files(&ids);
+        assert_eq!(removed.len(), 10);
         assert_eq!(u.len(), 10);
         let after = u.mbr().unwrap();
         assert!(
             before_mbr.contains_rect(after),
             "MBR must tighten, not grow"
         );
+    }
+
+    #[test]
+    fn remove_files_matches_sequential_removal() {
+        let mut bulk = unit_with(40);
+        let mut seq = bulk.clone();
+        // Every third file plus an unknown id (ignored by both paths).
+        let mut ids: Vec<u64> = bulk.files().iter().step_by(3).map(|f| f.file_id).collect();
+        ids.push(u64::MAX);
+        let removed = bulk.remove_files(&ids);
+        for &id in &ids {
+            seq.remove_file(id);
+        }
+        assert_eq!(removed.len(), ids.len() - 1);
+        assert_eq!(bulk.files(), seq.files(), "store order must match");
+        assert_eq!(bulk.centroid(), seq.centroid());
+        assert_eq!(bulk.mbr(), seq.mbr());
+        assert_eq!(bulk.bloom().words(), seq.bloom().words());
+        bulk.check_columnar_coherence().unwrap();
+    }
+
+    #[test]
+    fn remove_files_honors_id_multiplicity() {
+        // insert_file_raw does not dedupe ids; the removal list is a
+        // multiset, so listing an id once removes one occurrence and
+        // listing it twice removes both — exactly like the same number
+        // of remove_file calls.
+        let mut bulk = unit_with(6);
+        let mut dup = bulk.files()[1].clone();
+        dup.name = "dup_copy".into();
+        bulk.insert_file_raw(dup);
+        let target = bulk.files()[1].file_id;
+
+        let mut seq = bulk.clone();
+        let mut twice = bulk.clone();
+        let removed = bulk.remove_files(&[target]);
+        seq.remove_file(target);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(bulk.files(), seq.files());
+        assert_eq!(bulk.len(), 6, "the duplicate survives a single listing");
+        bulk.check_columnar_coherence().unwrap();
+
+        let removed = twice.remove_files(&[target, target]);
+        seq.remove_file(target);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(twice.files(), seq.files());
+        assert_eq!(twice.len(), 5, "a double listing removes both");
+        twice.check_columnar_coherence().unwrap();
+    }
+
+    #[test]
+    fn columnar_projection_mirrors_files() {
+        let mut u = unit_with(25);
+        u.check_columnar_coherence().unwrap();
+        assert_eq!(u.coords().len(), 25 * ATTR_DIMS);
+        for (i, f) in u.files().iter().enumerate() {
+            assert_eq!(u.file_ids()[i], f.file_id);
+            assert_eq!(
+                &u.coords()[i * ATTR_DIMS..(i + 1) * ATTR_DIMS],
+                f.attr_vector().as_slice()
+            );
+        }
+        // Stays coherent through raw mutations and a rename.
+        let mut extra = u.files()[0].clone();
+        extra.file_id = 777;
+        extra.name = "renamable".into();
+        u.insert_file_raw(extra.clone());
+        extra.name = "renamed".into();
+        extra.size += 1;
+        u.modify_file_raw(extra);
+        u.remove_file_raw(u.files()[3].file_id);
+        u.check_columnar_coherence().unwrap();
+        let reopened = StorageUnit::from_parts(
+            u.id,
+            u.files().to_vec(),
+            u.bloom().clone(),
+            u.centroid().to_vec(),
+            u.mbr().cloned(),
+        );
+        reopened.check_columnar_coherence().unwrap();
+    }
+
+    #[test]
+    fn point_query_duplicate_names_hit_first_slot() {
+        let mut u = unit_with(10);
+        let mut dup = u.files()[4].clone();
+        dup.file_id = 5001;
+        dup.name = "twin".into();
+        u.insert_file(dup.clone());
+        dup.file_id = 5002;
+        u.insert_file(dup);
+        let (hit, work) = u.point_query("twin");
+        assert_eq!(hit.unwrap().file_id, 5001, "first slot in store order");
+        assert_eq!(work.records, 1, "indexed lookup examines one record");
+    }
+
+    #[test]
+    fn topk_ties_resolve_by_id() {
+        let mut u = StorageUnit::new(0, 256, 3, vec![]);
+        let base = unit_with(10).files()[0].clone();
+        // Four records with identical attributes: distances tie, so the
+        // (distance, id) order must keep the smallest ids.
+        for id in [40u64, 10, 30, 20] {
+            let mut f = base.clone();
+            f.file_id = id;
+            f.name = format!("tie_{id}");
+            u.insert_file(f);
+        }
+        let q = base.attr_vector();
+        let (top, _) = u.topk_query(&q, 2);
+        assert_eq!(top.iter().map(|&(id, _)| id).collect::<Vec<_>>(), [10, 20]);
     }
 }

@@ -1,0 +1,352 @@
+//! Columnar-projection coherence and bit-identity tests.
+//!
+//! The storage unit keeps a derived SoA projection (flat coords table,
+//! id column, name→slot map) next to the record vec. These properties
+//! pin the two invariants the columnar read path rests on:
+//!
+//! 1. **Coherence** — after *any* interleaving of raw and non-raw
+//!    mutations (inserts, removals, bulk removal, in-place modifies,
+//!    summary recomputes), the projection equals a from-scratch rebuild
+//!    from the record vec.
+//! 2. **Bit-identity** — the columnar query path answers exactly like
+//!    the pre-columnar record walk, kept here as a reference
+//!    implementation: per-record `attr_vector()` scans, a full
+//!    sort-then-truncate top-k, and a prefix name scan for point
+//!    lookups. System-level `QueryOutcome`s (range/top-k/point, both
+//!    route modes) must also be bit-identical between a live mutated
+//!    system and its `from_parts(to_parts())` reopen, which rebuilds
+//!    every unit's projection from serialized records.
+
+use proptest::prelude::*;
+use smartstore::config::SmartStoreConfig;
+use smartstore::grouping::{
+    partition_balanced, partition_balanced_flat, partition_tiled, partition_tiled_flat,
+};
+use smartstore::query::QueryOptions;
+use smartstore::routing::RouteMode;
+use smartstore::system::SmartStoreSystem;
+use smartstore::unit::StorageUnit;
+use smartstore::versioning::Change;
+use smartstore_rtree::Rect;
+use smartstore_trace::{FileMetadata, ATTR_DIMS};
+
+// ---------------------------------------------------------------------
+// Reference implementation: the pre-columnar record walk.
+// ---------------------------------------------------------------------
+
+/// Pre-columnar point lookup: Bloom probe, then prefix scan in store
+/// order. Returns the hit and the number of records the scan examined.
+fn ref_point<'a>(u: &'a StorageUnit, name: &str) -> (Option<&'a FileMetadata>, usize) {
+    if !u.bloom().contains(name.as_bytes()) {
+        return (None, 0);
+    }
+    let mut records = 0;
+    for f in u.files() {
+        records += 1;
+        if f.name == name {
+            return (Some(f), records);
+        }
+    }
+    (None, records)
+}
+
+/// Pre-columnar range scan: MBR pre-check, then a per-record
+/// `attr_vector()` walk.
+fn ref_range(u: &StorageUnit, lo: &[f64], hi: &[f64]) -> (Vec<u64>, usize) {
+    if let Some(m) = u.mbr() {
+        let q = Rect::new(lo.to_vec(), hi.to_vec());
+        if !m.intersects(&q) {
+            return (Vec::new(), 0);
+        }
+    }
+    let mut out = Vec::new();
+    for f in u.files() {
+        let v = f.attr_vector();
+        if v.iter()
+            .zip(lo.iter().zip(hi))
+            .all(|(&x, (&l, &h))| l <= x && x <= h)
+        {
+            out.push(f.file_id);
+        }
+    }
+    (out, u.files().len())
+}
+
+/// Pre-columnar top-k: score every record, full sort by
+/// `(distance, id)`, truncate.
+fn ref_topk(u: &StorageUnit, point: &[f64], k: usize) -> Vec<(u64, f64)> {
+    let mut scored: Vec<(u64, f64)> = u
+        .files()
+        .iter()
+        .map(|f| {
+            let d = f
+                .attr_vector()
+                .iter()
+                .zip(point)
+                .map(|(&a, &q)| (a - q) * (a - q))
+                .sum::<f64>();
+            (f.file_id, d)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+// ---------------------------------------------------------------------
+// Mutation-stream machinery.
+// ---------------------------------------------------------------------
+
+/// Deterministic synthetic record. Names repeat (`id % 7`) so duplicate
+/// filenames within one unit are a routine occurrence, not a corner
+/// case.
+fn make_file(id: u64, salt: u64) -> FileMetadata {
+    FileMetadata {
+        file_id: id,
+        name: format!("f{}", id % 7),
+        dir: "/d".into(),
+        owner: (salt % 5) as u32,
+        size: 100 + (id * 37 + salt * 13) % 100_000,
+        ctime: (id as f64 * 11.0 + salt as f64) % 5000.0,
+        mtime: (id as f64 * 17.0 + salt as f64 * 3.0) % 5000.0,
+        atime: (id as f64 * 23.0 + salt as f64 * 7.0) % 5000.0,
+        read_bytes: (id * 101 + salt) % 1_000_000,
+        write_bytes: (id * 53) % 500_000,
+        access_count: ((id + salt) % 300) as u32,
+        proc_id: ((id * 3 + salt) % 16) as u32,
+        truth_cluster: None,
+    }
+}
+
+/// One step of an arbitrary interleaved mutation stream; `a`/`b` are
+/// free parameters the op interprets against the unit's current state.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    kind: u8,
+    a: u16,
+    b: u16,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..7, any::<u16>(), any::<u16>()).prop_map(|(kind, a, b)| Op { kind, a, b })
+}
+
+fn apply_op(u: &mut StorageUnit, op: Op, next_id: &mut u64) {
+    let pick = |n: usize, x: u16| x as usize % n.max(1);
+    match op.kind {
+        // Summary-refreshing insert.
+        0 => {
+            *next_id += 1;
+            u.insert_file(make_file(*next_id, op.b as u64));
+        }
+        // Raw insert (summaries stay stale).
+        1 => {
+            *next_id += 1;
+            u.insert_file_raw(make_file(*next_id, op.b as u64));
+        }
+        // Summary-refreshing removal of an existing file.
+        2 => {
+            if !u.is_empty() {
+                let id = u.files()[pick(u.len(), op.a)].file_id;
+                u.remove_file(id);
+            }
+        }
+        // Raw removal.
+        3 => {
+            if !u.is_empty() {
+                let id = u.files()[pick(u.len(), op.a)].file_id;
+                u.remove_file_raw(id);
+            }
+        }
+        // In-place modify, sometimes renaming the record.
+        4 => {
+            if !u.is_empty() {
+                let mut f = u.files()[pick(u.len(), op.a)].clone();
+                f.size = f.size.wrapping_add(op.b as u64) % 1_000_000;
+                f.atime = (f.atime + 1.0) % 5000.0;
+                if op.b.is_multiple_of(3) {
+                    f.name = format!("f{}", op.b % 11);
+                }
+                u.modify_file_raw(f);
+            }
+        }
+        // Lazy-update refresh.
+        5 => u.recompute_summaries(),
+        // Bulk removal: every (b%4 + 2)-th file in one compaction.
+        _ => {
+            let stride = (op.b as usize % 4) + 2;
+            let ids: Vec<u64> = u
+                .files()
+                .iter()
+                .step_by(stride)
+                .map(|f| f.file_id)
+                .collect();
+            u.remove_files(&ids);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coherence + unit-level bit-identity under arbitrary interleaved
+    /// raw/non-raw mutation streams.
+    #[test]
+    fn columnar_projection_stays_coherent(
+        n_seed in 0usize..30,
+        ops in prop::collection::vec(op_strategy(), 0..60),
+        probe in any::<u16>(),
+    ) {
+        let seed_files: Vec<FileMetadata> =
+            (0..n_seed as u64).map(|i| make_file(i, 1)).collect();
+        let mut u = StorageUnit::new(0, 512, 5, seed_files);
+        let mut next_id = n_seed as u64;
+        for op in ops {
+            apply_op(&mut u, op, &mut next_id);
+            prop_assert!(u.check_columnar_coherence().is_ok(),
+                "incoherent after {op:?}: {:?}", u.check_columnar_coherence());
+        }
+
+        // Point: every live name plus a ghost answers identically to
+        // the prefix scan (the indexed lookup must find the *first*
+        // slot in store order even with duplicate names).
+        for name in ["f0", "f3", "f6", "ghost_name"] {
+            let (got, work) = u.point_query(name);
+            let (want, _) = ref_point(&u, name);
+            prop_assert_eq!(got.map(|f| f.file_id), want.map(|f| f.file_id));
+            if got.is_some() {
+                prop_assert_eq!(work.records, 1, "indexed lookup examines one record");
+            }
+        }
+
+        // Range and top-k around a probe file (or a fixed box when the
+        // unit drained): flat-table scan ≡ record walk, bit for bit.
+        let v = if u.is_empty() {
+            [0.5; ATTR_DIMS]
+        } else {
+            u.files()[probe as usize % u.len()].attr_vector()
+        };
+        let lo: Vec<f64> = v.iter().map(|x| x - 0.7).collect();
+        let hi: Vec<f64> = v.iter().map(|x| x + 0.7).collect();
+        let (ids, work) = u.range_query(&lo, &hi);
+        let (want_ids, want_records) = ref_range(&u, &lo, &hi);
+        prop_assert_eq!(ids, want_ids);
+        prop_assert_eq!(work.records, want_records);
+
+        for k in [0usize, 1, 4, 1000] {
+            let (top, work) = u.topk_query(&v, k);
+            let want = ref_topk(&u, &v, k);
+            prop_assert_eq!(top.len(), want.len());
+            for (a, b) in top.iter().zip(&want) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert!(a.1.to_bits() == b.1.to_bits(),
+                    "distance bits diverged: {} vs {}", a.1, b.1);
+            }
+            prop_assert_eq!(work.records, u.len());
+        }
+    }
+
+    /// System-level `QueryOutcome` bit-identity: a live system mutated
+    /// through the change stream answers exactly like its
+    /// `from_parts(to_parts())` reopen, whose units rebuilt their
+    /// columnar projection from serialized records.
+    #[test]
+    fn query_outcomes_survive_projection_rebuild(
+        stream in prop::collection::vec((0u8..3, any::<u16>(), any::<u16>()), 0..40),
+        probe in any::<u16>(),
+    ) {
+        let base: Vec<FileMetadata> = (0..120u64).map(|i| make_file(i, 2)).collect();
+        let mut sys = SmartStoreSystem::build(base, 6, SmartStoreConfig::default(), 9);
+        let mut next_id = 200u64;
+        for (kind, a, b) in stream {
+            let change = match kind {
+                0 => {
+                    next_id += 1;
+                    Change::Insert(make_file(next_id, b as u64))
+                }
+                1 => {
+                    let files = sys.current_files();
+                    if files.is_empty() { continue; }
+                    Change::Delete(files[a as usize % files.len()].file_id)
+                }
+                _ => {
+                    let files = sys.current_files();
+                    if files.is_empty() { continue; }
+                    let mut f = files[a as usize % files.len()].clone();
+                    f.size = f.size.wrapping_add(b as u64) % 1_000_000;
+                    Change::Modify(f)
+                }
+            };
+            sys.apply_change(change);
+        }
+        let reopened = SmartStoreSystem::from_parts(sys.to_parts());
+        for u in reopened.units() {
+            prop_assert!(u.check_columnar_coherence().is_ok());
+        }
+
+        let files = sys.current_files();
+        prop_assume!(!files.is_empty());
+        let f = &files[probe as usize % files.len()];
+        let v = f.attr_vector();
+        let lo: Vec<f64> = v.iter().map(|x| x - 0.4).collect();
+        let hi: Vec<f64> = v.iter().map(|x| x + 0.4).collect();
+        for mode in RouteMode::ALL {
+            let opts = QueryOptions::with_mode(mode).with_k(5);
+            prop_assert_eq!(
+                sys.query().range(&lo, &hi, &opts),
+                reopened.query().range(&lo, &hi, &opts)
+            );
+            prop_assert_eq!(
+                sys.query().topk(&v, &opts),
+                reopened.query().topk(&v, &opts)
+            );
+            let (s1, o1) = sys.query().topk_scored(&v, &opts);
+            let (s2, o2) = reopened.query().topk_scored(&v, &opts);
+            prop_assert_eq!(o1, o2);
+            prop_assert_eq!(s1.len(), s2.len());
+            for (a, b) in s1.iter().zip(&s2) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert!(a.1.to_bits() == b.1.to_bits());
+            }
+        }
+        prop_assert_eq!(sys.query().point(&f.name), reopened.query().point(&f.name));
+        prop_assert_eq!(sys.query().point("ghost"), reopened.query().point("ghost"));
+    }
+
+    /// The flat (SoA) partition entry points are bit-identical to the
+    /// slice-of-vectors forms over the same values.
+    #[test]
+    fn flat_partitions_match_vec_partitions(
+        n in 8usize..60,
+        n_parts in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n >= n_parts);
+        let files: Vec<FileMetadata> = (0..n as u64).map(|i| make_file(i, seed % 97)).collect();
+        let vectors: Vec<Vec<f64>> =
+            files.iter().map(|f| f.attr_vector().to_vec()).collect();
+        let table = smartstore_trace::attr_table(&files);
+        prop_assert_eq!(
+            partition_tiled(&vectors, n_parts, 3),
+            partition_tiled_flat(&table, ATTR_DIMS, n_parts, 3)
+        );
+        prop_assert_eq!(
+            partition_balanced(&vectors, n_parts, 3, seed),
+            partition_balanced_flat(&table, ATTR_DIMS, n_parts, 3, seed)
+        );
+    }
+}
+
+/// NaN query points must not panic the top-k path (the pre-columnar
+/// sort's `partial_cmp().unwrap()` did) — `total_cmp` gives them a
+/// deterministic order instead.
+#[test]
+fn topk_with_nan_point_does_not_panic() {
+    let files: Vec<FileMetadata> = (0..20u64).map(|i| make_file(i, 3)).collect();
+    let u = StorageUnit::new(0, 512, 5, files);
+    let mut q = [0.0; ATTR_DIMS];
+    q[2] = f64::NAN;
+    let (top, work) = u.topk_query(&q, 5);
+    assert_eq!(top.len(), 5);
+    assert_eq!(work.records, 20);
+}

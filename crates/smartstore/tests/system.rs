@@ -548,3 +548,51 @@ fn dirty_tracking_follows_the_change_stream() {
     sys.reconfigure();
     assert_eq!(sys.dirty_count(), 10);
 }
+
+#[test]
+fn bulk_removal_matches_change_stream_answers() {
+    // remove_files_bulk refreshes summaries eagerly while the change
+    // stream leaves them stale, but storage units are the source of
+    // truth either way: every query answer must agree.
+    let (mut bulk, pop) = system(1500, 15, 31);
+    let mut seq = SmartStoreSystem::from_parts(bulk.to_parts());
+    let ids: Vec<u64> = pop
+        .files
+        .iter()
+        .step_by(7)
+        .map(|f| f.file_id)
+        .chain([u64::MAX])
+        .collect();
+    let removed = bulk.remove_files_bulk(&ids);
+    assert_eq!(removed, ids.len() - 1, "unknown ids are ignored");
+    for id in &ids {
+        seq.apply_change(Change::Delete(*id));
+    }
+    for u in bulk.units() {
+        u.check_columnar_coherence().unwrap();
+    }
+    assert_eq!(
+        bulk.current_files().len(),
+        pop.files.len() - removed,
+        "ownership and stores agree on the survivor count"
+    );
+
+    let opts = QueryOptions::offline().with_k(8);
+    for f in pop.files.iter().step_by(97) {
+        let v = f.attr_vector();
+        let lo: Vec<f64> = v.iter().map(|x| x - 0.5).collect();
+        let hi: Vec<f64> = v.iter().map(|x| x + 0.5).collect();
+        assert_eq!(
+            bulk.query().range(&lo, &hi, &opts).file_ids,
+            seq.query().range(&lo, &hi, &opts).file_ids
+        );
+        assert_eq!(
+            bulk.query().topk(&v, &opts).file_ids,
+            seq.query().topk(&v, &opts).file_ids
+        );
+        assert_eq!(
+            bulk.query().point(&f.name).file_ids,
+            seq.query().point(&f.name).file_ids
+        );
+    }
+}

@@ -34,7 +34,7 @@ pub mod scaleup;
 pub mod workloads;
 
 pub use generator::{GeneratorConfig, MetadataPopulation};
-pub use metadata::{AttributeKind, FileMetadata, ATTR_DIMS};
+pub use metadata::{attr_subset_table, attr_table, AttributeKind, FileMetadata, ATTR_DIMS};
 pub use query_gen::{PointQuery, QueryDistribution, QueryWorkload, RangeQuery, TopKQuery};
 pub use requests::{OpKind, Request, RequestGenConfig, RequestStream};
 pub use scaleup::{scale_up, ScaledTrace};

@@ -132,9 +132,41 @@ impl FileMetadata {
     /// configuration of §2.4, which builds R-trees over attribute
     /// subsets).
     pub fn attr_subset(&self, dims: &[AttributeKind]) -> Vec<f64> {
-        let full = self.attr_vector();
-        dims.iter().map(|&k| full[k.index()]).collect()
+        let mut out = Vec::with_capacity(dims.len());
+        self.attr_subset_into(dims, &mut out);
+        out
     }
+
+    /// Appends the subset projection to `out` — the allocation-free
+    /// form of [`Self::attr_subset`] for building whole-population
+    /// tables (see [`attr_subset_table`]).
+    pub fn attr_subset_into(&self, dims: &[AttributeKind], out: &mut Vec<f64>) {
+        let full = self.attr_vector();
+        out.extend(dims.iter().map(|&k| full[k.index()]));
+    }
+}
+
+/// Flat row-major `files.len() × dims.len()` subset-projection table:
+/// one allocation for the whole population instead of a `Vec` per
+/// record. This is the SoA shape the LSI/placement pipeline consumes
+/// (`Lsi::fit_flat`, `partition_tiled_flat`).
+pub fn attr_subset_table(files: &[FileMetadata], dims: &[AttributeKind]) -> Vec<f64> {
+    let mut table = Vec::with_capacity(files.len() * dims.len());
+    for f in files {
+        f.attr_subset_into(dims, &mut table);
+    }
+    table
+}
+
+/// Flat row-major `files.len() × ATTR_DIMS` full-projection table
+/// (the [`attr_subset_table`] of all dimensions, skipping the subset
+/// indirection).
+pub fn attr_table(files: &[FileMetadata]) -> Vec<f64> {
+    let mut table = Vec::with_capacity(files.len() * ATTR_DIMS);
+    for f in files {
+        table.extend_from_slice(&f.attr_vector());
+    }
+    table
 }
 
 #[cfg(test)]
@@ -188,6 +220,28 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!((s[0] - 250.0 / 3600.0).abs() < 1e-12);
         assert_eq!(s[1], m.attr(AttributeKind::Size));
+    }
+
+    #[test]
+    fn flat_tables_match_per_record_projections() {
+        let files = vec![sample(), {
+            let mut f = sample();
+            f.file_id = 43;
+            f.size = 12;
+            f.proc_id = 5;
+            f
+        }];
+        let dims = [AttributeKind::Size, AttributeKind::ProcessId];
+        let table = attr_subset_table(&files, &dims);
+        assert_eq!(table.len(), files.len() * dims.len());
+        for (row, f) in table.chunks_exact(dims.len()).zip(&files) {
+            assert_eq!(row, f.attr_subset(&dims).as_slice());
+        }
+        let full = attr_table(&files);
+        assert_eq!(full.len(), files.len() * ATTR_DIMS);
+        for (row, f) in full.chunks_exact(ATTR_DIMS).zip(&files) {
+            assert_eq!(row, f.attr_vector().as_slice());
+        }
     }
 
     #[test]

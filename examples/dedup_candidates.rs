@@ -50,7 +50,7 @@ fn main() {
         40 * 3
     );
 
-    let sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 21);
+    let mut sys = SmartStoreSystem::build(pop.files.clone(), 50, SmartStoreConfig::default(), 21);
 
     // For each master, shortlist its k nearest files — duplicates have
     // near-identical attributes, so they should dominate the shortlist.
@@ -79,4 +79,30 @@ fn main() {
         "brute force would compare each master against all {} files",
         pop.files.len()
     );
+
+    // Purge every confirmed duplicate in one admin sweep: the bulk path
+    // compacts each affected unit once and republishes fresh summaries,
+    // instead of paying a per-file removal + recompute 120 times.
+    let all_copies: Vec<u64> = copies_of.iter().flat_map(|(_, c)| c.clone()).collect();
+    let purged = sys.remove_files_bulk(&all_copies);
+    println!("purged {purged} duplicate copies in one bulk sweep");
+    assert_eq!(purged, total_copies);
+    for (_, copies) in &copies_of {
+        for c in copies {
+            let name = &by_id[c].name;
+            assert!(
+                sys.query().point(name).file_ids.is_empty(),
+                "purged copy {name} must be gone"
+            );
+        }
+    }
+    for master in &masters {
+        let name = &by_id[master].name;
+        assert_eq!(
+            sys.query().point(name).file_ids,
+            vec![*master],
+            "masters must survive the purge"
+        );
+    }
+    println!("masters intact, copies gone — dedup sweep complete");
 }
