@@ -344,7 +344,12 @@ fn bench_persistence(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            smartstore_persist::write_snapshot(&parts, &d.join(format!("s{i}.snap"))).unwrap()
+            smartstore_persist::write_snapshot(
+                &smartstore_persist::RealVfs,
+                &parts,
+                &d.join(format!("s{i}.snap")),
+            )
+            .unwrap()
         })
     });
     g.bench_function("open_from_dir_cold_start", |b| {

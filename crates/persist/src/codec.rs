@@ -228,20 +228,27 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
+    fn take_array<const N: usize>(&mut self) -> DecResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     pub fn u8(&mut self) -> DecResult<u8> {
         Ok(self.take(1)?[0])
     }
 
     pub fn u16(&mut self) -> DecResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     pub fn u32(&mut self) -> DecResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub fn u64(&mut self) -> DecResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub fn usize(&mut self) -> DecResult<usize> {
@@ -339,8 +346,8 @@ pub fn get_record(data: &[u8], pos: usize) -> std::result::Result<(&[u8], usize)
             reason: "torn record header".into(),
         });
     }
-    let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+    let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]) as usize;
+    let crc = u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
     if len > MAX_RECORD_BYTES {
         return Err(FrameError::Torn {
             offset: pos,
@@ -750,6 +757,7 @@ pub fn get_config(d: &mut Dec, version: u16) -> DecResult<SmartStoreConfig> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

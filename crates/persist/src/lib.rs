@@ -13,18 +13,30 @@
 //! * [`snapshot`] — all-or-nothing point-in-time images of a whole
 //!   [`SmartStoreSystem`], written atomically (temp file + `fsync` +
 //!   rename);
-//! * [`wal`] — the append-only change log with group-tagged frames,
-//!   batched `fsync` (group commit), and torn-tail-tolerant replay
-//!   (scan to the first bad checksum, truncate the rest);
+//! * [`wal`] — the append-only change log with group-tagged frames, a
+//!   self-describing header (format version + predecessor frame count,
+//!   the cross-segment gap detector), batched `fsync` (group commit),
+//!   and torn-tail-tolerant replay (scan to the first bad checksum,
+//!   salvage the verified prefix, quarantine the rest to a side file);
+//! * [`vfs`] — the filesystem abstraction everything above runs on:
+//!   [`vfs::RealVfs`] in production, the deterministic fault-injecting
+//!   [`vfs::FaultVfs`] under the crash-recovery torture harness;
 //! * [`store`] — [`PersistentStore`]: manifest + snapshot chain +
 //!   active WAL; **crash recovery** is `open` = load the base snapshot,
 //!   fold the delta chain, replay surviving WAL frames through the
-//!   system's own deterministic [`SmartStoreSystem::apply_change`], and
-//!   **compaction** is incremental: per-unit dirty tracking lets it
-//!   write cheap *differential* generations (only the churn footprint
-//!   re-encodes) with the expensive encode off the write path, falling
-//!   back to a full rewrite when the chain outgrows
-//!   `persist.max_delta_chain`.
+//!   system's own deterministic [`SmartStoreSystem::apply_change`]
+//!   (returning a [`RecoveryReport`] of generations folded, frames
+//!   replayed, and bytes quarantined), and **compaction** is
+//!   incremental: per-unit dirty tracking lets it write cheap
+//!   *differential* generations (only the churn footprint re-encodes)
+//!   with the expensive encode off the write path, falling back to a
+//!   full rewrite when the chain outgrows `persist.max_delta_chain`.
+//!
+//! The recovery invariant the torture harness
+//! (`crates/persist/tests/torture.rs`) enforces at every injectable
+//! fault point: `open` never panics, and yields either a system
+//! bit-identical to some prefix of the acknowledged change stream or a
+//! typed [`PersistError`].
 //!
 //! The [`SystemPersist`] extension trait stitches it onto
 //! [`SmartStoreSystem`]:
@@ -46,6 +58,7 @@ pub mod codec;
 pub mod error;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use error::{PersistError, Result};
@@ -55,12 +68,14 @@ pub use snapshot::{
 pub use store::{
     CompactionOutcome, DeltaCompaction, EncodedDelta, PersistentStore, RecoveryReport, StoreOptions,
 };
-pub use wal::{WalFrame, WalReplay, WalWriter};
+pub use vfs::{CrashTail, FaultKind, FaultPlan, FaultVfs, RealVfs, Vfs, VfsFile};
+pub use wal::{WalFrame, WalProbe, WalReplay, WalWriter};
 
 use smartstore::tree::NodeId;
 use smartstore::versioning::Change;
 use smartstore::SmartStoreSystem;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Durable-persistence methods grafted onto [`SmartStoreSystem`].
 ///
@@ -73,10 +88,25 @@ pub trait SystemPersist: Sized {
     /// everything.
     fn save_snapshot(&mut self, dir: &Path) -> Result<(PersistentStore, SnapshotStats)>;
 
+    /// [`Self::save_snapshot`] over an explicit [`Vfs`] — the
+    /// injectable entry point the torture harness drives.
+    fn save_snapshot_with(
+        &mut self,
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<(PersistentStore, SnapshotStats)>;
+
     /// Crash recovery: reassembles the system from `dir`'s snapshot
     /// chain (base + differential generations) plus its write-ahead
-    /// log (a torn tail is truncated).
+    /// log (a torn or corrupt tail is salvaged prefix-first, with the
+    /// unverifiable bytes quarantined to a side file).
     fn open_from_dir(dir: &Path) -> Result<(Self, PersistentStore, RecoveryReport)>;
+
+    /// [`Self::open_from_dir`] over an explicit [`Vfs`].
+    fn open_from_dir_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<(Self, PersistentStore, RecoveryReport)>;
 
     /// Applies one change with write-ahead durability: the frame is
     /// appended (and group-tagged) *before* the in-memory mutation, and
@@ -96,8 +126,23 @@ impl SystemPersist for SmartStoreSystem {
         PersistentStore::create(dir, self)
     }
 
+    fn save_snapshot_with(
+        &mut self,
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<(PersistentStore, SnapshotStats)> {
+        PersistentStore::create_with(vfs, dir, self)
+    }
+
     fn open_from_dir(dir: &Path) -> Result<(Self, PersistentStore, RecoveryReport)> {
         PersistentStore::open(dir)
+    }
+
+    fn open_from_dir_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<(Self, PersistentStore, RecoveryReport)> {
+        PersistentStore::open_with(vfs, dir)
     }
 
     fn apply_journaled(
@@ -118,6 +163,7 @@ impl SystemPersist for SmartStoreSystem {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use smartstore::SmartStoreConfig;
@@ -433,22 +479,30 @@ mod tests {
         let (store, _) = sys.save_snapshot(&dir).unwrap();
         drop(store);
         // A crashed compaction can leave temp files and an unreferenced
-        // next generation behind.
+        // next generation behind. The garbage *WAL* successor is the
+        // one artifact that is preserved rather than deleted: it is not
+        // a truncated creation, so it may hold acknowledged frames, and
+        // recovery moves it to quarantine instead of destroying it.
         std::fs::write(dir.join("snapshot-00000099.tmp"), b"junk").unwrap();
         std::fs::write(dir.join("MANIFEST.tmp"), b"junk").unwrap();
         std::fs::write(dir.join("snapshot-00000002.snap"), b"junk").unwrap();
         std::fs::write(dir.join("wal-00000002.log"), b"junk").unwrap();
         let (_sys2, _store2, report) = SmartStoreSystem::open_from_dir(&dir).unwrap();
         assert_eq!(report.generation, 1, "manifest still points at gen 1");
+        assert_eq!(report.quarantined_bytes, 4, "the junk WAL moved aside");
         let names: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
         assert!(
-            !names
-                .iter()
-                .any(|n| n.ends_with(".tmp") || n.contains("00000002")),
+            !names.iter().any(|n| {
+                n.ends_with(".tmp") || n.contains("snapshot-00000002") || n == "wal-00000002.log"
+            }),
             "orphans not swept: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n == "wal-00000002.log.quarantine"),
+            "garbage segment should be quarantined, not deleted: {names:?}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

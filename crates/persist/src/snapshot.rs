@@ -36,13 +36,12 @@
 
 use crate::codec::{self, Dec, Enc, FrameError};
 use crate::error::{PersistError, Result};
+use crate::vfs::Vfs;
 use rayon::prelude::*;
 use smartstore::system::{DeltaParts, SystemParts};
 use smartstore::tree::NodeId;
 use smartstore::unit::StorageUnit;
 use smartstore::versioning::VersionStore;
-use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Magic prefix of snapshot files (7 bytes + 1 reserved).
@@ -242,41 +241,39 @@ pub fn encode_delta(delta: &DeltaParts) -> (Vec<u8>, DeltaStats) {
 
 /// Writes `bytes` to `path` atomically: temp file in the same
 /// directory, `fsync`, rename over the target, `fsync` the directory.
-fn write_atomic(bytes: &[u8], path: &Path) -> Result<()> {
+fn write_atomic(vfs: &dyn Vfs, bytes: &[u8], path: &Path) -> Result<()> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     let tmp = path.with_extension("tmp");
     {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        let mut f = vfs.create(&tmp)?;
+        f.write_all_at(0, bytes)?;
+        f.sync()?;
     }
-    fs::rename(&tmp, path)?;
-    if let Ok(d) = fs::File::open(dir) {
-        // Directory fsync makes the rename durable; best-effort on
-        // filesystems that reject directory syncs.
-        let _ = d.sync_all();
-    }
+    vfs.rename(&tmp, path)?;
+    // Directory fsync makes the rename durable; best-effort on
+    // filesystems that reject directory syncs.
+    vfs.sync_dir(dir)?;
     Ok(())
 }
 
 /// Writes `parts` to `path` atomically.
-pub fn write_snapshot(parts: &SystemParts, path: &Path) -> Result<SnapshotStats> {
+pub fn write_snapshot(vfs: &dyn Vfs, parts: &SystemParts, path: &Path) -> Result<SnapshotStats> {
     let (bytes, stats) = encode_snapshot(parts);
-    write_atomic(&bytes, path)?;
+    write_atomic(vfs, &bytes, path)?;
     Ok(stats)
 }
 
 /// Writes pre-encoded artifact bytes (from [`encode_delta`] or
 /// [`encode_snapshot`]) to `path` atomically — the install half of a
 /// two-phase compaction whose encode half ran off the write path.
-pub fn write_encoded(bytes: &[u8], path: &Path) -> Result<()> {
-    write_atomic(bytes, path)
+pub fn write_encoded(vfs: &dyn Vfs, bytes: &[u8], path: &Path) -> Result<()> {
+    write_atomic(vfs, bytes, path)
 }
 
 /// Writes a differential cut to `path` atomically.
-pub fn write_delta(delta: &DeltaParts, path: &Path) -> Result<DeltaStats> {
+pub fn write_delta(vfs: &dyn Vfs, delta: &DeltaParts, path: &Path) -> Result<DeltaStats> {
     let (bytes, stats) = encode_delta(delta);
-    write_atomic(&bytes, path)?;
+    write_atomic(vfs, &bytes, path)?;
     Ok(stats)
 }
 
@@ -295,7 +292,7 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
     if bytes.len() < 10 || &bytes[..8] != SNAPSHOT_MAGIC {
         return Err(corrupt(path, 0, "bad snapshot magic"));
     }
-    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
     if version > codec::FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
@@ -466,8 +463,8 @@ fn get_index_sections(bytes: &[u8], pos: &mut usize, path: &Path) -> Result<Inde
 }
 
 /// Loads a snapshot file.
-pub fn load_snapshot(path: &Path) -> Result<SystemParts> {
-    let bytes = fs::read(path)?;
+pub fn load_snapshot(vfs: &dyn Vfs, path: &Path) -> Result<SystemParts> {
+    let bytes = vfs.read(path)?;
     decode_snapshot(&bytes, path)
 }
 
@@ -499,7 +496,7 @@ pub fn decode_delta(bytes: &[u8], path: &Path) -> Result<DeltaParts> {
     if bytes.len() < 10 || &bytes[..8] != DELTA_MAGIC {
         return Err(corrupt(path, 0, "bad delta magic"));
     }
-    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
     if version > codec::FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
@@ -585,8 +582,8 @@ pub fn decode_delta(bytes: &[u8], path: &Path) -> Result<DeltaParts> {
 }
 
 /// Loads a delta file.
-pub fn load_delta(path: &Path) -> Result<DeltaParts> {
-    let bytes = fs::read(path)?;
+pub fn load_delta(vfs: &dyn Vfs, path: &Path) -> Result<DeltaParts> {
+    let bytes = vfs.read(path)?;
     decode_delta(&bytes, path)
 }
 

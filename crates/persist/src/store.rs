@@ -9,15 +9,25 @@
 //! delta-<gen>.snap      — differential generation: only the units
 //!                         dirtied since the previous generation
 //! wal-<gen>.log         — changes applied since generation <gen>
+//! wal-<gen>.log.quarantine — salvaged bytes of a corrupt segment/tail
 //! ```
 //!
 //! *Crash recovery* (`PersistentStore::open`) = read the manifest, load
 //! the base snapshot, fold the delta chain in order
 //! ([`snapshot::fold_delta`]), then replay the WAL segments from the
-//! chain end onward (dropping a torn tail) through
-//! [`SmartStoreSystem::apply_change`] — the same deterministic code
-//! path the live system took, so the recovered state matches the
-//! pre-crash state exactly up to the last durable frame.
+//! chain end onward through [`SmartStoreSystem::apply_change`] — the
+//! same deterministic code path the live system took, so the recovered
+//! state matches the pre-crash state exactly up to the last durable
+//! frame. Recovery never destroys bytes it cannot verify: a torn or
+//! corrupt tail is *salvaged prefix-first* — the verified frames
+//! replay, the unverifiable remainder moves to a `.quarantine` side
+//! file (reported in [`RecoveryReport::quarantined_bytes`]) — and a
+//! successor segment whose header's `prev_frames` disagrees with what
+//! its predecessor actually replayed (the signature of an `fsync` that
+//! lied) is quarantined whole rather than replayed into a
+//! non-prefix state. Transient read corruption is distinguished from
+//! damage on the platter by re-reading once before anything
+//! destructive happens.
 //!
 //! *Compaction* is **incremental and off the write path**: a cut
 //! ([`PersistentStore::begin_delta_compaction`]) seals the current WAL,
@@ -37,18 +47,22 @@
 //! crash at *any* step boundary leaves a recoverable directory: the
 //! manifest always points at a complete chain, and un-flipped deltas /
 //! superseded WAL segments are swept as orphans on the next open.
+//!
+//! All I/O goes through a [`Vfs`] handle; production entry points use
+//! [`RealVfs`](crate::vfs::RealVfs), the torture harness substitutes
+//! [`FaultVfs`](crate::vfs::FaultVfs).
 
 use crate::codec::{self, Dec, Enc, FrameError};
 use crate::error::{PersistError, Result};
 use crate::snapshot::{self, DeltaStats, SnapshotStats};
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{self, WalWriter};
 use smartstore::system::{DeltaParts, Journal};
 use smartstore::tree::NodeId;
 use smartstore::versioning::Change;
 use smartstore::SmartStoreSystem;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic prefix of the manifest file.
 pub const MANIFEST_MAGIC: &[u8; 8] = b"SSMANI\x00\x00";
@@ -70,8 +84,13 @@ pub struct RecoveryReport {
     pub replayed_frames: usize,
     /// WAL segments replayed (more than one after a crash mid-cut).
     pub wal_segments: usize,
-    /// Bytes of torn WAL tail dropped (0 for a clean shutdown).
+    /// Bytes of torn WAL tail dropped from the live log (0 for a clean
+    /// shutdown).
     pub dropped_tail_bytes: u64,
+    /// Bytes preserved in `.quarantine` side files: torn tails plus
+    /// whole segments that could not be applied (corrupt header, or a
+    /// predecessor that lost frames to a lying fsync).
+    pub quarantined_bytes: u64,
 }
 
 /// Durability/compaction tunables, normally taken from
@@ -183,6 +202,7 @@ impl EncodedDelta {
 /// straight to [`SmartStoreSystem::apply_change_journaled`].
 #[derive(Debug)]
 pub struct PersistentStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     /// Base (full-image) generation of the chain.
     base_generation: u64,
@@ -221,7 +241,7 @@ fn wal_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("wal-{generation:08}.log"))
 }
 
-fn write_manifest(dir: &Path, base: u64, deltas: &[u64]) -> Result<()> {
+fn write_manifest(vfs: &dyn Vfs, dir: &Path, base: u64, deltas: &[u64]) -> Result<()> {
     let mut payload = Enc::new();
     payload.u16(codec::FORMAT_VERSION);
     payload.u64(base);
@@ -234,22 +254,20 @@ fn write_manifest(dir: &Path, base: u64, deltas: &[u64]) -> Result<()> {
     codec::put_record(&mut bytes, &payload.into_bytes());
     let tmp = dir.join("MANIFEST.tmp");
     {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
+        let mut f = vfs.create(&tmp)?;
+        f.write_all_at(0, &bytes)?;
+        f.sync()?;
     }
-    fs::rename(&tmp, dir.join(MANIFEST))?;
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+    vfs.rename(&tmp, &dir.join(MANIFEST))?;
+    vfs.sync_dir(dir)?;
     Ok(())
 }
 
 /// Reads the manifest: `(base generation, delta chain)`. v1 manifests
 /// (pre-differential) carry a single generation and an empty chain.
-fn read_manifest(dir: &Path) -> Result<(u64, Vec<u64>)> {
+fn read_manifest(vfs: &dyn Vfs, dir: &Path) -> Result<(u64, Vec<u64>)> {
     let path = dir.join(MANIFEST);
-    let bytes = match fs::read(&path) {
+    let bytes = match vfs.read(&path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Err(PersistError::NotFound(dir.to_path_buf()));
@@ -295,21 +313,98 @@ fn read_manifest(dir: &Path) -> Result<(u64, Vec<u64>)> {
     Ok((base, deltas))
 }
 
+/// Runs a fallible read-side step, retrying once on [`PersistError::Corrupt`].
+/// Corruption seen on a read can be transient (a bit flipped on the
+/// wire, not on the platter); re-reading distinguishes the two, and
+/// recovery must not take destructive action — truncation, quarantine —
+/// on evidence a second read contradicts.
+fn retry_corrupt<T>(mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    match f() {
+        Err(PersistError::Corrupt { .. }) => f(),
+        other => other,
+    }
+}
+
+/// [`wal::replay`] with the transient-corruption retry: a scan that
+/// errored or stopped early is re-run once, and the second scan is
+/// believed.
+fn replay_settled(vfs: &dyn Vfs, path: &Path) -> Result<wal::WalReplay> {
+    match wal::replay(vfs, path) {
+        Ok(r) if r.torn.is_none() => Ok(r),
+        _ => wal::replay(vfs, path),
+    }
+}
+
+/// [`wal::probe`] with the transient-corruption retry.
+fn probe_settled(vfs: &dyn Vfs, path: &Path) -> Result<wal::WalProbe> {
+    match wal::probe(vfs, path) {
+        Ok(wal::WalProbe::Garbage) | Err(PersistError::Corrupt { .. }) => wal::probe(vfs, path),
+        other => other,
+    }
+}
+
+/// Moves every WAL segment from generation `from` upward into
+/// quarantine: their frames were journaled after a hole in the history
+/// (a torn predecessor, or one that lost frames to a lying fsync), so
+/// replaying them would reconstruct a state matching no prefix of the
+/// change stream. Segments that never finished creation hold no
+/// acknowledged frames and are simply removed. Best-effort; returns the
+/// bytes preserved.
+fn quarantine_successors(vfs: &dyn Vfs, dir: &Path, from: u64) -> u64 {
+    let mut total = 0u64;
+    let mut g = from;
+    loop {
+        let p = wal_path(dir, g);
+        if !matches!(vfs.exists(&p), Ok(true)) {
+            break;
+        }
+        if matches!(wal::probe(vfs, &p), Ok(wal::WalProbe::CreationArtifact)) {
+            let _ = vfs.remove_file(&p);
+        } else {
+            match wal::quarantine_file(vfs, &p) {
+                Ok(n) => total += n,
+                Err(_) => break,
+            }
+        }
+        g += 1;
+    }
+    total
+}
+
 impl PersistentStore {
     /// Creates a new store at `dir` (made if missing) holding a full
     /// snapshot of `system` as generation 1 with an empty WAL, and
     /// resets the system's dirty tracking — disk and memory now agree.
     /// Durability options come from `system.cfg.persist`.
     pub fn create(dir: &Path, system: &mut SmartStoreSystem) -> Result<(Self, SnapshotStats)> {
-        fs::create_dir_all(dir)?;
+        Self::create_with(RealVfs::handle(), dir, system)
+    }
+
+    /// [`Self::create`] over an explicit [`Vfs`].
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        system: &mut SmartStoreSystem,
+    ) -> Result<(Self, SnapshotStats)> {
+        vfs.create_dir_all(dir)?;
         let opts = StoreOptions::from(&system.cfg.persist);
         let generation = 1;
-        let stats = snapshot::write_snapshot(&system.to_parts(), &snapshot_path(dir, generation))?;
-        let wal = WalWriter::create(&wal_path(dir, generation), opts.wal_sync_every)?;
-        write_manifest(dir, generation, &[])?;
+        let stats = snapshot::write_snapshot(
+            vfs.as_ref(),
+            &system.to_parts(),
+            &snapshot_path(dir, generation),
+        )?;
+        let wal = WalWriter::create(
+            vfs.as_ref(),
+            &wal_path(dir, generation),
+            opts.wal_sync_every,
+            0,
+        )?;
+        write_manifest(vfs.as_ref(), dir, generation, &[])?;
         system.clear_dirty();
         Ok((
             Self {
+                vfs,
                 dir: dir.to_path_buf(),
                 base_generation: generation,
                 deltas: Vec::new(),
@@ -326,83 +421,105 @@ impl PersistentStore {
 
     /// Opens an existing store: loads the manifest's base snapshot,
     /// folds the delta chain, replays the WAL segments from the chain
-    /// end onward (discarding a torn tail), and returns the recovered
-    /// system together with the store handle positioned to keep
-    /// appending. The recovered system's dirty set is exactly the
-    /// replayed footprint — the units the next delta must re-encode.
+    /// end onward (salvaging and quarantining anything unverifiable),
+    /// and returns the recovered system together with the store handle
+    /// positioned to keep appending. The recovered system's dirty set
+    /// is exactly the replayed footprint — the units the next delta
+    /// must re-encode.
     pub fn open(dir: &Path) -> Result<(SmartStoreSystem, Self, RecoveryReport)> {
-        let (base, deltas) = read_manifest(dir)?;
+        Self::open_with(RealVfs::handle(), dir)
+    }
+
+    /// [`Self::open`] over an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<(SmartStoreSystem, Self, RecoveryReport)> {
+        let v = vfs.as_ref();
+        let (base, deltas) = retry_corrupt(|| read_manifest(v, dir))?;
         let snap_path = snapshot_path(dir, base);
-        let mut parts = snapshot::load_snapshot(&snap_path)?;
-        let mut snapshot_bytes = fs::metadata(&snap_path)?.len();
+        let mut parts = retry_corrupt(|| snapshot::load_snapshot(v, &snap_path))?;
+        let mut snapshot_bytes = v.file_len(&snap_path)?;
         for &g in &deltas {
             let dpath = delta_path(dir, g);
-            let delta = snapshot::load_delta(&dpath)?;
-            snapshot_bytes += fs::metadata(&dpath)?.len();
+            let delta = retry_corrupt(|| snapshot::load_delta(v, &dpath))?;
+            snapshot_bytes += v.file_len(&dpath)?;
             snapshot::fold_delta(&mut parts, delta, &dpath)?;
         }
         let chain_end = deltas.last().copied().unwrap_or(base);
         let mut system = SmartStoreSystem::from_parts(parts);
         let opts = StoreOptions::from(&system.cfg.persist);
 
-        // Replay the chain-end segment plus any contiguous successor
-        // segments (a crash between a compaction cut and its install
-        // leaves the sealed old segment *and* the fresh one live). A
-        // missing chain-end WAL is recoverable: the folded chain alone
-        // is a consistent state (a crash can land between the manifest
-        // flip and the new log's directory entry reaching disk).
+        let mut quarantined_bytes = 0u64;
+        // The chain-end segment. The folded chain alone is a consistent
+        // state, so a segment that never finished creation (missing
+        // file, header truncated by a crash during `create`) is
+        // recreated empty — no frame of it was ever acknowledged. A
+        // segment whose header is *damaged* rather than truncated has
+        // no replayable prefix at all: the whole file moves to
+        // quarantine (with any successors, which cannot be applied past
+        // the hole) before a fresh segment takes its place.
         let first = wal_path(dir, chain_end);
-        if !first.exists() {
-            WalWriter::create(&first, opts.wal_sync_every)?;
+        match probe_settled(v, &first)? {
+            wal::WalProbe::Valid { .. } => {}
+            wal::WalProbe::CreationArtifact => {
+                WalWriter::create(v, &first, opts.wal_sync_every, 0)?;
+            }
+            wal::WalProbe::Garbage => {
+                quarantined_bytes += wal::quarantine_file(v, &first)?;
+                quarantined_bytes += quarantine_successors(v, dir, chain_end + 1);
+                WalWriter::create(v, &first, opts.wal_sync_every, 0)?;
+            }
         }
+
         let mut active = chain_end;
+        let mut active_replay = replay_settled(v, &first)?;
         let mut replayed_frames = 0usize;
-        let mut wal_segments = 0usize;
+        let mut wal_segments = 1usize;
         let mut dropped_tail_bytes = 0u64;
-        // Replay of the segment the store will keep appending to; set
-        // on every successfully replayed segment, so it is always the
-        // previous segment's replay when a successor turns out to be a
-        // creation artifact.
-        let mut active_replay: Option<wal::WalReplay> = None;
         loop {
-            let wpath = wal_path(dir, active);
-            // A *successor* segment whose header never made it to disk
-            // (empty or truncated magic from a crash during segment
-            // creation) is a creation artifact; the history simply
-            // ends at the previous segment. Anything else — an I/O
-            // failure, or the chain-end segment itself not parsing —
-            // is a real error: the segment may hold acknowledged
-            // frames, and silently dropping it (the sweep would delete
-            // it) would destroy them.
-            if active != chain_end && !wal::has_valid_magic(&wpath)? {
-                active -= 1;
-                break;
-            }
-            let replayed = wal::replay(&wpath)?;
-            wal_segments += 1;
-            if let Some(_torn) = &replayed.torn {
-                dropped_tail_bytes += fs::metadata(&wpath)?
-                    .len()
-                    .saturating_sub(replayed.good_bytes);
-                wal::truncate_to_good(&wpath, &replayed)?;
-            }
-            for frame in &replayed.frames {
+            for frame in &active_replay.frames {
                 system.apply_change(frame.change.clone());
             }
-            replayed_frames += replayed.frames.len();
-            // A torn segment ends the history: anything in a later
-            // segment was journaled after frames this one lost, so it
-            // must not be replayed on top of the truncated state.
-            let torn = replayed.torn.is_some();
-            active_replay = Some(replayed);
-            if torn || !wal_path(dir, active + 1).exists() {
+            replayed_frames += active_replay.frames.len();
+            let wpath = wal_path(dir, active);
+            if active_replay.torn.is_some() {
+                // Salvage prefix-first: the verified frames just
+                // replayed, the unverifiable tail moves aside. A torn
+                // segment ends the history — anything journaled in a
+                // later segment came after frames this one lost.
+                dropped_tail_bytes += v.file_len(&wpath)?.saturating_sub(active_replay.good_bytes);
+                quarantined_bytes += wal::quarantine_tail(v, &wpath, &active_replay)?;
+                quarantined_bytes += quarantine_successors(v, dir, active + 1);
                 break;
             }
-            active += 1;
+            // A crash between a compaction cut and its install leaves
+            // the sealed old segment *and* the fresh one live; walk the
+            // contiguous run. The successor's header records how many
+            // frames its predecessor held at the seal — a mismatch
+            // means the predecessor lost durable frames afterwards (an
+            // fsync that lied), and replaying the successor on top
+            // would fabricate a state matching no prefix.
+            let next_path = wal_path(dir, active + 1);
+            match probe_settled(v, &next_path)? {
+                wal::WalProbe::CreationArtifact => break,
+                wal::WalProbe::Garbage => {
+                    quarantined_bytes += quarantine_successors(v, dir, active + 1);
+                    break;
+                }
+                wal::WalProbe::Valid { prev_frames }
+                    if prev_frames != active_replay.frames.len() as u64 =>
+                {
+                    quarantined_bytes += quarantine_successors(v, dir, active + 1);
+                    break;
+                }
+                wal::WalProbe::Valid { .. } => {
+                    active_replay = replay_settled(v, &next_path)?;
+                    active += 1;
+                    wal_segments += 1;
+                }
+            }
         }
-        // The chain-end segment always replays (hard error otherwise),
-        // so at least one iteration stored its replay.
-        let active_replay = active_replay.expect("chain-end WAL segment was replayed");
         let report = RecoveryReport {
             generation: chain_end,
             base_generation: base,
@@ -411,12 +528,19 @@ impl PersistentStore {
             replayed_frames,
             wal_segments,
             dropped_tail_bytes,
+            quarantined_bytes,
         };
-        let wal = WalWriter::open_end(&wal_path(dir, active), opts.wal_sync_every, &active_replay)?;
-        sweep_orphans(dir, base, &deltas, chain_end, active);
+        let wal = WalWriter::open_end(
+            v,
+            &wal_path(dir, active),
+            opts.wal_sync_every,
+            &active_replay,
+        )?;
+        sweep_orphans(v, dir, base, &deltas, chain_end, active);
         Ok((
             system,
             Self {
+                vfs,
                 dir: dir.to_path_buf(),
                 base_generation: base,
                 deltas,
@@ -532,7 +656,15 @@ impl PersistentStore {
         // manifest can ever supersede them.
         self.wal.sync()?;
         let next = self.generation + 1;
-        let new_wal = WalWriter::create(&wal_path(&self.dir, next), self.opts.wal_sync_every)?;
+        let new_wal = WalWriter::create(
+            self.vfs.as_ref(),
+            &wal_path(&self.dir, next),
+            self.opts.wal_sync_every,
+            // The successor records the sealed segment's frame count so
+            // recovery can detect the sealed log shrinking afterwards
+            // (a lying fsync) instead of replaying across the gap.
+            self.wal.next_seq(),
+        )?;
         let view = system.to_delta_parts();
         system.clear_dirty();
         self.wal = new_wal;
@@ -549,7 +681,11 @@ impl PersistentStore {
     /// retires the superseded WAL segments. On failure the store is
     /// poisoned — the cut already cleared dirty tracking, so only a
     /// full compaction (which re-encodes everything) can guarantee a
-    /// complete next generation.
+    /// complete next generation — and the half-written artifacts are
+    /// removed immediately rather than stranded until the next open's
+    /// orphan sweep. (The next `open()` also heals this state on its
+    /// own: the manifest still names the old chain, and the sealed +
+    /// active segments replay every acknowledged change.)
     pub fn install_delta(&mut self, encoded: EncodedDelta) -> Result<DeltaStats> {
         if !self.cut_pending || encoded.next_gen != self.generation {
             return Err(PersistError::Io(std::io::Error::other(format!(
@@ -561,15 +697,26 @@ impl PersistentStore {
         let next = encoded.next_gen;
         let prev_end = self.chain_end();
         let install = (|| -> Result<()> {
-            snapshot::write_encoded(&encoded.bytes, &delta_path(&self.dir, next))?;
+            snapshot::write_encoded(
+                self.vfs.as_ref(),
+                &encoded.bytes,
+                &delta_path(&self.dir, next),
+            )?;
             let mut chain = self.deltas.clone();
             chain.push(next);
-            write_manifest(&self.dir, self.base_generation, &chain)?;
+            write_manifest(self.vfs.as_ref(), &self.dir, self.base_generation, &chain)?;
             self.deltas = chain;
             Ok(())
         })();
         if let Err(e) = install {
             self.poisoned = true;
+            // Nothing references these: the manifest was never flipped
+            // (or its tmp never renamed). Removing them now keeps the
+            // directory clean for however long this process lives.
+            let dpath = delta_path(&self.dir, next);
+            let _ = self.vfs.remove_file(&dpath.with_extension("tmp"));
+            let _ = self.vfs.remove_file(&dpath);
+            let _ = self.vfs.remove_file(&self.dir.join("MANIFEST.tmp"));
             return Err(e);
         }
         // A poison present here necessarily arose *after* the cut
@@ -582,7 +729,7 @@ impl PersistentStore {
         // Superseded segments are unreachable now; removal is
         // best-effort (the orphan sweep catches leftovers).
         for g in prev_end..next {
-            let _ = fs::remove_file(wal_path(&self.dir, g));
+            let _ = self.vfs.remove_file(&wal_path(&self.dir, g));
         }
         Ok(encoded.stats)
     }
@@ -602,9 +749,18 @@ impl PersistentStore {
         }
         let next = self.generation + 1;
         let prev_end = self.chain_end();
-        let stats = snapshot::write_snapshot(&system.to_parts(), &snapshot_path(&self.dir, next))?;
-        let new_wal = WalWriter::create(&wal_path(&self.dir, next), self.opts.wal_sync_every)?;
-        write_manifest(&self.dir, next, &[])?;
+        let stats = snapshot::write_snapshot(
+            self.vfs.as_ref(),
+            &system.to_parts(),
+            &snapshot_path(&self.dir, next),
+        )?;
+        let new_wal = WalWriter::create(
+            self.vfs.as_ref(),
+            &wal_path(&self.dir, next),
+            self.opts.wal_sync_every,
+            0,
+        )?;
+        write_manifest(self.vfs.as_ref(), &self.dir, next, &[])?;
         let old_base = self.base_generation;
         let old_deltas = std::mem::take(&mut self.deltas);
         self.wal = new_wal;
@@ -615,12 +771,12 @@ impl PersistentStore {
         self.journal_error = None;
         system.clear_dirty();
         // Old generations are unreachable now; removal is best-effort.
-        let _ = fs::remove_file(snapshot_path(&self.dir, old_base));
+        let _ = self.vfs.remove_file(&snapshot_path(&self.dir, old_base));
         for g in old_deltas {
-            let _ = fs::remove_file(delta_path(&self.dir, g));
+            let _ = self.vfs.remove_file(&delta_path(&self.dir, g));
         }
         for g in prev_end..next {
-            let _ = fs::remove_file(wal_path(&self.dir, g));
+            let _ = self.vfs.remove_file(&wal_path(&self.dir, g));
         }
         Ok(stats)
     }
@@ -660,6 +816,11 @@ impl PersistentStore {
         &self.dir
     }
 
+    /// The filesystem this store runs on.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
     /// The first error (if any) swallowed by the infallible [`Journal`]
     /// hook since the last call.
     pub fn take_journal_error(&mut self) -> Option<PersistError> {
@@ -682,24 +843,29 @@ impl Journal for PersistentStore {
 /// Best-effort cleanup of artifacts a crashed compaction can leave
 /// behind: `*.tmp` files, snapshot/delta files outside the manifest
 /// chain, and WAL segments outside the live `chain end ..= active`
-/// run. Never touches the manifest.
-fn sweep_orphans(dir: &Path, base: u64, deltas: &[u64], chain_end: u64, active: u64) {
-    let Ok(entries) = fs::read_dir(dir) else {
+/// run. Never touches the manifest or `.quarantine` side files.
+fn sweep_orphans(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    base: u64,
+    deltas: &[u64],
+    chain_end: u64,
+    active: u64,
+) {
+    let Ok(names) = vfs.list_dir(dir) else {
         return;
     };
     let keep: std::collections::HashSet<PathBuf> = std::iter::once(snapshot_path(dir, base))
         .chain(deltas.iter().map(|&g| delta_path(dir, g)))
         .chain((chain_end..=active).map(|g| wal_path(dir, g)))
         .collect();
-    for entry in entries.flatten() {
-        let p = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for name in names {
+        let p = dir.join(&name);
         let managed = (name.starts_with("snapshot-") && name.ends_with(".snap"))
             || (name.starts_with("delta-") && name.ends_with(".snap"))
             || (name.starts_with("wal-") && name.ends_with(".log"));
         if name.ends_with(".tmp") || (managed && !keep.contains(&p)) {
-            let _ = fs::remove_file(&p);
+            let _ = vfs.remove_file(&p);
         }
     }
 }

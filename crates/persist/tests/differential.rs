@@ -4,6 +4,8 @@
 //! the two-phase compaction (cut → encode → install) leaves a
 //! directory that recovers to exactly the live state.
 
+#![allow(clippy::disallowed_methods)]
+
 use proptest::prelude::*;
 use smartstore::versioning::Change;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};

@@ -3,6 +3,8 @@
 //! *identically* to the live system it mirrors, and a corrupted WAL
 //! tail must be dropped cleanly with everything before it recovered.
 
+#![allow(clippy::disallowed_methods)]
+
 use proptest::prelude::*;
 use smartstore::versioning::Change;
 use smartstore::QueryOptions;

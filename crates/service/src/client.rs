@@ -31,6 +31,33 @@ pub struct ClientStats {
     /// Simulated wire time of all batches (request + response legs)
     /// under the server's cost model.
     pub wire_ns: u64,
+    /// Retries taken after [`Response::Unavailable`] answers.
+    pub retries: u64,
+    /// Simulated exponential-backoff time accumulated across retries
+    /// (no real sleeping happens — the clock is as simulated as the
+    /// wire).
+    pub backoff_ns: u64,
+}
+
+/// Bounded retry-with-backoff for transient ([`Response::Unavailable`])
+/// shard failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included (so `1` disables
+    /// retries; `0` is treated as `1`).
+    pub max_attempts: u32,
+    /// Simulated backoff before retry `n` (1-based) is
+    /// `base_backoff_ns << (n - 1)`.
+    pub base_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_ns: 1_000_000, // 1 ms, doubling
+        }
+    }
 }
 
 /// A batching metadata-service client.
@@ -94,5 +121,31 @@ impl Client {
         self.enqueue(req);
         let mut out = self.flush(server)?;
         Ok(out.pop().expect("flush returns one response per request"))
+    }
+
+    /// [`Self::call`] with bounded retry-with-backoff: a
+    /// [`Response::Unavailable`] answer (shard quarantined mid-request,
+    /// fleet momentarily degraded) is retried up to
+    /// `policy.max_attempts` total attempts with exponentially growing
+    /// simulated backoff. Anything else — including hard
+    /// [`Response::Error`]s, which a retry cannot fix — returns
+    /// immediately. The last response is returned either way.
+    pub fn call_with_retry(
+        &mut self,
+        server: &mut MetadataServer,
+        req: Request,
+        policy: RetryPolicy,
+    ) -> WireResult<Response> {
+        let attempts = policy.max_attempts.max(1);
+        let mut resp = self.call(server, req.clone())?;
+        for n in 1..attempts {
+            if !resp.is_retryable() {
+                return Ok(resp);
+            }
+            self.stats.retries += 1;
+            self.stats.backoff_ns += policy.base_backoff_ns << (n - 1);
+            resp = self.call(server, req.clone())?;
+        }
+        Ok(resp)
     }
 }

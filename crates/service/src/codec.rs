@@ -9,7 +9,9 @@
 //! [`decode_request_batch`] stops at the first clean EOF and surfaces a
 //! torn record as a [`WireError`].
 
-use crate::protocol::{AppliedReply, QueryReply, Request, Response, StatsReply, TopKReply};
+use crate::protocol::{
+    AppliedReply, DegradedReply, QueryReply, Request, Response, StatsReply, TopKReply,
+};
 use smartstore::query::QueryOptions;
 use smartstore::routing::{QueryCost, RouteMode};
 use smartstore::system::SystemStats;
@@ -239,10 +241,24 @@ const RESP_TOPK: u8 = 1;
 const RESP_APPLIED: u8 = 2;
 const RESP_STATS: u8 = 3;
 const RESP_ERROR: u8 = 4;
+const RESP_DEGRADED: u8 = 5;
+const RESP_UNAVAILABLE: u8 = 6;
 
 /// Encodes one response payload (unframed).
 pub fn put_response(e: &mut Enc, r: &Response) {
     match r {
+        Response::Degraded(d) => {
+            e.u8(RESP_DEGRADED);
+            e.u32(d.missing_shards.len() as u32);
+            for &s in &d.missing_shards {
+                e.usize(s);
+            }
+            put_response(e, &d.partial);
+        }
+        Response::Unavailable(msg) => {
+            e.u8(RESP_UNAVAILABLE);
+            e.str(msg);
+        }
         Response::Query(q) => {
             e.u8(RESP_QUERY);
             put_ids(e, &q.file_ids);
@@ -278,8 +294,35 @@ pub fn put_response(e: &mut Enc, r: &Response) {
 
 /// Decodes one response payload (unframed).
 pub fn get_response(d: &mut Dec) -> DecResult<Response> {
+    get_response_at_depth(d, 0)
+}
+
+/// The server never nests degraded markers, so the decoder rejects a
+/// degraded payload inside another — without the bound, a crafted
+/// buffer of repeated tags would recurse once per byte and overflow
+/// the stack before any structural check fails.
+fn get_response_at_depth(d: &mut Dec, depth: usize) -> DecResult<Response> {
     let at = d.pos();
     match d.u8()? {
+        RESP_DEGRADED => {
+            if depth > 0 {
+                return Err(DecodeError::new_at(
+                    at,
+                    "nested degraded response".to_string(),
+                ));
+            }
+            let n = d.u32()? as usize;
+            let mut missing_shards = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                missing_shards.push(d.usize()?);
+            }
+            let partial = Box::new(get_response_at_depth(d, depth + 1)?);
+            Ok(Response::Degraded(DegradedReply {
+                partial,
+                missing_shards,
+            }))
+        }
+        RESP_UNAVAILABLE => Ok(Response::Unavailable(d.str()?)),
         RESP_QUERY => Ok(Response::Query(QueryReply {
             file_ids: get_ids(d)?,
             cost: get_cost(d)?,

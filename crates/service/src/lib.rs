@@ -34,13 +34,13 @@ pub mod codec;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientStats};
+pub use client::{Client, ClientStats, RetryPolicy};
 pub use codec::{WireError, WireResult};
 pub use protocol::{
-    merge_query_replies, merge_responses, merge_topk_replies, AppliedReply, QueryReply, Request,
-    Response, StatsReply, TopKReply,
+    merge_query_replies, merge_responses, merge_topk_replies, AppliedReply, DegradedReply,
+    QueryReply, Request, Response, StatsReply, TopKReply,
 };
-pub use server::{MetadataServer, Result, ServerConfig, ServiceError, ShardInfo};
+pub use server::{MetadataServer, Result, ServerConfig, ServiceError, ShardHealth, ShardInfo};
 
 // The options type is part of the request surface; re-export it so
 // protocol users need only this crate.

@@ -129,6 +129,22 @@ impl StatsReply {
     }
 }
 
+/// A partial answer served while part of the fleet is quarantined.
+///
+/// The inner response is the deterministic merge over the shards that
+/// *did* answer — bit-identical to what a deployment built from only
+/// those shards would return — and `missing_shards` names the
+/// quarantined shards whose files are absent, so a caller can tell a
+/// complete answer from a degraded one instead of mistaking data loss
+/// for a clean empty result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedReply {
+    /// The merged answer over the healthy shards.
+    pub partial: Box<Response>,
+    /// Quarantined shard ids excluded from the answer, ascending.
+    pub missing_shards: Vec<usize>,
+}
+
 /// One response from the metadata service.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -140,18 +156,26 @@ pub enum Response {
     Applied(AppliedReply),
     /// Statistics.
     Stats(StatsReply),
+    /// A partial answer: some shards are quarantined, the rest served.
+    Degraded(DegradedReply),
+    /// Transient failure (shard quarantined mid-request, no healthy
+    /// shard available, …) — the request may succeed on retry, which
+    /// [`crate::client::Client::call_with_retry`] automates.
+    Unavailable(String),
     /// The request could not be served (dimension mismatch, unknown
-    /// shard, decode failure surfaced server-side, …).
+    /// shard, decode failure surfaced server-side, …). Not retryable.
     Error(String),
 }
 
 impl Response {
     /// The answer ids of a query-shaped response, in rank/ascending
-    /// order; `None` for non-query responses.
+    /// order; `None` for non-query responses. A degraded response
+    /// yields the ids of its partial answer.
     pub fn file_ids(&self) -> Option<Vec<u64>> {
         match self {
             Response::Query(q) => Some(q.file_ids.clone()),
             Response::TopK(t) => Some(t.file_ids()),
+            Response::Degraded(d) => d.partial.file_ids(),
             _ => None,
         }
     }
@@ -161,8 +185,14 @@ impl Response {
         match self {
             Response::Query(q) => Some(q.cost),
             Response::TopK(t) => Some(t.cost),
+            Response::Degraded(d) => d.partial.cost(),
             _ => None,
         }
+    }
+
+    /// True for responses a client may retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Response::Unavailable(_))
     }
 }
 
@@ -216,6 +246,15 @@ pub fn merge_topk_replies(replies: &[TopKReply], k: usize) -> TopKReply {
 /// top-k reply, say) produce [`Response::Error`]; the first shard error
 /// wins otherwise.
 pub fn merge_responses(req: &Request, replies: Vec<Response>) -> Response {
+    // A transient shard failure makes the whole answer transient (the
+    // retry may land after the shard heals or is quarantined out of
+    // the fan-out); a hard shard error stays hard.
+    if let Some(msg) = replies.iter().find_map(|r| match r {
+        Response::Unavailable(m) => Some(m.clone()),
+        _ => None,
+    }) {
+        return Response::Unavailable(msg);
+    }
     if let Some(err) = replies.iter().find_map(|r| match r {
         Response::Error(e) => Some(e.clone()),
         _ => None,

@@ -20,18 +20,21 @@
 //! modifies to the owning shard.
 
 use crate::codec::WireError;
-use crate::protocol::{AppliedReply, QueryReply, Request, Response, StatsReply, TopKReply};
+use crate::protocol::{
+    AppliedReply, DegradedReply, QueryReply, Request, Response, StatsReply, TopKReply,
+};
 use rayon::prelude::*;
 use smartstore::grouping::partition_tiled_flat;
 use smartstore::tree::NodeId;
 use smartstore::versioning::Change;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};
 use smartstore_linalg::cosine_similarity;
-use smartstore_persist::{PersistentStore, SystemPersist as _};
+use smartstore_persist::{PersistentStore, RealVfs, SystemPersist as _, Vfs};
 use smartstore_simnet::CostModel;
 use smartstore_trace::{FileMetadata, ATTR_DIMS};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Service-layer failure.
 #[derive(Debug)]
@@ -86,6 +89,10 @@ pub struct ServerConfig {
     /// `<store_dir>/shard-<i>/` with its own snapshot + WAL; `None`
     /// runs in memory only.
     pub store_dir: Option<PathBuf>,
+    /// Filesystem the shard stores run on; `None` means the real disk.
+    /// Injecting a [`smartstore_persist::FaultVfs`] here is how the
+    /// degraded-mode suite drives shard failures deterministically.
+    pub store_vfs: Option<Arc<dyn Vfs>>,
 }
 
 impl Default for ServerConfig {
@@ -96,7 +103,27 @@ impl Default for ServerConfig {
             cfg: SmartStoreConfig::default(),
             seed: 0x5e7f_face,
             store_dir: None,
+            store_vfs: None,
         }
+    }
+}
+
+/// Serving state of one shard slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving reads and writes.
+    Healthy,
+    /// Fenced off after a persistence failure its store could not heal
+    /// (or a failed recovery at cold start): excluded from the read
+    /// fan-out, its mutations answered [`Response::Unavailable`]. The
+    /// reason records the error that tripped the fence.
+    Quarantined(String),
+}
+
+impl ShardHealth {
+    /// True when the shard serves.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, ShardHealth::Healthy)
     }
 }
 
@@ -105,6 +132,36 @@ struct Shard {
     sys: SmartStoreSystem,
     store: Option<PersistentStore>,
     dir: Option<PathBuf>,
+}
+
+/// A shard slot: a live shard, or the fenced-off remains of one. A
+/// failed shard keeps its slot (and id) so the rest of the fleet keeps
+/// serving — the paper's deployment loses one metadata server, not the
+/// namespace.
+enum ShardSlot {
+    // Boxed: a full SmartStore system dwarfs the Down variant, and the
+    // slot vector should not pay Up's footprint for fenced entries.
+    Up(Box<Shard>),
+    Down {
+        dir: Option<PathBuf>,
+        reason: String,
+    },
+}
+
+impl ShardSlot {
+    fn up(&self) -> Option<&Shard> {
+        match self {
+            ShardSlot::Up(s) => Some(s.as_ref()),
+            ShardSlot::Down { .. } => None,
+        }
+    }
+
+    fn health(&self) -> ShardHealth {
+        match self {
+            ShardSlot::Up(_) => ShardHealth::Healthy,
+            ShardSlot::Down { reason, .. } => ShardHealth::Quarantined(reason.clone()),
+        }
+    }
 }
 
 /// Descriptive snapshot of one shard's layout (for reports and docs).
@@ -120,15 +177,19 @@ pub struct ShardInfo {
     pub n_groups: usize,
     /// On-disk store directory, when durable.
     pub dir: Option<PathBuf>,
+    /// Serving state (quarantined shards report zero units/files).
+    pub health: ShardHealth,
 }
 
 /// A sharded metadata service facade over N per-group
 /// [`SmartStoreSystem`] shards.
 pub struct MetadataServer {
-    shards: Vec<Shard>,
+    shards: Vec<ShardSlot>,
     /// file id → owning shard.
     owner: HashMap<u64, usize>,
     cost: CostModel,
+    /// Filesystem the shard stores live on (real disk by default).
+    vfs: Arc<dyn Vfs>,
 }
 
 impl MetadataServer {
@@ -158,6 +219,7 @@ impl MetadataServer {
                 )));
             }
         }
+        let vfs = cfg.store_vfs.clone().unwrap_or_else(RealVfs::handle);
         let mut shards = Vec::with_capacity(cfg.n_shards);
         let mut owner = HashMap::new();
         for (i, bucket) in buckets.into_iter().enumerate() {
@@ -173,49 +235,89 @@ impl MetadataServer {
             let (store, dir) = match &cfg.store_dir {
                 Some(base) => {
                     let dir = shard_dir(base, i);
-                    let (store, _stats) = sys.save_snapshot(&dir)?;
+                    let (store, _stats) = sys.save_snapshot_with(vfs.clone(), &dir)?;
                     (Some(store), Some(dir))
                 }
                 None => (None, None),
             };
-            shards.push(Shard { sys, store, dir });
+            shards.push(ShardSlot::Up(Box::new(Shard { sys, store, dir })));
         }
         if let Some(base) = &cfg.store_dir {
-            write_fleet_manifest(base, cfg.n_shards)?;
+            write_fleet_manifest(vfs.as_ref(), base, cfg.n_shards)?;
         }
         Ok(Self {
             shards,
             owner,
             cost: CostModel::default(),
+            vfs,
         })
     }
 
     /// Cold-starts a durable deployment from `base`: the fleet manifest
     /// says how many shards the deployment has, and every `shard-<i>/`
     /// directory is recovered through its own snapshot + WAL replay.
-    /// A missing shard directory is an *error*, not a silently smaller
+    ///
+    /// A *missing* shard directory is an error, not a silently smaller
     /// fleet — partial recovery would present data loss as clean empty
-    /// query results.
+    /// query results. A directory that is present but fails recovery,
+    /// however, comes up [`ShardHealth::Quarantined`] instead of
+    /// failing the fleet: reads carry a [`Response::Degraded`] marker
+    /// naming the missing shard, and [`Self::try_reopen_shard`] can
+    /// bring it back once repaired. Only if *every* shard fails does
+    /// the open itself fail.
     pub fn open(base: &Path) -> Result<Self> {
-        let n_shards = read_fleet_manifest(base)?;
+        Self::open_with(RealVfs::handle(), base)
+    }
+
+    /// [`Self::open`] over an explicit [`Vfs`].
+    pub fn open_with(vfs: Arc<dyn Vfs>, base: &Path) -> Result<Self> {
+        let n_shards = read_fleet_manifest(vfs.as_ref(), base)?;
         let mut shards = Vec::with_capacity(n_shards);
         let mut owner = HashMap::new();
+        let mut first_err = None;
         for i in 0..n_shards {
             let dir = shard_dir(base, i);
-            let (sys, store, _report) = SmartStoreSystem::open_from_dir(&dir)?;
-            for f in sys.current_files() {
-                owner.insert(f.file_id, i);
+            if !vfs.exists(&dir).unwrap_or(false) {
+                return Err(ServiceError::Config(format!(
+                    "shard directory {} is missing; refusing a partial fleet",
+                    dir.display()
+                )));
             }
-            shards.push(Shard {
-                sys,
-                store: Some(store),
-                dir: Some(dir),
-            });
+            match SmartStoreSystem::open_from_dir_with(vfs.clone(), &dir) {
+                Ok((sys, store, _report)) => {
+                    for f in sys.current_files() {
+                        owner.insert(f.file_id, i);
+                    }
+                    shards.push(ShardSlot::Up(Box::new(Shard {
+                        sys,
+                        store: Some(store),
+                        dir: Some(dir),
+                    })));
+                }
+                Err(e) => {
+                    let reason = format!("recovery failed: {e}");
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    shards.push(ShardSlot::Down {
+                        dir: Some(dir),
+                        reason,
+                    });
+                }
+            }
+        }
+        if shards.iter().all(|s| s.up().is_none()) {
+            // No shard recovered: there is nothing to serve degraded
+            // answers *from*, so surface the failure.
+            return Err(first_err
+                .map(ServiceError::Persist)
+                .unwrap_or_else(|| ServiceError::Config("fleet has no shards".into())));
         }
         Ok(Self {
             shards,
             owner,
             cost: CostModel::default(),
+            vfs,
         })
     }
 
@@ -243,20 +345,89 @@ impl MetadataServer {
         buckets
     }
 
-    /// Number of shards.
+    /// Number of shard slots (healthy or quarantined).
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Read access to one shard's system (tests, reports).
+    /// Read access to one shard's system (tests, reports). Panics on a
+    /// quarantined shard — check [`Self::shard_health`] first.
     pub fn shard(&self, i: usize) -> &SmartStoreSystem {
-        &self.shards[i].sys
+        match &self.shards[i] {
+            ShardSlot::Up(s) => &s.sys,
+            ShardSlot::Down { reason, .. } => {
+                panic!("shard {i} is quarantined ({reason})")
+            }
+        }
     }
 
     /// Read access to one shard's durable store, when the deployment
-    /// persists (tests, compaction telemetry).
+    /// persists (tests, compaction telemetry); `None` when in-memory
+    /// or quarantined.
     pub fn shard_store(&self, i: usize) -> Option<&PersistentStore> {
-        self.shards[i].store.as_ref()
+        self.shards[i].up().and_then(|s| s.store.as_ref())
+    }
+
+    /// Serving state of shard `i`.
+    pub fn shard_health(&self, i: usize) -> ShardHealth {
+        self.shards[i].health()
+    }
+
+    /// Shard ids currently serving, ascending.
+    pub fn healthy_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].up().is_some())
+            .collect()
+    }
+
+    /// Shard ids currently fenced off, ascending.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].up().is_none())
+            .collect()
+    }
+
+    /// Fences shard `i` off by hand — the operator's kill switch (the
+    /// server itself quarantines a shard when its store fails beyond
+    /// [`PersistentStore::compact`]'s ability to heal). The shard's
+    /// store is dropped (closing its WAL); a durable shard can come
+    /// back through [`Self::try_reopen_shard`].
+    pub fn quarantine_shard(&mut self, i: usize, reason: impl Into<String>) {
+        if let ShardSlot::Up(s) = &self.shards[i] {
+            // Ownership entries stay: a delete/modify of a fenced
+            // shard's file must answer `Unavailable`, not pass for a
+            // no-op on an unknown file.
+            let dir = s.dir.clone();
+            self.shards[i] = ShardSlot::Down {
+                dir,
+                reason: reason.into(),
+            };
+        }
+    }
+
+    /// Attempts to bring a quarantined durable shard back by running
+    /// full crash recovery on its directory. On success the shard
+    /// serves again (and re-registers its file ownership); on failure
+    /// it stays quarantined and the error is returned.
+    pub fn try_reopen_shard(&mut self, i: usize) -> Result<()> {
+        let ShardSlot::Down { dir, reason } = &self.shards[i] else {
+            return Ok(()); // already serving
+        };
+        let Some(dir) = dir.clone() else {
+            return Err(ServiceError::Config(format!(
+                "shard {i} has no store directory to recover from ({reason})"
+            )));
+        };
+        let (sys, store, _report) = SmartStoreSystem::open_from_dir_with(self.vfs.clone(), &dir)?;
+        for f in sys.current_files() {
+            self.owner.insert(f.file_id, i);
+        }
+        self.shards[i] = ShardSlot::Up(Box::new(Shard {
+            sys,
+            store: Some(store),
+            dir: Some(dir),
+        }));
+        Ok(())
     }
 
     /// The cost model used for wire accounting.
@@ -272,6 +443,7 @@ impl MetadataServer {
         self.shards
             .iter()
             .enumerate()
+            .filter_map(|(i, slot)| slot.up().map(|s| (i, s)))
             .flat_map(|(i, s)| {
                 s.sys
                     .tree()
@@ -282,17 +454,29 @@ impl MetadataServer {
             .collect()
     }
 
-    /// Per-shard layout description.
+    /// Per-shard layout description (quarantined shards report zero
+    /// units/files and carry their fence reason in `health`).
     pub fn layout(&self) -> Vec<ShardInfo> {
         self.shards
             .iter()
             .enumerate()
-            .map(|(i, s)| ShardInfo {
-                id: i,
-                n_units: s.sys.units().len(),
-                n_files: s.sys.units().iter().map(|u| u.len()).sum(),
-                n_groups: s.sys.tree().first_level_index_units().len(),
-                dir: s.dir.clone(),
+            .map(|(i, slot)| match slot {
+                ShardSlot::Up(s) => ShardInfo {
+                    id: i,
+                    n_units: s.sys.units().len(),
+                    n_files: s.sys.units().iter().map(|u| u.len()).sum(),
+                    n_groups: s.sys.tree().first_level_index_units().len(),
+                    dir: s.dir.clone(),
+                    health: ShardHealth::Healthy,
+                },
+                ShardSlot::Down { dir, reason } => ShardInfo {
+                    id: i,
+                    n_units: 0,
+                    n_files: 0,
+                    n_groups: 0,
+                    dir: dir.clone(),
+                    health: ShardHealth::Quarantined(reason.clone()),
+                },
             })
             .collect()
     }
@@ -319,23 +503,26 @@ impl MetadataServer {
     /// the owner; `None` for mutations of unknown files.
     fn mutation_target(&self, change: &Change) -> Option<usize> {
         match change {
-            Change::Insert(f) => Some(self.most_correlated_shard(&f.attr_vector())),
+            Change::Insert(f) => self.most_correlated_shard(&f.attr_vector()),
             Change::Delete(id) => self.owner.get(id).copied(),
             Change::Modify(f) => self.owner.get(&f.file_id).copied(),
         }
     }
 
-    /// The shard whose root semantic vector is most correlated with
-    /// `v` (ties break to the lowest shard id).
-    fn most_correlated_shard(&self, v: &[f64]) -> usize {
-        let mut best = 0;
+    /// The *healthy* shard whose root semantic vector is most
+    /// correlated with `v` (ties break to the lowest shard id) — a
+    /// quarantined shard takes no new files, so inserts reroute to the
+    /// best healthy alternative. `None` when every shard is down.
+    fn most_correlated_shard(&self, v: &[f64]) -> Option<usize> {
+        let mut best = None;
         let mut best_corr = f64::NEG_INFINITY;
-        for (i, s) in self.shards.iter().enumerate() {
+        for (i, slot) in self.shards.iter().enumerate() {
+            let Some(s) = slot.up() else { continue };
             let root = s.sys.tree().root();
             let corr = cosine_similarity(&s.sys.tree().node(root).centroid, v);
             if corr > best_corr {
                 best_corr = corr;
-                best = i;
+                best = Some(i);
             }
         }
         best
@@ -345,8 +532,11 @@ impl MetadataServer {
     /// `&self` query engine. Mutations are rejected here — they go
     /// through [`Self::apply`].
     pub fn query_shard(&self, shard: usize, req: &Request) -> Response {
-        let Some(s) = self.shards.get(shard) else {
+        let Some(slot) = self.shards.get(shard) else {
             return Response::Error(format!("unknown shard {shard}"));
+        };
+        let Some(s) = slot.up() else {
+            return Response::Unavailable(format!("shard {shard} is quarantined"));
         };
         let engine = s.sys.query();
         match req {
@@ -409,6 +599,13 @@ impl MetadataServer {
     /// Applies one mutation: routes it to its shard, journals it to
     /// that shard's WAL *before* the in-memory mutation (when durable),
     /// and updates the file→shard ownership.
+    ///
+    /// A persistence failure does not fail the fleet: a poisoned store
+    /// is healed in place with a full [`PersistentStore::compact`] and
+    /// the append retried once; only if the heal itself fails is the
+    /// shard quarantined and the mutation answered
+    /// [`Response::Unavailable`] — at which point a client retry
+    /// reroutes an insert to a healthy shard.
     pub fn apply(&mut self, change: Change) -> Response {
         // Untrusted wire input: a non-finite attribute vector would
         // poison every later distance computation on the shard.
@@ -421,18 +618,40 @@ impl MetadataServer {
             }
         }
         let Some(si) = self.mutation_target(&change) else {
+            if self.shards.iter().any(|s| s.up().is_none()) {
+                // With part of the fleet fenced off, "never seen" is
+                // unprovable: the file may live on a quarantined shard
+                // whose ownership was never registered.
+                return Response::Unavailable(
+                    "file ownership indeterminate while shards are quarantined".into(),
+                );
+            }
             // No-op: mutation of a file this deployment has never seen.
             return Response::Applied(AppliedReply {
                 shard: None,
                 group: None,
             });
         };
-        let shard = &mut self.shards[si];
+        let shard = match &mut self.shards[si] {
+            ShardSlot::Up(s) => s,
+            ShardSlot::Down { reason, .. } => {
+                return Response::Unavailable(format!("shard {si} is quarantined ({reason})"));
+            }
+        };
         let landed = match shard.store.as_mut() {
-            Some(store) => match shard.sys.apply_journaled(store, change.clone()) {
-                Ok(g) => g,
-                Err(e) => return Response::Error(format!("shard {si} journal error: {e}")),
-            },
+            Some(store) => {
+                match Self::apply_durable(&mut shard.sys, store, &change) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        // The shard's store is beyond in-place healing:
+                        // fence it off rather than failing the fleet.
+                        self.quarantine_shard(si, format!("journal error: {e}"));
+                        return Response::Unavailable(format!(
+                            "shard {si} quarantined after journal error: {e}"
+                        ));
+                    }
+                }
+            }
             None => shard.sys.apply_change(change.clone()),
         };
         match &change {
@@ -448,6 +667,49 @@ impl MetadataServer {
             shard: Some(si),
             group: landed,
         })
+    }
+
+    /// The durable write path with in-place healing. The change is
+    /// acknowledged iff it was journaled *and* applied; compaction runs
+    /// best-effort after the ack point, and a store it poisons is
+    /// healed by the full-rewrite compaction (which re-snapshots the
+    /// complete in-memory state and clears the poison). An error means
+    /// the change did not land and the store could not be healed.
+    fn apply_durable(
+        sys: &mut SmartStoreSystem,
+        store: &mut PersistentStore,
+        change: &Change,
+    ) -> smartstore_persist::Result<Option<NodeId>> {
+        let journal = |sys: &mut SmartStoreSystem, store: &mut PersistentStore| {
+            sys.try_apply_change_journaled(change.clone(), |group, ch| {
+                store.append(group, ch).map(|_| ())
+            })
+        };
+        let landed = match journal(sys, store) {
+            Ok(g) => g,
+            Err(_) => {
+                // The append failed and poisoned the journal (the log
+                // may have a gap); nothing was applied. Heal with a
+                // full compaction — a fresh snapshot of the complete
+                // in-memory state needs no WAL at all — then retry the
+                // append exactly once.
+                store.compact(sys)?;
+                journal(sys, store)?
+            }
+        };
+        if store.should_compact() {
+            // Strictly best-effort: the change is already durable in
+            // the WAL, so a compaction failure must NOT become an
+            // error — the caller would answer `Unavailable` and a
+            // retry would apply the change twice. A poisoned store is
+            // healed opportunistically; if even that fails, the *next*
+            // append finds the poison and takes the heal-or-quarantine
+            // path with nothing acknowledged.
+            if store.compact_incremental(sys).is_err() && store.is_poisoned() {
+                let _ = store.compact(sys);
+            }
+        }
+        Ok(landed)
     }
 
     /// Serves one request end to end: route, per-shard evaluation, and
@@ -468,23 +730,49 @@ impl MetadataServer {
     /// in shard order — the merged answer is bit-identical to the
     /// sequential dispatch at every thread count (the serving bench
     /// gates on exactly that before timing).
+    ///
+    /// With part of the fleet quarantined, the fan-out covers only the
+    /// healthy shards and the merged answer is wrapped in
+    /// [`Response::Degraded`] naming the missing shards — bit-identical
+    /// answers to a deployment built from only those shards, never a
+    /// silent partial result. With *no* healthy shard the request is
+    /// [`Response::Unavailable`].
     pub fn serve_read(&self, req: &Request) -> Response {
         if !req.is_read() {
             return Response::Error("serve_read: mutation requires the write path".into());
         }
-        let targets = self.route(req);
-        let replies: Vec<Response> = targets
+        let healthy = self.healthy_shards();
+        if healthy.is_empty() {
+            return Response::Unavailable("every shard is quarantined".into());
+        }
+        let replies: Vec<Response> = healthy
             .par_iter()
             .map(|&s| self.query_shard(s, req))
             .collect();
-        crate::protocol::merge_responses(req, replies)
+        let merged = crate::protocol::merge_responses(req, replies);
+        let missing_shards = self.quarantined_shards();
+        if missing_shards.is_empty() {
+            return merged;
+        }
+        match merged {
+            // Failures stay failures; only real answers carry the
+            // partial-result marker.
+            err @ (Response::Error(_) | Response::Unavailable(_)) => err,
+            partial => Response::Degraded(DegradedReply {
+                partial: Box::new(partial),
+                missing_shards,
+            }),
+        }
     }
 
-    /// Forces every shard's WAL to disk (group commit boundary).
+    /// Forces every healthy shard's WAL to disk (group commit
+    /// boundary).
     pub fn sync(&mut self) -> Result<()> {
-        for s in &mut self.shards {
-            if let Some(store) = s.store.as_mut() {
-                store.sync()?;
+        for slot in &mut self.shards {
+            if let ShardSlot::Up(s) = slot {
+                if let Some(store) = s.store.as_mut() {
+                    store.sync()?;
+                }
             }
         }
         Ok(())
@@ -499,9 +787,15 @@ fn shard_dir(base: &Path, i: usize) -> PathBuf {
 /// shard count, so `open` can tell a complete fleet from a partial one.
 const FLEET_MANIFEST: &str = "FLEET";
 
-fn write_fleet_manifest(base: &Path, n_shards: usize) -> Result<()> {
+fn write_fleet_manifest(vfs: &dyn Vfs, base: &Path, n_shards: usize) -> Result<()> {
     let path = base.join(FLEET_MANIFEST);
-    std::fs::write(&path, format!("{n_shards}\n")).map_err(|e| {
+    let write = || -> std::io::Result<()> {
+        vfs.create_dir_all(base)?;
+        let mut f = vfs.create(&path)?;
+        f.write_all_at(0, format!("{n_shards}\n").as_bytes())?;
+        f.sync()
+    };
+    write().map_err(|e| {
         ServiceError::Config(format!(
             "cannot write fleet manifest {}: {e}",
             path.display()
@@ -509,14 +803,17 @@ fn write_fleet_manifest(base: &Path, n_shards: usize) -> Result<()> {
     })
 }
 
-fn read_fleet_manifest(base: &Path) -> Result<usize> {
+fn read_fleet_manifest(vfs: &dyn Vfs, base: &Path) -> Result<usize> {
     let path = base.join(FLEET_MANIFEST);
-    let raw = std::fs::read_to_string(&path).map_err(|e| {
-        ServiceError::Config(format!(
-            "cannot read fleet manifest {}: {e}",
-            path.display()
-        ))
-    })?;
+    let raw = vfs
+        .read(&path)
+        .map_err(|e| {
+            ServiceError::Config(format!(
+                "cannot read fleet manifest {}: {e}",
+                path.display()
+            ))
+        })
+        .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())?;
     let n: usize = raw.trim().parse().map_err(|e| {
         ServiceError::Config(format!(
             "fleet manifest {} is corrupt ({e}): {raw:?}",

@@ -11,7 +11,9 @@ use smartstore_service::codec::{
     decode_request, decode_request_batch, decode_response, decode_response_batch, encode_request,
     encode_request_batch, encode_response, encode_response_batch,
 };
-use smartstore_service::{AppliedReply, QueryReply, Request, Response, StatsReply, TopKReply};
+use smartstore_service::{
+    AppliedReply, DegradedReply, QueryReply, Request, Response, StatsReply, TopKReply,
+};
 use smartstore_trace::FileMetadata;
 
 fn file(id: u64, name: &str, size: u64) -> FileMetadata {
@@ -90,7 +92,7 @@ fn responses(seed: u64, ids: Vec<u64>, dists: Vec<f64>) -> Vec<Response> {
             cost: cost(seed),
         }),
         Response::TopK(TopKReply {
-            hits: ids.iter().copied().zip(dists).collect(),
+            hits: ids.iter().copied().zip(dists.clone()).collect(),
             cost: cost(seed ^ 1),
         }),
         Response::Applied(AppliedReply {
@@ -118,6 +120,23 @@ fn responses(seed: u64, ids: Vec<u64>, dists: Vec<f64>) -> Vec<Response> {
                 .collect(),
         }),
         Response::Error(format!("error #{seed}")),
+        Response::Unavailable(format!("shard {} is quarantined", seed % 16)),
+        // Degraded wrappers around both answer shapes — one level deep,
+        // the only nesting the server ever produces.
+        Response::Degraded(DegradedReply {
+            partial: Box::new(Response::Query(QueryReply {
+                file_ids: ids.clone(),
+                cost: cost(seed ^ 2),
+            })),
+            missing_shards: (0..(seed % 4) as usize).collect(),
+        }),
+        Response::Degraded(DegradedReply {
+            partial: Box::new(Response::TopK(TopKReply {
+                hits: ids.iter().copied().zip(dists).collect(),
+                cost: cost(seed ^ 3),
+            })),
+            missing_shards: vec![(seed % 7) as usize],
+        }),
     ]
 }
 
@@ -199,6 +218,32 @@ fn empty_batch_roundtrips() {
     assert_eq!(
         decode_response_batch(&encode_response_batch(&[])).unwrap(),
         vec![]
+    );
+}
+
+#[test]
+fn nested_degraded_is_rejected_not_recursed() {
+    // The server never nests degraded markers, and the decoder must
+    // refuse one rather than recurse — a crafted buffer of repeated
+    // RESP_DEGRADED tags would otherwise descend once per tag and
+    // overflow the stack before any structural check fires. The
+    // *encoder* will happily serialize a hand-built nested value, which
+    // is exactly what a hostile peer could put on the wire.
+    let nested = Response::Degraded(DegradedReply {
+        partial: Box::new(Response::Degraded(DegradedReply {
+            partial: Box::new(Response::Query(QueryReply::default())),
+            missing_shards: vec![1],
+        })),
+        missing_shards: vec![0],
+    });
+    let mut e = smartstore_persist::codec::Enc::new();
+    smartstore_service::codec::put_response(&mut e, &nested);
+    let mut wire = Vec::new();
+    smartstore_persist::codec::put_record(&mut wire, &e.into_bytes());
+    let err = decode_response(&wire).expect_err("nested degraded must not decode");
+    assert!(
+        format!("{err}").contains("nested degraded"),
+        "unexpected error: {err}"
     );
 }
 
