@@ -1,0 +1,229 @@
+//! Log-bucketed latency histogram.
+//!
+//! Open-loop load generation produces millions of latency samples whose
+//! tail is the interesting part; storing them all to sort for p999 is
+//! wasteful and perturbs the measurement. [`LatencyHistogram`] keeps
+//! HDR-style buckets — 32 linear sub-buckets per power-of-two octave —
+//! so any recorded value lands in a bucket within 1/32 ≈ 3.1% of its
+//! true value, in constant memory, with O(1) record and mergeable
+//! across load-generator threads.
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave,
+/// bounding relative quantile error at 1/32.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the linear region for u64 values.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+
+/// Fixed-memory log-bucketed histogram of `u64` samples (nanoseconds,
+/// by convention).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// `SUB` exact buckets for values `< SUB`, then `SUB` sub-buckets
+    /// per octave.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB + OCTAVES * SUB],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS here
+        let shift = octave - SUB_BITS;
+        let sub = ((v >> shift) as usize) & (SUB - 1);
+        SUB + (shift as usize) * SUB + sub
+    }
+
+    /// Lowest value mapping to bucket `idx` (used as the quantile
+    /// representative's base).
+    fn lower_bound_of(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let shift = ((idx - SUB) / SUB) as u32;
+        let sub = ((idx - SUB) % SUB) as u64;
+        ((SUB as u64) + sub) << shift
+    }
+
+    /// Bucket width at `idx`.
+    fn width_of(idx: usize) -> u64 {
+        if idx < SUB {
+            1
+        } else {
+            1u64 << ((idx - SUB) / SUB)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the midpoint of the bucket
+    /// holding that rank, clamped to the exact observed min/max.
+    /// Relative error is bounded by the sub-bucket width (≈3.1%).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = Self::lower_bound_of(idx) + Self::width_of(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` (same bucket geometry by construction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        // Deterministic pseudo-uniform samples over a wide range.
+        let mut h = LatencyHistogram::new();
+        let mut vals = Vec::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100_000 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let v = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 10_000_000) + 1_000;
+            vals.push(v);
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = vals[((q * vals.len() as f64).ceil() as usize - 1).min(vals.len() - 1)];
+            let est = h.quantile(q);
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                rel < 0.04,
+                "p{q}: est {est} vs exact {exact} (rel err {rel:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in [3u64, 70, 900, 12_345, 6_000_000, 1 << 40] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [17u64, 250, 88_000, 1 << 33] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.min(), whole.min());
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX, "clamped to observed max");
+    }
+}

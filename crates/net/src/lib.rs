@@ -1,0 +1,36 @@
+//! Network transport for the SmartStore metadata service.
+//!
+//! Everything below the service crate treats "the wire" as a byte
+//! buffer; this crate makes it a real one. It provides:
+//!
+//! * [`frame`] — a streaming decoder for the CRC record framing over a
+//!   socket: tolerant of short reads, partial frames and `EINTR`, with
+//!   torn/corrupt frames surfacing as typed errors that poison only
+//!   their connection;
+//! * [`server`] — [`server::NetServer`], a blocking TCP +
+//!   Unix-domain-socket front end for
+//!   [`smartstore_service::MetadataServer`] with bounded-admission load
+//!   shedding ([`smartstore_service::Response::Overloaded`]) and
+//!   graceful drain-and-flush shutdown;
+//! * [`transport`] — [`transport::SocketTransport`], the client-side
+//!   [`smartstore_service::Transport`] over a socket, carrying
+//!   bit-identical bytes to the in-process path so socket answers can
+//!   be compared against in-process answers frame for frame;
+//! * [`histogram`] — a log-bucketed latency histogram (≈3% relative
+//!   quantile error in constant memory);
+//! * [`loadgen`] — deterministic mixed-workload request streams and an
+//!   open-loop driver that measures latency from *scheduled* arrival
+//!   times, so overload shows up as queueing delay and shed rate
+//!   instead of being coordinated away.
+
+pub mod frame;
+pub mod histogram;
+pub mod loadgen;
+pub mod server;
+pub mod transport;
+
+pub use frame::{FrameDecodeError, FrameEvent, FrameReadError, FrameReader};
+pub use histogram::LatencyHistogram;
+pub use loadgen::{generate_requests, run_open_loop, LoadMixConfig, LoadReport};
+pub use server::{NetServer, NetServerConfig, NetServerHandle, NetServerStats};
+pub use transport::{NetAddr, SocketTransport};

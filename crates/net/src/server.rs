@@ -1,0 +1,440 @@
+//! The socket front end: TCP + Unix-domain-socket serving for a
+//! [`MetadataServer`] with bounded-admission load shedding.
+//!
+//! Architecture: one accept thread polls the (nonblocking) listeners
+//! and hands each accepted connection to a dedicated work-stealing pool
+//! ([`rayon`]'s shim `ThreadPool`); a connection handler owns its
+//! socket for the connection's lifetime. Requests arrive as CRC-framed
+//! records (the exact bytes [`smartstore_service::codec`] produces for
+//! the in-process path), each answered with one response frame in
+//! arrival order, so a client can pipeline a whole batch and count
+//! replies.
+//!
+//! **Admission control.** The server holds a *bounded in-flight budget*:
+//! a global permit pool ([`NetServerConfig::max_inflight`]) plus a
+//! per-connection cap ([`NetServerConfig::max_inflight_per_conn`]).
+//! Permits are acquired when a request is drained off the socket and
+//! released once its response bytes are written; a request that cannot
+//! get a permit is answered immediately with a typed
+//! [`Response::Overloaded`] instead of queueing unboundedly — the
+//! client backs off with jitter and retries. Queueing delay therefore
+//! lives in the kernel socket buffers and the bounded pipeline, never
+//! in an unbounded in-process queue.
+//!
+//! **Graceful shutdown.** [`NetServerHandle::shutdown`] flips a stop
+//! flag; connection handlers (whose reads time out on
+//! [`NetServerConfig::poll_interval`]) finish answering every request
+//! they have already drained — so every *acknowledged* mutation was
+//! really applied — then close. The accept thread joins the pool,
+//! per-shard WALs are flushed, and the inner [`MetadataServer`] is
+//! handed back to the caller.
+
+use crate::frame::{write_all_retry, FrameDecodeError, FrameEvent, FrameReadError, FrameReader};
+use crate::transport::Conn;
+use rayon::ThreadPoolBuilder;
+use smartstore_service::codec::{decode_request, encode_response};
+use smartstore_service::{MetadataServer, Request, Response};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Front-end shape and admission limits.
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Listen on loopback TCP (an ephemeral port; see
+    /// [`NetServerHandle::tcp_addr`]).
+    pub tcp: bool,
+    /// Also listen on this Unix-domain-socket path (unlinked on
+    /// shutdown; a stale socket file is replaced).
+    pub uds_path: Option<PathBuf>,
+    /// Global in-flight permit budget: requests drained off sockets but
+    /// not yet answered. Exhaustion sheds with [`Response::Overloaded`].
+    pub max_inflight: usize,
+    /// Per-connection share of the budget, so one pipelining client
+    /// cannot monopolize it.
+    pub max_inflight_per_conn: usize,
+    /// Most frames drained (and admitted) per read round on one
+    /// connection.
+    pub max_pipeline: usize,
+    /// Worker threads executing connection handlers. Values below 2 are
+    /// raised to 2: the shim pool runs `spawn` inline when it has no
+    /// workers, which would wedge the accept loop.
+    pub conn_threads: usize,
+    /// Socket read timeout / accept poll interval — the latency bound
+    /// on noticing the stop flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            tcp: true,
+            uds_path: None,
+            max_inflight: 256,
+            max_inflight_per_conn: 64,
+            max_pipeline: 64,
+            conn_threads: 4,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Monotonic serving counters, snapshotted by [`NetServerHandle::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections accepted across both listeners.
+    pub connections_accepted: u64,
+    /// Connections fully closed.
+    pub connections_closed: u64,
+    /// Requests admitted past the permit gate and served.
+    pub requests_admitted: u64,
+    /// Requests shed with [`Response::Overloaded`].
+    pub requests_shed: u64,
+    /// Mutations among the admitted requests.
+    pub mutations_applied: u64,
+    /// Connections poisoned by a torn/corrupt frame.
+    pub decode_poisoned: u64,
+    /// Request bytes read off sockets (verified frames only).
+    pub bytes_in: u64,
+    /// Response bytes written.
+    pub bytes_out: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_closed: AtomicU64,
+    requests_admitted: AtomicU64,
+    requests_shed: AtomicU64,
+    mutations_applied: AtomicU64,
+    decode_poisoned: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> NetServerStats {
+        NetServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            requests_admitted: self.requests_admitted.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            decode_poisoned: self.decode_poisoned.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    server: RwLock<MetadataServer>,
+    stop: AtomicBool,
+    /// Remaining global permits.
+    permits: AtomicI64,
+    stats: Counters,
+    limits: NetServerConfig,
+}
+
+impl Shared {
+    fn try_acquire(&self) -> bool {
+        let mut cur = self.permits.load(Ordering::Relaxed);
+        loop {
+            if cur <= 0 {
+                return false;
+            }
+            match self.permits.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn release(&self, n: usize) {
+        self.permits.fetch_add(n as i64, Ordering::AcqRel);
+    }
+}
+
+/// The running front end. Dropping the handle without
+/// [`NetServerHandle::shutdown`] aborts serving without flushing WALs.
+pub struct NetServer;
+
+/// Handle to a spawned [`NetServer`].
+pub struct NetServerHandle {
+    shared: Arc<Shared>,
+    join: Option<std::thread::JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl NetServer {
+    /// Binds the configured listeners, starts the accept thread and its
+    /// connection pool, and returns the handle. TCP binds
+    /// `127.0.0.1:0`; the chosen port is in
+    /// [`NetServerHandle::tcp_addr`].
+    pub fn spawn(server: MetadataServer, cfg: NetServerConfig) -> std::io::Result<NetServerHandle> {
+        let tcp = if cfg.tcp {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        } else {
+            None
+        };
+        let tcp_addr = match &tcp {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let uds = match &cfg.uds_path {
+            Some(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            server: RwLock::new(server),
+            stop: AtomicBool::new(false),
+            permits: AtomicI64::new(cfg.max_inflight.max(1) as i64),
+            stats: Counters::default(),
+            limits: cfg.clone(),
+        });
+        let sh = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || accept_loop(&sh, tcp, uds))?;
+        Ok(NetServerHandle {
+            shared,
+            join: Some(join),
+            tcp_addr,
+            uds_path: cfg.uds_path,
+        })
+    }
+}
+
+impl NetServerHandle {
+    /// The bound TCP address, when TCP is enabled.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-domain-socket path, when enabled.
+    pub fn uds_path(&self) -> Option<&PathBuf> {
+        self.uds_path.as_ref()
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> NetServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection answer
+    /// the requests it already drained, flush per-shard WALs, and hand
+    /// the inner server back.
+    pub fn shutdown(mut self) -> std::io::Result<(MetadataServer, NetServerStats)> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            join.join()
+                .map_err(|_| std::io::Error::other("net accept thread panicked"))?;
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        let stats = self.shared.stats.snapshot();
+        let shared = Arc::try_unwrap(self.shared)
+            .map_err(|_| std::io::Error::other("net server state still referenced"))?;
+        let mut server = shared
+            .server
+            .into_inner()
+            .map_err(|_| std::io::Error::other("metadata server lock poisoned"))?;
+        server
+            .sync()
+            .map_err(|e| std::io::Error::other(format!("WAL flush on shutdown: {e}")))?;
+        Ok((server, stats))
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, tcp: Option<TcpListener>, uds: Option<UnixListener>) {
+    let pool = ThreadPoolBuilder::new()
+        // +1: the accept loop itself occupies the scope's calling slot.
+        .num_threads(shared.limits.conn_threads.max(2) + 1)
+        .build()
+        .expect("connection pool builds");
+    pool.scope(|s| {
+        while !shared.stop.load(Ordering::SeqCst) {
+            let mut accepted = false;
+            if let Some(l) = &tcp {
+                match l.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        spawn_conn(shared, s, Conn::Tcp(stream));
+                        accepted = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if let Some(l) = &uds {
+                match l.accept() {
+                    Ok((stream, _peer)) => {
+                        spawn_conn(shared, s, Conn::Unix(stream));
+                        accepted = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if !accepted {
+                std::thread::sleep(shared.limits.poll_interval.min(Duration::from_millis(5)));
+            }
+        }
+        // Scope exit now waits for every connection handler; they see
+        // the stop flag within one poll interval, answer what they
+        // drained, and return.
+    });
+}
+
+fn spawn_conn<'a>(shared: &'a Arc<Shared>, s: &rayon::Scope<'a>, conn: Conn) {
+    shared
+        .stats
+        .connections_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    let sh = Arc::clone(shared);
+    s.spawn(move |_| handle_conn(&sh, conn));
+}
+
+fn handle_conn(sh: &Shared, conn: Conn) {
+    let _ = conn.set_read_timeout(Some(sh.limits.poll_interval));
+    let reader_half = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => {
+            sh.stats.connections_closed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = FrameReader::new(reader_half);
+    let mut writer = conn;
+    let mut raws: Vec<Vec<u8>> = Vec::new();
+    loop {
+        // The stop check sits *before* a fresh drain: requests already
+        // drained in the previous round were answered there, so nothing
+        // acknowledged is ever dropped.
+        if sh.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        raws.clear();
+        match reader.poll() {
+            Ok(FrameEvent::Frame(raw)) => raws.push(raw),
+            Ok(FrameEvent::Pause) => continue,
+            Ok(FrameEvent::Eof) => break,
+            Err(FrameReadError::Decode(e)) => {
+                poison_conn(sh, &mut writer, &e);
+                break;
+            }
+            Err(FrameReadError::Io(_)) => break,
+        }
+        // Drain whatever else already sits in the buffer, up to the
+        // pipeline cap. A decode error in the drained tail still lets
+        // the good prefix be served first.
+        let mut poisoned: Option<FrameDecodeError> = None;
+        while raws.len() < sh.limits.max_pipeline.max(1) {
+            match reader.try_buffered() {
+                Ok(Some(raw)) => raws.push(raw),
+                Ok(None) => break,
+                Err(e) => {
+                    poisoned = Some(e);
+                    break;
+                }
+            }
+        }
+        if serve_batch(sh, &raws, &mut writer).is_err() {
+            break;
+        }
+        if let Some(e) = poisoned {
+            poison_conn(sh, &mut writer, &e);
+            break;
+        }
+    }
+    let _ = writer.shutdown_both();
+    sh.stats.connections_closed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Best-effort typed answer for a poisoned stream, then close: the
+/// framing is lost, so only this connection dies — the error is typed
+/// so the peer can tell corruption from overload.
+fn poison_conn(sh: &Shared, writer: &mut Conn, e: &FrameDecodeError) {
+    sh.stats.decode_poisoned.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::Error(format!("connection poisoned: {e}"));
+    let _ = write_all_retry(writer, &encode_response(&resp));
+}
+
+/// Serves one drained batch: admit (or shed) every request up front —
+/// the batch *is* the connection's in-flight window — evaluate in
+/// arrival order, write all response frames in one syscall, then return
+/// the permits.
+fn serve_batch(sh: &Shared, raws: &[Vec<u8>], writer: &mut Conn) -> std::io::Result<()> {
+    let per_conn = sh.limits.max_inflight_per_conn.max(1);
+    let mut held = 0usize;
+    let admitted: Vec<bool> = raws
+        .iter()
+        .map(|_| {
+            if held < per_conn && sh.try_acquire() {
+                held += 1;
+                true
+            } else {
+                false
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (raw, &adm) in raws.iter().zip(&admitted) {
+        sh.stats
+            .bytes_in
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        let resp = if !adm {
+            sh.stats.requests_shed.fetch_add(1, Ordering::Relaxed);
+            Response::Overloaded(format!(
+                "admission budget exhausted (global {} / per-connection {})",
+                sh.limits.max_inflight, per_conn
+            ))
+        } else {
+            sh.stats.requests_admitted.fetch_add(1, Ordering::Relaxed);
+            match decode_request(raw) {
+                // The frame's CRC already passed, so a payload-level
+                // failure is a protocol mismatch, not lost framing:
+                // answer typed, keep the connection.
+                Err(e) => Response::Error(format!("undecodable request payload: {e}")),
+                Ok(req) => match req {
+                    Request::ApplyChange { change } => {
+                        sh.stats.mutations_applied.fetch_add(1, Ordering::Relaxed);
+                        sh.server
+                            .write()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .apply(change)
+                    }
+                    read => sh
+                        .server
+                        .read()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .serve_read(&read),
+                },
+            }
+        };
+        out.extend_from_slice(&encode_response(&resp));
+    }
+    let res = write_all_retry(writer, &out);
+    sh.stats
+        .bytes_out
+        .fetch_add(out.len() as u64, Ordering::Relaxed);
+    sh.release(held);
+    res
+}

@@ -243,6 +243,7 @@ const RESP_STATS: u8 = 3;
 const RESP_ERROR: u8 = 4;
 const RESP_DEGRADED: u8 = 5;
 const RESP_UNAVAILABLE: u8 = 6;
+const RESP_OVERLOADED: u8 = 7;
 
 /// Encodes one response payload (unframed).
 pub fn put_response(e: &mut Enc, r: &Response) {
@@ -257,6 +258,10 @@ pub fn put_response(e: &mut Enc, r: &Response) {
         }
         Response::Unavailable(msg) => {
             e.u8(RESP_UNAVAILABLE);
+            e.str(msg);
+        }
+        Response::Overloaded(msg) => {
+            e.u8(RESP_OVERLOADED);
             e.str(msg);
         }
         Response::Query(q) => {
@@ -323,6 +328,7 @@ fn get_response_at_depth(d: &mut Dec, depth: usize) -> DecResult<Response> {
             }))
         }
         RESP_UNAVAILABLE => Ok(Response::Unavailable(d.str()?)),
+        RESP_OVERLOADED => Ok(Response::Overloaded(d.str()?)),
         RESP_QUERY => Ok(Response::Query(QueryReply {
             file_ids: get_ids(d)?,
             cost: get_cost(d)?,

@@ -34,7 +34,7 @@ pub mod codec;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientStats, RetryPolicy};
+pub use client::{Client, ClientStats, RetryPolicy, Transport, TransportError, TransportResult};
 pub use codec::{WireError, WireResult};
 pub use protocol::{
     merge_query_replies, merge_responses, merge_topk_replies, AppliedReply, DegradedReply,

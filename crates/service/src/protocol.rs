@@ -162,6 +162,12 @@ pub enum Response {
     /// shard available, …) — the request may succeed on retry, which
     /// [`crate::client::Client::call_with_retry`] automates.
     Unavailable(String),
+    /// Load-shed by admission control: the server's bounded in-flight
+    /// budget (global or per-connection) was exhausted, so the request
+    /// was answered immediately instead of queueing unboundedly. The
+    /// request itself is fine — retry after backing off (the client
+    /// adds jitter so shed herds do not re-arrive in lockstep).
+    Overloaded(String),
     /// The request could not be served (dimension mismatch, unknown
     /// shard, decode failure surfaced server-side, …). Not retryable.
     Error(String),
@@ -192,7 +198,7 @@ impl Response {
 
     /// True for responses a client may retry.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Response::Unavailable(_))
+        matches!(self, Response::Unavailable(_) | Response::Overloaded(_))
     }
 }
 
@@ -248,7 +254,15 @@ pub fn merge_topk_replies(replies: &[TopKReply], k: usize) -> TopKReply {
 pub fn merge_responses(req: &Request, replies: Vec<Response>) -> Response {
     // A transient shard failure makes the whole answer transient (the
     // retry may land after the shard heals or is quarantined out of
-    // the fan-out); a hard shard error stays hard.
+    // the fan-out); a hard shard error stays hard. Admission-control
+    // sheds are equally transient and keep their type so the client
+    // backs off with jitter instead of plain exponential.
+    if let Some(msg) = replies.iter().find_map(|r| match r {
+        Response::Overloaded(m) => Some(m.clone()),
+        _ => None,
+    }) {
+        return Response::Overloaded(msg);
+    }
     if let Some(msg) = replies.iter().find_map(|r| match r {
         Response::Unavailable(m) => Some(m.clone()),
         _ => None,

@@ -757,7 +757,7 @@ impl MetadataServer {
         match merged {
             // Failures stay failures; only real answers carry the
             // partial-result marker.
-            err @ (Response::Error(_) | Response::Unavailable(_)) => err,
+            err @ (Response::Error(_) | Response::Unavailable(_) | Response::Overloaded(_)) => err,
             partial => Response::Degraded(DegradedReply {
                 partial: Box::new(partial),
                 missing_shards,

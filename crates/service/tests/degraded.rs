@@ -396,6 +396,7 @@ fn full_outage_is_unavailable_and_retry_is_bounded() {
     let policy = RetryPolicy {
         max_attempts: 4,
         base_backoff_ns: 1_000,
+        ..RetryPolicy::default()
     };
     let resp = client
         .call_with_retry(

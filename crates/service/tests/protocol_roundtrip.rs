@@ -121,6 +121,7 @@ fn responses(seed: u64, ids: Vec<u64>, dists: Vec<f64>) -> Vec<Response> {
         }),
         Response::Error(format!("error #{seed}")),
         Response::Unavailable(format!("shard {} is quarantined", seed % 16)),
+        Response::Overloaded(format!("{} in flight", seed % 1024)),
         // Degraded wrappers around both answer shapes — one level deep,
         // the only nesting the server ever produces.
         Response::Degraded(DegradedReply {

@@ -1,0 +1,240 @@
+//! Retry classification: `Client::call_with_retry` must tell retryable
+//! *transport* failures (reconnect + backoff) apart from retryable
+//! *typed server* answers (`Overloaded` with jitter, `Unavailable`
+//! plain exponential) and from non-retryable outcomes (typed `Error`s,
+//! wire decode failures), with each class counted in `ClientStats`.
+
+use smartstore_service::codec::{decode_request_batch, encode_response_batch};
+use smartstore_service::{
+    Client, Request, Response, RetryPolicy, Transport, TransportError, TransportResult,
+};
+
+/// What the mock transport does on one exchange.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Answer every request in the batch with this response.
+    Answer(Response),
+    /// Fail the exchange with this error.
+    Fail(TransportError),
+    /// Return bytes that are not a decodable response batch.
+    Garbage,
+}
+
+/// A scripted transport: plays `steps` in order (repeating the last
+/// one), counting exchanges and reconnects.
+struct Scripted {
+    steps: Vec<Step>,
+    exchanges: usize,
+    reconnects: usize,
+}
+
+impl Scripted {
+    fn new(steps: Vec<Step>) -> Self {
+        Self {
+            steps,
+            exchanges: 0,
+            reconnects: 0,
+        }
+    }
+}
+
+impl Transport for Scripted {
+    fn exchange(&mut self, request_wire: &[u8], expected: usize) -> TransportResult<Vec<u8>> {
+        let step = self.steps[self.exchanges.min(self.steps.len() - 1)].clone();
+        self.exchanges += 1;
+        let reqs = decode_request_batch(request_wire)?;
+        assert_eq!(reqs.len(), expected, "client encodes what it promises");
+        match step {
+            Step::Answer(resp) => Ok(encode_response_batch(&vec![resp; expected])),
+            Step::Fail(e) => Err(e),
+            Step::Garbage => Ok(vec![0xde, 0xad, 0xbe, 0xef]),
+        }
+    }
+
+    fn reconnect(&mut self) -> TransportResult<()> {
+        self.reconnects += 1;
+        Ok(())
+    }
+}
+
+fn policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: attempts,
+        base_backoff_ns: 1_000,
+        ..RetryPolicy::default()
+    }
+}
+
+fn ok_answer() -> Response {
+    Response::Applied(Default::default())
+}
+
+fn probe() -> Request {
+    Request::Stats
+}
+
+#[test]
+fn transport_errors_reconnect_and_retry() {
+    let mut t = Scripted::new(vec![
+        Step::Fail(TransportError::Io {
+            reason: "connection reset".into(),
+        }),
+        Step::Fail(TransportError::Closed),
+        Step::Answer(ok_answer()),
+    ]);
+    let mut client = Client::new();
+    let resp = client
+        .call_with_retry(&mut t, probe(), policy(5))
+        .expect("third attempt succeeds");
+    assert_eq!(resp, ok_answer());
+    assert_eq!(t.exchanges, 3);
+    assert_eq!(t.reconnects, 2, "each transport failure reconnects");
+    let s = client.stats();
+    assert_eq!(s.retries, 2);
+    assert_eq!(s.transport_retries, 2);
+    assert_eq!(s.overload_retries, 0);
+    assert_eq!(s.reconnects, 2);
+    // Plain exponential backoff for transport errors: 1000 + 2000.
+    assert_eq!(s.backoff_ns, 3_000);
+}
+
+#[test]
+fn transport_retry_does_not_duplicate_the_batch() {
+    // A failed flush keeps the pending batch; the retry must resend it
+    // as-is, not enqueue the request a second time.
+    let mut t = Scripted::new(vec![
+        Step::Fail(TransportError::Closed),
+        Step::Answer(ok_answer()),
+    ]);
+    let mut client = Client::new();
+    client
+        .call_with_retry(&mut t, probe(), policy(3))
+        .expect("retry succeeds");
+    // The scripted transport asserts reqs.len() == expected on every
+    // exchange; a duplicated enqueue would have tripped it.
+    assert_eq!(t.exchanges, 2);
+    assert_eq!(client.pending(), 0, "batch cleared after success");
+}
+
+#[test]
+fn overload_retries_with_jitter() {
+    let mut t = Scripted::new(vec![
+        Step::Answer(Response::Overloaded("budget exhausted".into())),
+        Step::Answer(Response::Overloaded("budget exhausted".into())),
+        Step::Answer(ok_answer()),
+    ]);
+    let mut client = Client::new();
+    let resp = client
+        .call_with_retry(&mut t, probe(), policy(5))
+        .expect("wire ok");
+    assert_eq!(resp, ok_answer());
+    let s = client.stats();
+    assert_eq!(s.retries, 2);
+    assert_eq!(s.overload_retries, 2);
+    assert_eq!(s.transport_retries, 0);
+    assert_eq!(t.reconnects, 0, "the connection is fine; no reconnect");
+    // Jittered backoff: each step is in [0.5, 1.5) of the exponential
+    // base (1000 then 2000), and never exactly the un-jittered sum.
+    assert!(
+        (1_500..4_500).contains(&s.backoff_ns),
+        "jittered backoff in range, got {}",
+        s.backoff_ns
+    );
+    assert_ne!(s.backoff_ns, 3_000, "jitter must perturb the schedule");
+}
+
+#[test]
+fn jitter_is_deterministic_under_seed() {
+    let run = |seed: u64| {
+        let mut t = Scripted::new(vec![
+            Step::Answer(Response::Overloaded("shed".into())),
+            Step::Answer(Response::Overloaded("shed".into())),
+            Step::Answer(ok_answer()),
+        ]);
+        let mut client = Client::with_seed(seed);
+        client
+            .call_with_retry(&mut t, probe(), policy(5))
+            .expect("wire ok");
+        client.stats().backoff_ns
+    };
+    assert_eq!(run(7), run(7), "same seed, same jitter schedule");
+    assert_ne!(run(7), run(8), "different seed, different schedule");
+}
+
+#[test]
+fn unavailable_retries_without_jitter() {
+    let mut t = Scripted::new(vec![
+        Step::Answer(Response::Unavailable("shard quarantined".into())),
+        Step::Answer(ok_answer()),
+    ]);
+    let mut client = Client::new();
+    let resp = client
+        .call_with_retry(&mut t, probe(), policy(3))
+        .expect("wire ok");
+    assert_eq!(resp, ok_answer());
+    let s = client.stats();
+    assert_eq!(s.retries, 1);
+    assert_eq!(s.transport_retries, 0);
+    assert_eq!(s.overload_retries, 0);
+    assert_eq!(s.backoff_ns, 1_000, "plain exponential, no jitter");
+}
+
+#[test]
+fn typed_errors_are_not_retried() {
+    let mut t = Scripted::new(vec![
+        Step::Answer(Response::Error("dimension mismatch".into())),
+        Step::Answer(ok_answer()),
+    ]);
+    let mut client = Client::new();
+    let resp = client
+        .call_with_retry(&mut t, probe(), policy(5))
+        .expect("wire ok");
+    assert!(matches!(resp, Response::Error(_)), "error returned as-is");
+    assert_eq!(t.exchanges, 1, "no retry for a non-retryable answer");
+    assert_eq!(client.stats().retries, 0);
+}
+
+#[test]
+fn decode_errors_are_not_retried() {
+    let mut t = Scripted::new(vec![Step::Garbage, Step::Answer(ok_answer())]);
+    let mut client = Client::new();
+    let err = client
+        .call_with_retry(&mut t, probe(), policy(5))
+        .expect_err("garbage bytes are a hard failure");
+    assert!(
+        matches!(err, TransportError::Wire(_)),
+        "decode failure surfaces typed, got {err}"
+    );
+    assert_eq!(t.exchanges, 1, "a decode error is never retried");
+    assert_eq!(client.stats().transport_retries, 0);
+}
+
+#[test]
+fn retry_budget_is_bounded() {
+    let mut t = Scripted::new(vec![Step::Fail(TransportError::Closed)]);
+    let mut client = Client::new();
+    let err = client
+        .call_with_retry(&mut t, probe(), policy(4))
+        .expect_err("all attempts fail");
+    assert_eq!(err, TransportError::Closed);
+    assert_eq!(t.exchanges, 4, "max_attempts total attempts");
+    assert_eq!(client.stats().retries, 3);
+    assert_eq!(client.stats().transport_retries, 3);
+}
+
+#[test]
+fn overloaded_merges_as_transient_and_is_retryable() {
+    // Protocol-level invariants the retry loop depends on.
+    assert!(Response::Overloaded("x".into()).is_retryable());
+    assert!(Response::Unavailable("x".into()).is_retryable());
+    assert!(!Response::Error("x".into()).is_retryable());
+    let req = Request::Point { name: "f".into() };
+    let merged = smartstore_service::merge_responses(
+        &req,
+        vec![
+            Response::Query(Default::default()),
+            Response::Overloaded("shed".into()),
+        ],
+    );
+    assert!(matches!(merged, Response::Overloaded(_)));
+}

@@ -23,8 +23,11 @@
 //!   replay, §5.1);
 //! * [`requests`] — timestamped request-stream expansion with the
 //!   paper's inter-file access correlation (§1.1);
-//! * [`query_gen`] — point / range / top-k query workload generation.
+//! * [`query_gen`] — point / range / top-k query workload generation;
+//! * [`arrivals`] — open-loop arrival schedules (Poisson or bursty)
+//!   for driving a server at a fixed request rate.
 
+pub mod arrivals;
 pub mod distributions;
 pub mod generator;
 pub mod metadata;
@@ -33,6 +36,7 @@ pub mod requests;
 pub mod scaleup;
 pub mod workloads;
 
+pub use arrivals::{ArrivalConfig, ArrivalSchedule};
 pub use generator::{GeneratorConfig, MetadataPopulation};
 pub use metadata::{attr_subset_table, attr_table, AttributeKind, FileMetadata, ATTR_DIMS};
 pub use query_gen::{PointQuery, QueryDistribution, QueryWorkload, RangeQuery, TopKQuery};

@@ -9,6 +9,7 @@ pub use smartstore;
 pub use smartstore_bloom as bloom;
 pub use smartstore_bptree as bptree;
 pub use smartstore_linalg as linalg;
+pub use smartstore_net as net;
 pub use smartstore_persist as persist;
 pub use smartstore_rtree as rtree;
 pub use smartstore_service as service;
