@@ -157,7 +157,7 @@ impl Dbms {
                         (id, d)
                     })
                     .collect();
-                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 scored.truncate(k);
                 // The box result is exact only if the ball of radius
                 // `r_k` (distance to the k-th candidate) fits inside the
@@ -275,7 +275,7 @@ mod tests {
                 (i, d)
             })
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         let kth_dist = scored[k - 1].1;
         for id in &got {
             let a = [(id % 50) as f64, (id / 10) as f64, (id % 7) as f64];

@@ -34,7 +34,7 @@ impl PartialOrd for F64Key {
 }
 impl Ord for F64Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("F64Key is never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -65,6 +65,9 @@ pub struct RangeIter<T> {
 
 macro_rules! impl_range_source {
     ($($t:ty),*) => {$(
+        // SAFETY: `eval` computes each value from `start + index` and
+        // owns nothing; indexes are stateless, so any evaluation
+        // pattern is sound.
         unsafe impl Chunked for RangeIter<$t> {
             type Item = $t;
             fn len(&self) -> usize {
@@ -113,6 +116,9 @@ pub struct VecIntoIter<T: Send> {
 // `Chunked::eval`; no shared mutation of the buffer itself occurs.
 unsafe impl<T: Send> Sync for VecIntoIter<T> {}
 
+// SAFETY: `eval` moves each item out of the `ManuallyDrop` buffer by
+// index; the trait contract (disjoint ranges, each index at most once)
+// makes every move unique, and `Drop` only frees indexes never evaluated.
 unsafe impl<T: Send> Chunked for VecIntoIter<T> {
     type Item = T;
     fn len(&self) -> usize {
@@ -148,6 +154,8 @@ pub struct SliceIter<'a, T: Sync> {
     slice: &'a [T],
 }
 
+// SAFETY: `eval` only hands out shared references into a `Sync`
+// slice; nothing is moved, so any evaluation pattern is sound.
 unsafe impl<'a, T: Sync> Chunked for SliceIter<'a, T> {
     type Item = &'a T;
     fn len(&self) -> usize {
@@ -183,6 +191,8 @@ pub struct Chunks<'a, T: Sync> {
     size: usize,
 }
 
+// SAFETY: `eval` only hands out shared sub-slices of a `Sync` slice;
+// nothing is moved, so any evaluation pattern is sound.
 unsafe impl<'a, T: Sync> Chunked for Chunks<'a, T> {
     type Item = &'a [T];
     fn len(&self) -> usize {
@@ -209,8 +219,13 @@ pub struct ChunksMut<'a, T: Send> {
 // exactly-once contract of `Chunked::eval` guarantees each index is
 // evaluated by at most one thread.
 unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+// SAFETY: same argument as `Send` above — disjoint chunk indexes mean
+// shared handles never alias a sub-slice.
 unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
 
+// SAFETY: chunk index `c` maps to the disjoint sub-slice
+// `[c*size, (c+1)*size)`; the trait contract evaluates each index at
+// most once, so every `&mut` handed out is unique.
 unsafe impl<'a, T: Send> Chunked for ChunksMut<'a, T> {
     type Item = &'a mut [T];
     fn len(&self) -> usize {
@@ -272,6 +287,8 @@ pub struct Map<C, F> {
     f: F,
 }
 
+// SAFETY: indexes pass through 1:1 to the base pipeline, so the
+// disjoint/at-most-once contract is inherited unchanged.
 unsafe impl<C, F, R> Chunked for Map<C, F>
 where
     C: Chunked,
@@ -295,6 +312,8 @@ pub struct Filter<C, F> {
     f: F,
 }
 
+// SAFETY: indexes pass through 1:1 to the base pipeline (dropped
+// items still consume their index), inheriting the base contract.
 unsafe impl<C, F> Chunked for Filter<C, F>
 where
     C: Chunked,
@@ -320,6 +339,8 @@ pub struct Enumerate<C> {
     base: C,
 }
 
+// SAFETY: indexes pass through 1:1 to the base pipeline; the pair
+// only adds the index itself, inheriting the base contract.
 unsafe impl<C: Chunked> Chunked for Enumerate<C> {
     type Item = (usize, C::Item);
     fn len(&self) -> usize {

@@ -340,7 +340,12 @@ pub fn chunking(len: usize) -> (usize, usize) {
 /// Type-erased chunk body pointer (`'static`-laundered; guarded by the
 /// expiry protocol in [`run_chunked`]).
 struct BodyPtr(*const (dyn Fn(usize, Range<usize>) + Sync));
+// SAFETY: the pointee is `Sync` and outlives every dereference — workers
+// check the drive's expiry under its lock before touching the pointer,
+// and `run_chunked` only returns once `active == 0`.
 unsafe impl Send for BodyPtr {}
+// SAFETY: same expiry protocol as `Send` above; shared access is to a
+// `Sync` closure.
 unsafe impl Sync for BodyPtr {}
 
 struct DriveState {
@@ -444,10 +449,11 @@ pub fn run_chunked(len: usize, body: &(dyn Fn(usize, Range<usize>) + Sync)) {
         return;
     }
 
-    // Safety of the lifetime launder: this function does not return
-    // until `active == 0` and the drive is marked expired, so no
-    // worker can dereference `body` after the borrow ends.
     let body_static: &'static (dyn Fn(usize, Range<usize>) + Sync) =
+        // SAFETY: the lifetime launder is sound because this function
+        // does not return until `active == 0` and the drive is marked
+        // expired, so no worker can dereference `body` after the
+        // borrow ends.
         unsafe { std::mem::transmute(body) };
     let shared = Arc::new(DriveShared {
         state: Mutex::new(DriveState {

@@ -82,7 +82,7 @@ pub fn kmeans<R: Rng>(items: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R
                     .max_by(|&a, &b| {
                         let da = sq_euclidean(&items[a], &centroids[assignments[a]]);
                         let db = sq_euclidean(&items[b], &centroids[assignments[b]]);
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
                     .unwrap();
                 centroids[c] = items[far].clone();

@@ -228,7 +228,7 @@ impl Lsi {
         let folded = self.fold_query(q);
         (0..self.n_items())
             .map(|j| (j, cosine_similarity(&folded, self.item_coords(j))))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(j, _)| j)
     }
 
@@ -273,7 +273,7 @@ impl CorrelationMatrix {
         (0..self.n)
             .filter(|&j| j != i)
             .map(|j| (j, self.rows[i][j]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
     }
 }
 

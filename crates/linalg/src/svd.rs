@@ -210,7 +210,7 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
                 .sqrt()
         })
         .collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
 
     let r = n.min(m);
     let mut u = Matrix::zeros(m, r);

@@ -126,3 +126,62 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// `total_cmp` migration parity.
+//
+// K-means' assignment step and the LSI argmax moved from
+// `partial_cmp(..).unwrap()` to `f64::total_cmp`. On finite keys the
+// comparators agree everywhere except -0.0 vs +0.0 (where the old one
+// said Equal), and squared distances are never -0.0 — so the winning
+// index of every min/max is unchanged. These properties pin that down.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `min_by`/`max_by` pick the same index under both comparators on
+    /// finite non-negative keys (the distance domain).
+    #[test]
+    fn argmin_agrees_between_total_cmp_and_partial_cmp(
+        keys in prop::collection::vec((0u32..1_000_000).prop_map(|v| v as f64 / 64.0), 1..100),
+    ) {
+        let new_min = keys.iter().enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+        #[allow(clippy::disallowed_methods)]
+        let old_min = keys.iter().enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i);
+        prop_assert_eq!(new_min, old_min);
+        let new_max = keys.iter().enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+        #[allow(clippy::disallowed_methods)]
+        let old_max = keys.iter().enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i);
+        prop_assert_eq!(new_max, old_max);
+    }
+
+    /// K-means is deterministic for a fixed seed and never panics, even
+    /// when items contain non-finite coordinates (the case that used to
+    /// kill the old comparator).
+    #[test]
+    fn kmeans_deterministic_and_nan_safe(
+        n in 2usize..30,
+        k in 1usize..5,
+        seed in any::<u64>(),
+        poison in any::<bool>(),
+    ) {
+        let mut items: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i * 13 % 17) as f64, (i * 7 % 11) as f64])
+            .collect();
+        if poison {
+            items[0][0] = f64::NAN;
+        }
+        let a = kmeans(&items, k, 12, &mut StdRng::seed_from_u64(seed));
+        let b = kmeans(&items, k, 12, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.assignments, b.assignments);
+        prop_assert_eq!(
+            a.centroids.iter().flatten().map(|c| c.to_bits()).collect::<Vec<u64>>(),
+            b.centroids.iter().flatten().map(|c| c.to_bits()).collect::<Vec<u64>>()
+        );
+    }
+}

@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer, sufficient for token-level static
+//! analysis.
+//!
+//! The lexer's one job is to never confuse *code* with *text*: rule
+//! patterns must not fire on `"partial_cmp"` inside a string literal,
+//! a `// HashMap` comment, or a `r#"…unwrap()…"#` raw string. It
+//! therefore handles the full literal surface of the language —
+//! line/block comments (nested), string/char/byte/raw-string literals
+//! (with hash fences), lifetimes vs. char literals, numeric literals
+//! with tuple-field ambiguity (`a.1.partial_cmp` lexes as field `1`
+//! then a method call, not the float `1.`) — while treating everything
+//! else as identifiers and single-character punctuation.
+//!
+//! Comments are captured out-of-band (they carry `// SAFETY:` audits
+//! and `// lint:allow(..)` suppressions) and never appear in the token
+//! stream the rules walk.
+
+/// What a token is; rules mostly dispatch on `Ident` vs. `Punct`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `partial_cmp`, …).
+    Ident,
+    /// Numeric literal (`0`, `1.5e-3`, `0xFF`, `1_000u64`).
+    Num,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`, `c"x"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`.`  `:`  `{`  `#` …).
+    Punct,
+}
+
+/// One token: kind, byte span into the source, and 1-based line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain), with the lines it spans.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Full raw text including the `//` / `/*` markers.
+    pub text: String,
+    /// True when the comment shares its start line with earlier code.
+    pub trailing: bool,
+}
+
+/// Lexing output: the token stream plus out-of-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The source text of token `i` (caller supplies the same source).
+    pub fn text<'a>(&self, src: &'a str, i: usize) -> &'a str {
+        let t = &self.tokens[i];
+        &src[t.start..t.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens + comments. Malformed input (unterminated
+/// strings or comments) is tolerated: the open literal runs to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_had_token = false;
+    let mut out = Lexed::default();
+
+    macro_rules! bump_lines {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if b[k] == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+                line_had_token = false;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n && (b[i + 1] == b'/' || b[i + 1] == b'*') {
+            let start = i;
+            let start_line = line;
+            let trailing = line_had_token;
+            if b[i + 1] == b'/' {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            } else {
+                // Nested block comments.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                            line_had_token = false;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: src[start..i].to_string(),
+                trailing,
+            });
+            continue;
+        }
+        // String-ish literals, including raw/byte/c-string prefixes.
+        if let Some((end, kind)) = match_string_like(b, i) {
+            bump_lines!(i, end);
+            out.tokens.push(Token {
+                kind,
+                start: i,
+                end,
+                line,
+            });
+            // `line` already advanced past the literal; the token keeps
+            // its *ending* line, which is what suppression matching and
+            // diagnostics want for multi-line strings.
+            line_had_token = true;
+            i = end;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == b'\'' {
+            let (end, kind) = match_quote(b, i);
+            out.tokens.push(Token {
+                kind,
+                start: i,
+                end,
+                line,
+            });
+            line_had_token = true;
+            i = end;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let end = match_number(b, i);
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                start: i,
+                end,
+                line,
+            });
+            line_had_token = true;
+            i = end;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                start: i,
+                end: j,
+                line,
+            });
+            line_had_token = true;
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            start: i,
+            end: i + 1,
+            line,
+        });
+        line_had_token = true;
+        i += 1;
+    }
+    out
+}
+
+/// Matches a string literal starting at `i`, including `r`/`b`/`c`
+/// prefixes and raw hash fences. Returns the end offset, or `None`
+/// when `i` does not start a string (e.g. `r` beginning an identifier).
+fn match_string_like(b: &[u8], i: usize) -> Option<(usize, TokKind)> {
+    let n = b.len();
+    let mut j = i;
+    // Optional one- or two-character prefix: r, b, c, br, rb (rb is not
+    // legal Rust but harmless to accept).
+    let mut raw = false;
+    let mut saw_prefix = false;
+    while j < n && (b[j] == b'r' || b[j] == b'b' || b[j] == b'c') && j - i < 2 {
+        if b[j] == b'r' {
+            raw = true;
+        }
+        saw_prefix = true;
+        j += 1;
+    }
+    if saw_prefix && j < n && is_ident_continue(b[j]) && b[j] != b'"' && b[j] != b'#' {
+        // `raw_value`, `break`, … — an identifier, not a literal prefix.
+        return None;
+    }
+    if raw {
+        // Count the hash fence.
+        let mut hashes = 0usize;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != b'"' {
+            return None;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        while j < n {
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < n && seen < hashes && b[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((k, TokKind::Str));
+                }
+            }
+            j += 1;
+        }
+        return Some((n, TokKind::Str));
+    }
+    if j < n && b[j] == b'"' {
+        j += 1;
+        while j < n {
+            match b[j] {
+                b'\\' => j = (j + 2).min(n),
+                b'"' => return Some((j + 1, TokKind::Str)),
+                _ => j += 1,
+            }
+        }
+        return Some((n, TokKind::Str));
+    }
+    if saw_prefix && j < n && b[j] == b'\'' {
+        // Byte literal b'x'.
+        let (end, _) = match_quote(b, j);
+        return Some((end, TokKind::Char));
+    }
+    None
+}
+
+/// Disambiguates a `'` at `i`: lifetime (`'a`, `'static`) vs. char
+/// literal (`'a'`, `'\n'`, `'é'`). A lifetime is an identifier after
+/// the quote with *no* closing quote; anything else scans as a char.
+fn match_quote(b: &[u8], i: usize) -> (usize, TokKind) {
+    let n = b.len();
+    let mut j = i + 1;
+    if j < n && is_ident_start(b[j]) && b[j] != b'\\' {
+        let mut k = j + 1;
+        while k < n && is_ident_continue(b[k]) {
+            k += 1;
+        }
+        if k >= n || b[k] != b'\'' {
+            return (k, TokKind::Lifetime);
+        }
+        // 'a' — single ident char then a quote: char literal.
+        return (k + 1, TokKind::Char);
+    }
+    // Escape or punctuation char literal: scan to the closing quote.
+    while j < n {
+        match b[j] {
+            b'\\' => j = (j + 2).min(n),
+            b'\'' => return (j + 1, TokKind::Char),
+            b'\n' => return (j, TokKind::Char), // malformed; don't eat the file
+            _ => j += 1,
+        }
+    }
+    (n, TokKind::Char)
+}
+
+/// Matches a numeric literal starting at a digit. A `.` joins the
+/// number only when followed by a digit (so `0..n` and `a.1.method()`
+/// lex correctly); `e`/`E` exponents may take a sign.
+fn match_number(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    let mut seen_dot = false;
+    while j < n {
+        let c = b[j];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // Exponent sign: 1e-5 / 1E+5.
+            if (c == b'e' || c == b'E')
+                && j + 1 < n
+                && (b[j + 1] == b'+' || b[j + 1] == b'-')
+                && j + 2 < n
+                && b[j + 2].is_ascii_digit()
+            {
+                j += 2;
+            }
+            j += 1;
+        } else if c == b'.' && !seen_dot && j + 1 < n && b[j + 1].is_ascii_digit() {
+            seen_dot = true;
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let l = lex(src);
+        l.tokens
+            .iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let l = lex(r#"let s = "partial_cmp().unwrap()";"#);
+        let idents = l.tokens.iter().filter(|t| t.kind == TokKind::Ident).count();
+        assert_eq!(idents, 2); // let, s
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r##"let s = r#"an "unwrap()" inside"#; let t = 1;"##;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.contains("unwrap")));
+        assert!(ks.iter().any(|(k, s)| *k == TokKind::Ident && s == "t"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let ks = kinds(r#"const M: &[u8; 4] = b"SS\x00\x00"; let c = c"x";"#);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_out_of_band_and_nested() {
+        let src = "// standalone\na /* outer /* inner */ still */ b // trailing unwrap()\nc";
+        let l = lex(src);
+        let idents: Vec<String> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| src[t.start..t.end].to_string())
+            .collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert_eq!(l.comments.len(), 3);
+        assert!(!l.comments[0].trailing); // standalone line
+        assert!(l.comments[1].trailing); // block comment after `a`
+        assert!(l.comments[2].trailing); // line comment after `b`
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let ks = kinds("a.1.partial_cmp(&b.1)");
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "partial_cmp"));
+        assert_eq!(
+            ks.iter()
+                .filter(|(k, s)| *k == TokKind::Num && s == "1")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn ranges_and_floats() {
+        let ks = kinds("for i in 0..10 { let x = 1.5e-3; }");
+        assert!(ks.iter().any(|(k, s)| *k == TokKind::Num && s == "0"));
+        assert!(ks.iter().any(|(k, s)| *k == TokKind::Num && s == "10"));
+        assert!(ks.iter().any(|(k, s)| *k == TokKind::Num && s == "1.5e-3"));
+    }
+
+    #[test]
+    fn lines_tracked_through_literals() {
+        let src = "a\nb \"two\nline\" c\nd";
+        let l = lex(src);
+        let line_of = |name: &str| {
+            l.tokens
+                .iter()
+                .find(|t| &src[t.start..t.end] == name)
+                .map(|t| t.line)
+        };
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("b"), Some(2));
+        assert_eq!(line_of("c"), Some(3));
+        assert_eq!(line_of("d"), Some(4));
+    }
+}

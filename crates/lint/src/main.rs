@@ -1,0 +1,87 @@
+//! CLI driver: `cargo run -p smartstore-lint [--] [ROOT] [options]`.
+//!
+//! Prints findings as `file:line:rule: message`, writes the
+//! machine-readable report to `results/lint.json` (override with
+//! `--json-out PATH`, disable with `--no-json`), and exits nonzero on
+//! any finding — the CI gate contract.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out = Some(PathBuf::from("results/lint.json"));
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("smartstore-lint: --json-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-json" => json_out = None,
+            "--help" | "-h" => {
+                println!(
+                    "usage: smartstore-lint [ROOT] [--json-out PATH | --no-json]\n\
+                     Lints the workspace at ROOT (default `.`); exits 1 on findings."
+                );
+                return ExitCode::SUCCESS;
+            }
+            p if !p.starts_with('-') => root = PathBuf::from(p),
+            other => {
+                eprintln!("smartstore-lint: unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match smartstore_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("smartstore-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let undocumented = report
+        .unsafe_inventory
+        .iter()
+        .filter(|u| !u.documented)
+        .count();
+    eprintln!(
+        "smartstore-lint: {} finding(s) across {} file(s); {} unsafe site(s) \
+         ({} undocumented); {} justified allow(s)",
+        report.findings.len(),
+        report.files_scanned,
+        report.unsafe_inventory.len(),
+        undocumented,
+        report.allows.len()
+    );
+
+    if let Some(path) = json_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("smartstore-lint: create {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("smartstore-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("smartstore-lint: report written to {}", path.display());
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,165 @@
+//! Findings, the unsafe-block inventory, and the machine-readable
+//! JSON report (hand-rolled — this crate is zero-dependency).
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D001`, `P002`, …).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `unsafe` site, documented or not — the U-rule audit inventory.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `block` | `fn` | `impl` | `trait`.
+    pub kind: &'static str,
+    /// True when a `SAFETY`/`# Safety` comment covers the site.
+    pub documented: bool,
+}
+
+/// One justified suppression, surfaced in the report so the audit
+/// trail of accepted violations is reviewable in CI artifacts.
+#[derive(Clone, Debug)]
+pub struct AllowRecord {
+    pub file: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub justification: String,
+}
+
+/// Everything one workspace run produces.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    pub allows: Vec<AllowRecord>,
+}
+
+impl Report {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"finding_count\": {},", self.findings.len());
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            );
+            s.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"unsafe_inventory\": [\n");
+        for (i, u) in self.unsafe_inventory.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"documented\": {}}}",
+                json_str(&u.file),
+                u.line,
+                json_str(u.kind),
+                u.documented
+            );
+            s.push_str(if i + 1 < self.unsafe_inventory.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            let rules: Vec<String> = a.rules.iter().map(|r| json_str(r)).collect();
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"rules\": [{}], \"justification\": {}}}",
+                json_str(&a.file),
+                a.line,
+                rules.join(", "),
+                json_str(&a.justification)
+            );
+            s.push_str(if i + 1 < self.allows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(Finding {
+            file: "a \"b\"\\c.rs".into(),
+            line: 3,
+            rule: "D001",
+            message: "tab\there".into(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"a \\\"b\\\"\\\\c.rs\""));
+        assert!(j.contains("\"tab\\there\""));
+        assert!(j.contains("\"finding_count\": 1"));
+        assert!(j.contains("\"files_scanned\": 2"));
+    }
+}

@@ -1,0 +1,251 @@
+//! D rules: the answers this workspace serves must be a pure function
+//! of the data, never of NaN luck, hash seeds, or the wall clock.
+
+use super::{is_ident, is_punct, skip_parens};
+use crate::config;
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use std::collections::BTreeSet;
+
+/// D001 — `partial_cmp(..)` followed by `unwrap`/`expect`/`unwrap_or`.
+///
+/// On floats this panics (or silently degrades) the first time a NaN
+/// reaches a comparator; `f64::total_cmp` gives the same order for the
+/// finite values these code paths produce and a deterministic one for
+/// everything else. Applies workspace-wide to non-test code.
+pub fn check_partial_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens();
+    for i in 0..toks.len() {
+        if !is_ident(ctx, i, "partial_cmp") || ctx.is_test_tok(i) {
+            continue;
+        }
+        // Skip the *definition* inside a PartialOrd impl.
+        if i > 0 && is_ident(ctx, i - 1, "fn") {
+            continue;
+        }
+        let Some(after) = skip_parens(ctx, i + 1) else {
+            continue;
+        };
+        if !is_punct(ctx, after, ".") {
+            continue;
+        }
+        let m = after + 1;
+        if toks.get(m).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = ctx.text(m);
+            if matches!(name, "unwrap" | "expect" | "unwrap_or") {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: toks[i].line,
+                    rule: "D001",
+                    message: format!(
+                        "partial_cmp(..).{name}() is NaN-unsound; use f64::total_cmp \
+                         for a total, deterministic order"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// D003 — `Instant::now` / `SystemTime::now` outside the timing
+/// allowlist. A wall-clock read in answer-producing code makes replies
+/// depend on when they were computed, which breaks replay and the
+/// bit-identity parity gates.
+pub fn check_wall_clock(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if config::WALL_CLOCK_ALLOWED_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.is_test_tok(i) {
+            continue;
+        }
+        let clock = if is_ident(ctx, i, "Instant") {
+            "Instant"
+        } else if is_ident(ctx, i, "SystemTime") {
+            "SystemTime"
+        } else {
+            continue;
+        };
+        if is_punct(ctx, i + 1, ":") && is_punct(ctx, i + 2, ":") && is_ident(ctx, i + 3, "now") {
+            out.push(Finding {
+                file: ctx.path.clone(),
+                line: tok.line,
+                rule: "D003",
+                message: format!(
+                    "{clock}::now() outside the timing allowlist ({}); pass timestamps \
+                     in as data or move the measurement to a bench/net crate",
+                    config::WALL_CLOCK_ALLOWED_CRATES.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// D002 — iteration over `HashMap`/`HashSet` in the deterministic
+/// crates' production code.
+///
+/// Two passes: first collect every identifier the file declares with a
+/// hash-container type (let bindings with annotations or
+/// `HashMap::new()`-style initializers, struct fields, fn params);
+/// then flag `for … in` heads and `.iter()`-family calls on those
+/// names. Iteration order of std hash containers is seeded per
+/// process, so any byte or answer derived from it differs run to run.
+pub fn check_hash_iteration(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !config::DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let names = collect_hash_names(ctx);
+    if names.is_empty() {
+        return;
+    }
+    let toks = ctx.tokens();
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    let mut flag = |line: u32, name: &str, how: &str, out: &mut Vec<Finding>| {
+        if seen.insert((line, name.to_string())) {
+            out.push(Finding {
+                file: ctx.path.clone(),
+                line,
+                rule: "D002",
+                message: format!(
+                    "iteration over hash container `{name}` ({how}) in a deterministic \
+                     crate; iterate a sorted copy / BTreeMap, or justify with lint:allow"
+                ),
+            });
+        }
+    };
+
+    for i in 0..toks.len() {
+        if ctx.is_test_tok(i) {
+            continue;
+        }
+        // `name.iter()` family, anywhere an expression can appear.
+        if toks[i].kind == TokKind::Ident && names.contains(ctx.text(i)) {
+            let name = ctx.text(i);
+            if is_punct(ctx, i + 1, ".")
+                && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                && config::HASH_ITER_METHODS.contains(&ctx.text(i + 2))
+                && is_punct(ctx, i + 3, "(")
+            {
+                flag(toks[i].line, name, &format!(".{}()", ctx.text(i + 2)), out);
+            }
+        }
+        // `for pat in <head> {` where the head *is* a tracked name
+        // (possibly `&name`, `&mut name`, `self.name`).
+        if is_ident(ctx, i, "for") {
+            if let Some((head_start, head_end)) = for_head(ctx, i) {
+                if let Some(name) = head_is_hash_path(ctx, head_start, head_end, &names) {
+                    flag(toks[i].line, &name, "for-loop", out);
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers this file associates with a hash-container
+/// type: `NAME: …HashMap…` (bindings, fields, params) and
+/// `let NAME = HashMap::…`.
+fn collect_hash_names(ctx: &FileContext) -> BTreeSet<String> {
+    let toks = ctx.tokens();
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = ctx.text(i);
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        // Walk backwards, skipping type tokens, to the `NAME :` or
+        // `let [mut] NAME =` that owns this mention. Bounded lookback
+        // keeps pathological lines cheap.
+        let lo = i.saturating_sub(40);
+        let mut j = i;
+        while j > lo {
+            j -= 1;
+            // `NAME : … HashMap` — but not a path `::`.
+            if is_punct(ctx, j, ":")
+                && !is_punct(ctx, j.wrapping_sub(1), ":")
+                && !is_punct(ctx, j + 1, ":")
+                && j >= 1
+                && toks[j - 1].kind == TokKind::Ident
+            {
+                names.insert(ctx.text(j - 1).to_string());
+                break;
+            }
+            // `let [mut] NAME = HashMap::…`
+            if is_punct(ctx, j, "=") && j >= 1 && toks[j - 1].kind == TokKind::Ident {
+                let name = ctx.text(j - 1);
+                let prev = j.checked_sub(2);
+                let is_let = prev.is_some_and(|p| {
+                    is_ident(ctx, p, "let") || is_ident(ctx, p, "mut") || is_ident(ctx, p, "static")
+                });
+                if is_let {
+                    names.insert(name.to_string());
+                }
+                break;
+            }
+            // A statement boundary before either pattern: unrelated
+            // mention (turbofish, `use`, a bare constructor call).
+            if is_punct(ctx, j, ";") || is_punct(ctx, j, "{") || is_punct(ctx, j, "}") {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// Token range of a for-loop's iterable: after the `in` keyword, up to
+/// the body's `{` at bracket depth 0.
+fn for_head(ctx: &FileContext, for_tok: usize) -> Option<(usize, usize)> {
+    let toks = ctx.tokens();
+    let mut depth = 0i32;
+    let mut j = for_tok + 1;
+    let mut start = None;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match ctx.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 && start.is_some() => return Some((start?, j)),
+                _ => {}
+            }
+        }
+        if start.is_none() && is_ident(ctx, j, "in") && depth == 0 {
+            start = Some(j + 1);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// When the head expression reduces to a plain path ending in a
+/// tracked name (`m`, `&m`, `&mut m`, `self.m`, `(&m)`), returns that
+/// name. Method-call heads (`m.keys()`) are handled by the `.iter()`
+/// check instead; computed heads (`0..m.len()`) are not iteration over
+/// the container and stay silent.
+fn head_is_hash_path(
+    ctx: &FileContext,
+    start: usize,
+    end: usize,
+    names: &BTreeSet<String>,
+) -> Option<String> {
+    let mut last_ident: Option<&str> = None;
+    for i in start..end {
+        match ctx.tokens()[i].kind {
+            TokKind::Ident => {
+                let t = ctx.text(i);
+                if t == "mut" || t == "self" {
+                    continue;
+                }
+                last_ident = Some(t);
+            }
+            TokKind::Punct if matches!(ctx.text(i), "&" | "(" | ")" | ".") => {}
+            _ => return None,
+        }
+    }
+    last_ident
+        .filter(|n| names.contains(*n))
+        .map(|n| n.to_string())
+}

@@ -1,0 +1,70 @@
+//! L rule: mutex acquisition order. The work-stealing pool and the
+//! fault VFS together hold a handful of mutexes; a function that locks
+//! them against the declared order is one scheduler interleaving away
+//! from a deadlock that no test will reproduce.
+//!
+//! The check is conservative: within one function, every `.lock()` on
+//! a known mutex is treated as potentially held across the later ones
+//! (guard lifetimes are not tracked), so the discipline is
+//! *sequential* consistency with the declared order — which the
+//! current code satisfies and new code should keep satisfying.
+
+use super::{is_ident, is_punct};
+use crate::config;
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use std::collections::BTreeSet;
+
+/// L001 — a known mutex locked after one that the declared order puts
+/// later.
+pub fn check(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !config::LOCK_ORDER_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = ctx.tokens();
+    let order_of = |name: &str| config::LOCK_ORDER.iter().position(|&m| m == name);
+
+    for f in &ctx.fns {
+        // Acquisition sequence of known mutexes in this fn.
+        let mut seq: Vec<(usize, &str, u32)> = Vec::new();
+        for i in f.start..f.end.min(toks.len()) {
+            if ctx.is_test_tok(i) {
+                break; // whole fn is test code
+            }
+            // `<recv>.lock()` — the receiver is the ident before `.lock`.
+            if is_ident(ctx, i, "lock")
+                && i >= 2
+                && is_punct(ctx, i - 1, ".")
+                && toks[i - 2].kind == TokKind::Ident
+                && is_punct(ctx, i + 1, "(")
+                && is_punct(ctx, i + 2, ")")
+            {
+                let recv = ctx.text(i - 2);
+                if let Some(rank) = order_of(recv) {
+                    seq.push((rank, recv, toks[i].line));
+                }
+            }
+        }
+        let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+        for a in 0..seq.len() {
+            for b in a + 1..seq.len() {
+                let (ra, na, _) = seq[a];
+                let (rb, nb, line_b) = seq[b];
+                if ra > rb && reported.insert((na, nb)) {
+                    out.push(Finding {
+                        file: ctx.path.clone(),
+                        line: line_b,
+                        rule: "L001",
+                        message: format!(
+                            "mutex `{nb}` locked after `{na}` in fn `{}`; declared order \
+                             is {}",
+                            f.name,
+                            config::LOCK_ORDER.join(" -> ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! P rules: production code of the serving/persistence crates must
+//! degrade to typed errors, not panic. A panic in a shard kills the
+//! fleet member; a panic in the WAL replay path turns a recoverable
+//! torn tail into an outage.
+
+use super::{is_ident, is_punct};
+use crate::config;
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+/// P001/P002 — `.unwrap()` / `.expect(..)` in production code of the
+/// panic-free crates. P003 — `panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` likewise.
+pub fn check(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !config::PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = ctx.tokens();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || ctx.is_test_tok(i) {
+            continue;
+        }
+        let t = ctx.text(i);
+        match t {
+            // Method position only: `.unwrap(` — not `unwrap_or`,
+            // which is a different identifier, and not fn defs.
+            "unwrap" | "expect"
+                if i > 0 && is_punct(ctx, i - 1, ".") && is_punct(ctx, i + 1, "(") =>
+            {
+                let (rule, msg): (&'static str, &str) = if t == "unwrap" {
+                    (
+                        "P001",
+                        "convert the failure into a typed error or handle None explicitly",
+                    )
+                } else {
+                    (
+                        "P002",
+                        "the message will never reach an operator; return a typed error",
+                    )
+                };
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: tok.line,
+                    rule,
+                    message: format!(".{t}() in panic-free production code; {msg}"),
+                });
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if is_punct(ctx, i + 1, "!") && !is_ident(ctx, i.wrapping_sub(1), "fn") =>
+            {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: tok.line,
+                    rule: "P003",
+                    message: format!(
+                        "{t}! in panic-free production code; degrade to a typed error \
+                         (Response::Error / PersistError) instead of killing the worker"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}

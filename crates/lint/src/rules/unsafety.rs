@@ -1,0 +1,110 @@
+//! U rule: every `unsafe` site must carry the invariant it relies on.
+//! The audit also inventories *all* unsafe sites (documented or not)
+//! into the report, so a reviewer can see the complete unsafe surface
+//! of the workspace in one artifact.
+
+use super::is_ident;
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::report::{Finding, UnsafeSite};
+use std::collections::BTreeMap;
+
+/// U001 — an `unsafe` block/fn/impl/trait with no `SAFETY:` (or
+/// rustdoc `# Safety`) comment covering it.
+pub fn check(ctx: &FileContext, out: &mut Vec<Finding>, inventory: &mut Vec<UnsafeSite>) {
+    let toks = ctx.tokens();
+    // First token on each line, to distinguish attribute-only lines
+    // from code lines when walking upwards.
+    let mut first_tok_on_line: BTreeMap<u32, usize> = BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        first_tok_on_line.entry(t.line).or_insert(i);
+    }
+
+    for i in 0..toks.len() {
+        if !is_ident(ctx, i, "unsafe") || ctx.is_test_tok(i) {
+            continue;
+        }
+        let kind: &'static str = match toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => match ctx.text(i + 1) {
+                "fn" => "fn",
+                "impl" => "impl",
+                "trait" => "trait",
+                "extern" => "extern",
+                _ => "block",
+            },
+            _ => "block",
+        };
+        // `unsafe` inside an `unsafe fn`'s own signature-line is the
+        // declaration itself; operations inside the fn body need no
+        // inner blocks, so the fn-level doc is the audit point.
+        let line = toks[i].line;
+        let documented = has_safety_comment(ctx, &first_tok_on_line, line);
+        inventory.push(UnsafeSite {
+            file: ctx.path.clone(),
+            line,
+            kind,
+            documented,
+        });
+        if !documented {
+            out.push(Finding {
+                file: ctx.path.clone(),
+                line,
+                rule: "U001",
+                message: format!(
+                    "unsafe {kind} without a SAFETY comment; state the invariant that \
+                     makes it sound (`// SAFETY: …` or a `# Safety` doc section)"
+                ),
+            });
+        }
+    }
+}
+
+/// Looks for a SAFETY marker in a comment on the same line, or in the
+/// contiguous run of comment/attribute lines directly above.
+fn has_safety_comment(
+    ctx: &FileContext,
+    first_tok_on_line: &BTreeMap<u32, usize>,
+    line: u32,
+) -> bool {
+    let marker = |text: &str| text.to_ascii_uppercase().contains("SAFETY");
+    // Trailing comment on the same line.
+    if ctx
+        .lexed
+        .comments
+        .iter()
+        .any(|c| c.line == line && marker(&c.text))
+    {
+        return true;
+    }
+    // Walk upwards through comments and attribute lines.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        // A comment spanning this line?
+        if let Some(c) = ctx
+            .lexed
+            .comments
+            .iter()
+            .find(|c| c.line <= l && l <= c.end_line && !c.trailing)
+        {
+            if marker(&c.text) {
+                return true;
+            }
+            if c.line == 1 {
+                break;
+            }
+            l = c.line - 1;
+            continue;
+        }
+        // An attribute-only line (`#[inline]`, `#[allow(..)]`)?
+        match first_tok_on_line.get(&l) {
+            Some(&i) if ctx.text(i) == "#" => {
+                l -= 1;
+                continue;
+            }
+            // Code line or blank line without a comment: the
+            // contiguous documentation run has ended.
+            _ => break,
+        }
+    }
+    false
+}

@@ -1,0 +1,205 @@
+//! W rules: the wire protocol's tag space is append-only and must stay
+//! self-consistent. Every `REQ_*`/`RESP_*`/`MODE_*` tag, file magic,
+//! and the `FORMAT_VERSION` must be unique within its family (W001)
+//! and referenced by both an encoder and a decoder (W002) — a tag that
+//! only one side knows is either dead weight or, worse, a frame the
+//! peer cannot parse.
+//!
+//! This is a workspace-global check: constants are collected across
+//! every file of the wire crates, then verified once at the end.
+
+use super::is_ident;
+use crate::config;
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// Which namespace a constant's uniqueness is checked within.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Family {
+    Req,
+    Resp,
+    Mode,
+    Magic,
+    Version,
+}
+
+fn family_of(name: &str) -> Option<Family> {
+    if name.starts_with("REQ_") {
+        Some(Family::Req)
+    } else if name.starts_with("RESP_") {
+        Some(Family::Resp)
+    } else if name.starts_with("MODE_") {
+        Some(Family::Mode)
+    } else if name.ends_with("_MAGIC") {
+        Some(Family::Magic)
+    } else if name == "FORMAT_VERSION" {
+        Some(Family::Version)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct WireConst {
+    crate_name: String,
+    file: String,
+    line: u32,
+    name: String,
+    family: Family,
+    /// Raw token text of the initializer, for same-value detection.
+    value: String,
+    used_in_encoder: bool,
+    used_in_decoder: bool,
+}
+
+/// Accumulates definitions and usages across files, then reports.
+#[derive(Debug, Default)]
+pub struct WireCheck {
+    consts: Vec<WireConst>,
+    /// (crate, ident) → (encoder_seen, decoder_seen), collected before
+    /// the defining file may even have been scanned.
+    usages: BTreeMap<(String, String), (bool, bool)>,
+}
+
+impl WireCheck {
+    /// Scans one file for wire-constant definitions and usages.
+    pub fn collect(&mut self, ctx: &FileContext) {
+        if !config::WIRE_CRATES.contains(&ctx.crate_name.as_str()) {
+            return;
+        }
+        let toks = ctx.tokens();
+        for i in 0..toks.len() {
+            if toks[i].kind != TokKind::Ident || ctx.is_test_tok(i) {
+                continue;
+            }
+            // Definition: `const NAME : … = value ;`
+            if ctx.text(i) == "const" && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                let name = ctx.text(i + 1).to_string();
+                if let Some(family) = family_of(&name) {
+                    if let Some(value) = const_value_text(ctx, i) {
+                        self.consts.push(WireConst {
+                            crate_name: ctx.crate_name.clone(),
+                            file: ctx.path.clone(),
+                            line: toks[i].line,
+                            name,
+                            family,
+                            value,
+                            used_in_encoder: false,
+                            used_in_decoder: false,
+                        });
+                        continue;
+                    }
+                }
+            }
+            // Usage: a tracked name inside an encoder/decoder fn.
+            let t = ctx.text(i);
+            if family_of(t).is_none() {
+                continue;
+            }
+            // Skip the name token of the definition itself.
+            if i > 0 && is_ident(ctx, i - 1, "const") {
+                continue;
+            }
+            let Some(f) = ctx.enclosing_fn(i) else {
+                continue;
+            };
+            let entry = self
+                .usages
+                .entry((ctx.crate_name.clone(), t.to_string()))
+                .or_insert((false, false));
+            if config::name_matches(&f.name, config::ENCODER_FN_HINTS) {
+                entry.0 = true;
+            }
+            if config::name_matches(&f.name, config::DECODER_FN_HINTS) {
+                entry.1 = true;
+            }
+        }
+    }
+
+    /// Emits W001/W002 findings after every file has been collected.
+    pub fn finalize(mut self, out: &mut Vec<Finding>) {
+        for c in &mut self.consts {
+            if let Some(&(enc, dec)) = self.usages.get(&(c.crate_name.clone(), c.name.clone())) {
+                c.used_in_encoder = enc;
+                c.used_in_decoder = dec;
+            }
+        }
+        // W001: duplicate value within (crate, family).
+        let mut by_value: BTreeMap<(String, Family, String), &WireConst> = BTreeMap::new();
+        for c in &self.consts {
+            if c.family == Family::Version {
+                continue; // a single version constant; nothing to collide with
+            }
+            let key = (c.crate_name.clone(), c.family, c.value.clone());
+            match by_value.get(&key) {
+                Some(first) => out.push(Finding {
+                    file: c.file.clone(),
+                    line: c.line,
+                    rule: "W001",
+                    message: format!(
+                        "wire tag {} duplicates the value of {} ({}); tag values must be \
+                         unique within their family",
+                        c.name, first.name, c.value
+                    ),
+                }),
+                None => {
+                    by_value.insert(key, c);
+                }
+            }
+        }
+        // W002: every tag must appear on both sides of the wire.
+        for c in &self.consts {
+            let missing = match (c.used_in_encoder, c.used_in_decoder) {
+                (true, true) => continue,
+                (false, true) => "an encoder",
+                (true, false) => "a decoder",
+                (false, false) => "both an encoder and a decoder",
+            };
+            out.push(Finding {
+                file: c.file.clone(),
+                line: c.line,
+                rule: "W002",
+                message: format!(
+                    "wire constant {} is never referenced by {missing}; a tag only one \
+                     side knows cannot round-trip",
+                    c.name
+                ),
+            });
+        }
+    }
+}
+
+/// Raw text of `const NAME: T = <value>;` between `=` and `;`.
+fn const_value_text(ctx: &FileContext, const_tok: usize) -> Option<String> {
+    let toks = ctx.tokens();
+    let mut j = const_tok + 2;
+    // Find the `=` at depth 0 (the type may contain generics/arrays).
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match ctx.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0 => break,
+                ";" if depth == 0 => return None, // no initializer
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let mut parts = Vec::new();
+    j += 1;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct && ctx.text(j) == ";" {
+            return Some(parts.join(" "));
+        }
+        parts.push(ctx.text(j).to_string());
+        j += 1;
+        if parts.len() > 64 {
+            return Some(parts.join(" ")); // defensive bound
+        }
+    }
+    None
+}

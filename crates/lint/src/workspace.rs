@@ -1,0 +1,104 @@
+//! Workspace discovery: walk the tree for `.rs` files, attribute each
+//! to its owning crate (nearest ancestor `Cargo.toml`'s package name),
+//! and classify dev directories. Deterministic: directory entries are
+//! visited in sorted order, so the report is byte-stable run to run.
+
+use crate::context::FileContext;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directory names whose contents are dev/test code, exempt from
+/// production-only rules.
+const DEV_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results"];
+
+/// Builds a [`FileContext`] for every `.rs` file under `root`.
+pub fn load(root: &Path) -> Result<Vec<FileContext>, String> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut crate_names: BTreeMap<PathBuf, String> = BTreeMap::new();
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_name = crate_of(root, &f, &mut crate_names);
+        let is_dev = rel.split('/').any(|seg| DEV_DIRS.contains(&seg));
+        let src = std::fs::read_to_string(&f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        out.push(FileContext::new(rel, crate_name, is_dev, src));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for e in rd {
+        let e = e.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        entries.push(e.path());
+    }
+    entries.sort();
+    for p in entries {
+        let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if p.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Package name from the nearest ancestor `Cargo.toml` (at or below
+/// `root`); falls back to the directory name when no manifest parses.
+fn crate_of(root: &Path, file: &Path, cache: &mut BTreeMap<PathBuf, String>) -> String {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        if let Some(name) = cache.get(d) {
+            return name.clone();
+        }
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let name = package_name(&manifest).unwrap_or_else(|| {
+                d.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            });
+            cache.insert(d.to_path_buf(), name.clone());
+            return name;
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    String::new()
+}
+
+/// Minimal TOML scan: the first `name = "…"` line after `[package]`.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && line.starts_with("name") {
+            let (_, rhs) = line.split_once('=')?;
+            return Some(rhs.trim().trim_matches('"').to_string());
+        }
+    }
+    None
+}

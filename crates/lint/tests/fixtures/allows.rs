@@ -1,0 +1,12 @@
+//! Suppression semantics: a justified allow silences its finding; a
+//! bare allow silences nothing and is itself flagged (A001).
+
+fn justified(v: Option<u32>) -> u32 {
+    // lint:allow(P001) -- fixture: demonstrates a justified suppression
+    v.unwrap()
+}
+
+fn unjustified(v: Option<u32>) -> u32 {
+    // lint:allow(P001)
+    v.unwrap()
+}

@@ -1,0 +1,12 @@
+//! Decoys only: every "violation" below lives inside a string or a
+//! comment, so this file must produce zero findings even when scanned
+//! as the strictest crate.
+//! partial_cmp(a).unwrap() in a doc comment.
+
+pub fn clean() -> usize {
+    // .unwrap(), panic!("x"), Instant::now() in a comment
+    let s = "a.partial_cmp(b).unwrap(); panic!(\"x\"); Instant::now()";
+    let r = r#"for k in m.keys() { } and task.lock() after state.lock()"#;
+    /* const REQ_DUP: u8 = 1; const REQ_DUP2: u8 = 1; unsafe { boom() } */
+    s.len() + r.len()
+}

@@ -1,0 +1,35 @@
+//! Seeded D-rule violations. This file is test *data* — it is scanned
+//! by `tests/lint_rules.rs`, never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn d001_site(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn d002_site(m: &HashMap<u32, u32>) -> u32 {
+    let mut sum = 0;
+    for (_k, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}
+
+fn d003_site() -> Instant {
+    Instant::now()
+}
+
+fn decoys() {
+    // partial_cmp(a).unwrap() in a comment must not fire
+    let _s = "a.partial_cmp(b).unwrap() inside a string";
+    let _t = "Instant::now() in a string";
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(xs: &mut [f64]) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded L-rule violation (scanned as a lock-order crate).
+
+use std::sync::Mutex;
+
+struct S {
+    state: Mutex<u32>,
+    task: Mutex<u32>,
+}
+
+impl S {
+    fn inverted(&self) {
+        let _s = self.state.lock();
+        let _t = self.task.lock();
+    }
+
+    fn ordered(&self) {
+        let _t = self.task.lock();
+        let _s = self.state.lock();
+    }
+}

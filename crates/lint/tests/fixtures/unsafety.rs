@@ -1,0 +1,18 @@
+//! Seeded U-rule violation plus two documented sites.
+
+fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn doc_section(p: *const u32) -> u32 {
+    *p
+}

@@ -1,0 +1,14 @@
+//! Seeded W-rule violations (scanned as a wire crate).
+
+pub const REQ_PING: u8 = 1;
+pub const REQ_ECHO: u8 = 1;
+pub const REQ_ORPHAN: u8 = 3;
+
+pub fn put_ping(out: &mut Vec<u8>) {
+    out.push(REQ_PING);
+    out.push(REQ_ORPHAN);
+}
+
+pub fn get_ping(b: &[u8]) -> bool {
+    b.first() == Some(&REQ_PING)
+}

@@ -210,6 +210,7 @@ pub fn write_all_retry(w: &mut impl std::io::Write, mut buf: &[u8]) -> std::io::
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use smartstore_persist::codec::put_record;

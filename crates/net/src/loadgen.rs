@@ -249,7 +249,10 @@ pub fn run_open_loop(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("load thread"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(p) => std::panic::resume_unwind(p),
+            })
             .collect()
     });
 
@@ -353,7 +356,10 @@ fn drive_connection(
         }
         // Half-close: the server answers what it read, then EOFs us.
         let _ = writer.shutdown_write();
-        (receiver.join().expect("receiver thread"),)
+        (match receiver.join() {
+            Ok(out) => out,
+            Err(p) => std::panic::resume_unwind(p),
+        },)
     });
 
     let (answered, shed, errors, latency) = recv_out;

@@ -264,11 +264,19 @@ impl NetServerHandle {
 }
 
 fn accept_loop(shared: &Arc<Shared>, tcp: Option<TcpListener>, uds: Option<UnixListener>) {
-    let pool = ThreadPoolBuilder::new()
+    let pool = match ThreadPoolBuilder::new()
         // +1: the accept loop itself occupies the scope's calling slot.
         .num_threads(shared.limits.conn_threads.max(2) + 1)
         .build()
-        .expect("connection pool builds");
+    {
+        Ok(pool) => pool,
+        Err(_) => {
+            // No worker pool means no way to serve; stop accepting so
+            // shutdown() returns instead of hanging.
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    };
     pool.scope(|s| {
         while !shared.stop.load(Ordering::SeqCst) {
             let mut accepted = false;

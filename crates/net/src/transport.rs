@@ -162,7 +162,11 @@ impl Transport for SocketTransport {
     /// decode path — the same bytes the in-process transport yields.
     fn exchange(&mut self, request_wire: &[u8], expected: usize) -> TransportResult<Vec<u8>> {
         self.ensure_connected()?;
-        let (writer, reader) = self.conn.as_mut().expect("just connected");
+        let Some((writer, reader)) = self.conn.as_mut() else {
+            return Err(TransportError::Protocol(
+                "socket transport lost its connection after connect".to_string(),
+            ));
+        };
         if let Err(e) = write_all_retry(writer, request_wire) {
             self.conn = None;
             return Err(io_err(e));

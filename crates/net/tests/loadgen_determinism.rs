@@ -4,6 +4,8 @@
 //! can be reproduced exactly and two deployments can be compared on the
 //! *same* offered load.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use rayon::ThreadPoolBuilder;
 use smartstore_net::loadgen::{generate_requests, LoadMixConfig};
 use smartstore_service::codec::encode_request_batch;

@@ -3,6 +3,8 @@
 //! of queueing unboundedly, sheds are counted, and admitted requests
 //! are still answered correctly and in order.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_net::frame::{FrameEvent, FrameReader, FRAME_HEADER_BYTES};
 use smartstore_net::loadgen::{generate_requests, run_open_loop, LoadMixConfig};
 use smartstore_net::{NetAddr, NetServer, NetServerConfig};

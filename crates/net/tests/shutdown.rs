@@ -5,6 +5,8 @@
 //! shard directories, because shutdown drains in-flight requests and
 //! flushes every per-shard WAL before returning.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore::versioning::Change;
 use smartstore_net::{NetAddr, NetServer, NetServerConfig, SocketTransport};
 use smartstore_service::{Client, MetadataServer, Request, Response, ServerConfig};

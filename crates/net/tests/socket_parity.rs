@@ -5,6 +5,8 @@
 //! from a front end that changes answers is worthless, so this gate is
 //! what the serving bench runs before it times anything.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_net::loadgen::{generate_requests, LoadMixConfig};
 use smartstore_net::{NetAddr, NetServer, NetServerConfig, SocketTransport};
 use smartstore_service::codec::encode_request_batch;

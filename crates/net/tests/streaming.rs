@@ -4,6 +4,8 @@
 //! decode error that poisons only the offending connection — the server
 //! keeps serving everyone else.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_net::frame::{FrameEvent, FrameReadError, FrameReader, FRAME_HEADER_BYTES};
 use smartstore_net::{NetAddr, NetServer, NetServerConfig, SocketTransport};
 use smartstore_persist::codec::put_record;

@@ -586,6 +586,7 @@ pub fn get_tree(d: &mut Dec) -> DecResult<TreeParts> {
 
 /// Encodes the index-unit mapping (sorted for deterministic bytes).
 pub fn put_mapping(e: &mut Enc, m: &IndexMapping) {
+    // lint:allow(D002) -- collected then sorted below; map order never reaches the bytes
     let mut pairs: Vec<(NodeId, usize)> = m.assignment.iter().map(|(&k, &v)| (k, v)).collect();
     pairs.sort_unstable();
     e.u32(pairs.len() as u32);

@@ -55,7 +55,7 @@ fn tile<T>(
     items.sort_by(|a, b| {
         let ca = a.0.center()[axis];
         let cb = b.0.center()[axis];
-        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        ca.total_cmp(&cb)
     });
     let leaves_needed = n.div_ceil(capacity);
     let remaining_axes = (dim - axis) as f64;

@@ -353,7 +353,7 @@ impl<T> RTree<T> {
             let e = rest.swap_remove(pick);
             let da = mbr_a.enlargement(e.rect());
             let db = mbr_b.enlargement(e.rect());
-            let to_a = match da.partial_cmp(&db).unwrap() {
+            let to_a = match da.total_cmp(&db) {
                 Ordering::Less => true,
                 Ordering::Greater => false,
                 Ordering::Equal => {
@@ -444,10 +444,7 @@ impl<T> RTree<T> {
         impl Ord for HeapEntry {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Min-heap by distance.
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(Ordering::Equal)
+                other.dist.total_cmp(&self.dist)
             }
         }
 
@@ -486,11 +483,11 @@ impl<T> RTree<T> {
                     if let Entry::Item { item, .. } = &self.nodes[n].entries[i] {
                         if out.len() < k {
                             out.push((item, dist));
-                            out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                            out.sort_by(|a, b| a.1.total_cmp(&b.1));
                         } else if dist < out.last().unwrap().1 {
                             out.pop();
                             out.push((item, dist));
-                            out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                            out.sort_by(|a, b| a.1.total_cmp(&b.1));
                         }
                     }
                 }

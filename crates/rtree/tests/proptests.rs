@@ -130,3 +130,58 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// `total_cmp` migration parity.
+//
+// The tree's comparators moved from `partial_cmp(..).unwrap()` (panics
+// on NaN, treats -0.0 == +0.0) to `f64::total_cmp` (total order, never
+// panics). Squared distances are sums of squares — always finite and
+// non-negative for finite inputs — and on that domain the two
+// comparators are *identical*, so every pre-migration answer is
+// preserved bit for bit. These properties pin that equivalence down.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On finite, non-negative keys the new comparator sorts exactly
+    /// like the old one: same permutation, bitwise-equal sequences.
+    #[test]
+    fn total_cmp_sorts_finite_distances_like_partial_cmp(
+        dists in prop::collection::vec((0u32..1_000_000).prop_map(|v| v as f64 / 64.0), 0..200),
+    ) {
+        let mut new_order = dists.clone();
+        new_order.sort_by(|a, b| a.total_cmp(b));
+        let mut old_order = dists;
+        #[allow(clippy::disallowed_methods)]
+        old_order.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let new_bits: Vec<u64> = new_order.iter().map(|d| d.to_bits()).collect();
+        let old_bits: Vec<u64> = old_order.iter().map(|d| d.to_bits()).collect();
+        prop_assert_eq!(new_bits, old_bits);
+    }
+
+    /// End-to-end: the tree's kNN distances are bitwise identical to a
+    /// brute-force reference ranked with the *old* comparator.
+    #[test]
+    fn knn_bit_identical_to_partial_cmp_reference(
+        points in prop::collection::vec((coord(), coord()), 1..150),
+        qx in coord(), qy in coord(),
+        k in 1usize..10,
+    ) {
+        let mut tree = RTree::new(2, RTreeConfig::new(8, 3));
+        for (i, &(x, y)) in points.iter().enumerate() {
+            tree.insert(pt(&[x, y]), i);
+        }
+        let got = tree.knn(&[qx, qy], k);
+        let mut reference: Vec<f64> = points.iter()
+            .map(|&(x, y)| (x - qx).powi(2) + (y - qy).powi(2))
+            .collect();
+        #[allow(clippy::disallowed_methods)]
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, &(_, d)) in got.iter().enumerate() {
+            prop_assert_eq!(d.to_bits(), reference[i].to_bits(),
+                "rank {} distance differs from pre-migration reference", i);
+        }
+    }
+}

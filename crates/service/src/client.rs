@@ -270,7 +270,8 @@ impl Client {
     ) -> TransportResult<Response> {
         self.enqueue(req);
         let mut out = self.flush(transport)?;
-        Ok(out.pop().expect("flush returns one response per request"))
+        out.pop()
+            .ok_or_else(|| TransportError::Protocol("flush returned no response".to_string()))
     }
 
     /// [`Self::call`] with bounded retry-with-backoff, classifying
@@ -305,7 +306,11 @@ impl Client {
             attempt += 1;
             match self.flush(transport) {
                 Ok(mut out) => {
-                    let resp = out.pop().expect("flush returns one response per request");
+                    let Some(resp) = out.pop() else {
+                        return Err(TransportError::Protocol(
+                            "flush returned no response".to_string(),
+                        ));
+                    };
                     if attempt >= attempts || !resp.is_retryable() {
                         return Ok(resp);
                     }

@@ -356,6 +356,7 @@ impl MetadataServer {
         match &self.shards[i] {
             ShardSlot::Up(s) => &s.sys,
             ShardSlot::Down { reason, .. } => {
+                // lint:allow(P003) -- documented panicking test accessor; check shard_health() first
                 panic!("shard {i} is quarantined ({reason})")
             }
         }

@@ -11,6 +11,8 @@
 //! the client merge uses exactly the single system's normalization
 //! (sorted-deduped ids; `(distance, id)`-ordered top-k).
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore::versioning::Change;
 use smartstore::{QueryOptions, SmartStoreConfig, SmartStoreSystem};
 use smartstore_service::{Client, MetadataServer, Request, Response, ServerConfig};

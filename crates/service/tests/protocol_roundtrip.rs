@@ -2,6 +2,8 @@
 //! round-trip the codec exactly, batches must preserve order, and torn
 //! or bit-flipped buffers must be *detected*, never misdecoded.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use proptest::prelude::*;
 use smartstore::query::QueryOptions;
 use smartstore::routing::{QueryCost, RouteMode};

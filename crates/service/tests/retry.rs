@@ -4,6 +4,8 @@
 //! plain exponential) and from non-retryable outcomes (typed `Error`s,
 //! wire decode failures), with each class counted in `ClientStats`.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_service::codec::{decode_request_batch, encode_response_batch};
 use smartstore_service::{
     Client, Request, Response, RetryPolicy, Transport, TransportError, TransportResult,

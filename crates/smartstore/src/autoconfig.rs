@@ -144,6 +144,7 @@ impl AutoConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use crate::grouping::partition_balanced_flat;

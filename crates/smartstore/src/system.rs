@@ -326,12 +326,13 @@ impl SmartStoreSystem {
     /// Exports the system's complete mutable state for serialization.
     pub fn to_parts(&self) -> SystemParts {
         let mut versions: Vec<(NodeId, VersionStore)> = self
-            .versions
+            .versions // lint:allow(D002) -- collected then sorted below; map order never escapes
             .iter()
             .map(|(&g, vs)| (g, vs.clone()))
             .collect();
         versions.sort_by_key(|&(g, _)| g);
         let mut pending: Vec<(NodeId, usize)> =
+            // lint:allow(D002) -- collected then sorted below
             self.pending.iter().map(|(&g, &n)| (g, n)).collect();
         pending.sort_unstable();
         SystemParts {
@@ -367,7 +368,7 @@ impl SmartStoreSystem {
             tree,
             mapping: parts.mapping,
             owner,
-            versions: parts.versions.into_iter().collect(),
+            versions: parts.versions.into_iter().collect(), // lint:allow(D002) -- parts.versions/pending are Vecs, not the maps of the same name
             pending: parts.pending.into_iter().collect(),
             versioning_enabled: parts.versioning_enabled,
             maintenance_messages: parts.maintenance_messages,
@@ -410,12 +411,13 @@ impl SmartStoreSystem {
     /// its way to disk (see `smartstore-persist`).
     pub fn to_delta_parts(&self) -> DeltaParts {
         let mut versions: Vec<(NodeId, VersionStore)> = self
-            .versions
+            .versions // lint:allow(D002) -- collected then sorted below; map order never escapes
             .iter()
             .map(|(&g, vs)| (g, vs.clone()))
             .collect();
         versions.sort_by_key(|&(g, _)| g);
         let mut pending: Vec<(NodeId, usize)> =
+            // lint:allow(D002) -- collected then sorted below
             self.pending.iter().map(|(&g, &n)| (g, n)).collect();
         pending.sort_unstable();
         DeltaParts {
@@ -460,6 +462,7 @@ impl SmartStoreSystem {
             tree_height: self.tree.height(),
             tree_index_bytes: self.tree.index_size_bytes(),
             per_unit_index_bytes: per_unit,
+            // lint:allow(D002) -- additive sum; order-insensitive
             version_bytes: self.versions.values().map(|v| v.size_bytes()).sum(),
         }
     }
@@ -470,7 +473,7 @@ impl SmartStoreSystem {
         if self.versions.is_empty() {
             return 0.0;
         }
-        self.versions
+        self.versions // lint:allow(D002) -- additive sum; order-insensitive
             .values()
             .map(|v| v.size_bytes())
             .sum::<usize>() as f64
@@ -631,6 +634,7 @@ impl SmartStoreSystem {
             // Staleness recovery: a file created after the last replica
             // refresh is found in the version chains.
             let mut scanned = 0;
+            // lint:allow(D002) -- results are sorted and deduped below
             for vs in self.versions.values() {
                 let (effective, s) = vs.effective_changes();
                 scanned += s;
@@ -658,6 +662,7 @@ impl SmartStoreSystem {
     /// header probe — comprehensive versioning (ratio 1) therefore pays
     /// the most (Fig. 14(b)).
     fn version_scan_ns(&self, scanned: usize) -> u64 {
+        // lint:allow(D002) -- additive sum; order-insensitive
         let version_headers: usize = self.versions.values().map(|v| v.version_count()).sum();
         self.cost.per_record_ns * scanned as u64 + self.cost.per_record_ns * version_headers as u64
     }
@@ -855,6 +860,7 @@ impl SmartStoreSystem {
                 per_unit.entry(u).or_default().push(id);
             }
         }
+        // lint:allow(D002) -- collected then sorted below
         let mut units: Vec<usize> = per_unit.keys().copied().collect();
         units.sort_unstable();
         let mut removed_total = 0;
@@ -896,7 +902,14 @@ impl SmartStoreSystem {
 
     fn apply_versions_to_range(&self, lo: &[f64], hi: &[f64], results: &mut Vec<u64>) -> usize {
         let mut scanned = 0;
-        for vs in self.versions.values() {
+        // Push/retain below is order-sensitive across version chains, so
+        // walk the groups in id order.
+        let mut group_ids: Vec<NodeId> = self.versions.keys().copied().collect(); // lint:allow(D002) -- sorted next line
+        group_ids.sort_unstable();
+        for g in group_ids {
+            let Some(vs) = self.versions.get(&g) else {
+                continue;
+            };
             let (effective, s) = vs.effective_changes();
             scanned += s;
             for ch in effective {
@@ -922,7 +935,14 @@ impl SmartStoreSystem {
 
     fn apply_versions_to_topk(&self, point: &[f64], k: usize, best: &mut Vec<(u64, f64)>) -> usize {
         let mut scanned = 0;
-        for vs in self.versions.values() {
+        // Retain/push below is order-sensitive across version chains, so
+        // walk the groups in id order.
+        let mut group_ids: Vec<NodeId> = self.versions.keys().copied().collect(); // lint:allow(D002) -- sorted next line
+        group_ids.sort_unstable();
+        for g in group_ids {
+            let Some(vs) = self.versions.get(&g) else {
+                continue;
+            };
             let (effective, s) = vs.effective_changes();
             scanned += s;
             for ch in effective {

@@ -385,7 +385,9 @@ impl SemanticRTree {
                 continue;
             }
             if node.level == 0 {
-                route.target_units.push(node.unit.expect("leaf has unit"));
+                if let Some(unit) = node.unit {
+                    route.target_units.push(unit);
+                }
             } else {
                 stack.extend(node.children.iter().copied());
             }
@@ -421,7 +423,7 @@ impl SemanticRTree {
         }
         impl Ord for Cand {
             fn cmp(&self, o: &Self) -> Ordering {
-                o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+                o.dist.total_cmp(&self.dist)
             }
         }
         let mut visited = 0;
@@ -464,7 +466,9 @@ impl SemanticRTree {
                 continue;
             }
             if node.level == 0 {
-                route.target_units.push(node.unit.expect("leaf has unit"));
+                if let Some(unit) = node.unit {
+                    route.target_units.push(unit);
+                }
             } else {
                 stack.extend(node.children.iter().copied());
             }
@@ -494,14 +498,15 @@ impl SemanticRTree {
     /// choice, §3.4).
     pub fn most_correlated_group(&self, vector: &[f64]) -> NodeId {
         let groups = self.first_level_index_units();
-        *groups
+        groups
             .iter()
             .max_by(|&&a, &&b| {
                 let ca = cosine_similarity(&self.nodes[a].centroid, vector);
                 let cb = cosine_similarity(&self.nodes[b].centroid, vector);
-                ca.partial_cmp(&cb).unwrap()
+                ca.total_cmp(&cb)
             })
-            .expect("tree has at least one group")
+            .copied()
+            .unwrap_or_else(|| self.root())
     }
 
     // ------------------------------------------------------------------
@@ -561,13 +566,20 @@ impl SemanticRTree {
                 )
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        let admitted = ranked
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let Some(admitted) = ranked
             .iter()
             .find(|&&(_, corr)| corr > eps)
             .or_else(|| ranked.first())
             .map(|&(g, _)| g)
-            .expect("at least one group exists");
+        else {
+            // No first-level groups: the leaf hangs directly off the root.
+            let root = self.root;
+            self.nodes[leaf].parent = Some(root);
+            self.nodes[root].children.push(leaf);
+            self.refresh_upward(root);
+            return;
+        };
 
         self.nodes[leaf].parent = Some(admitted);
         self.nodes[admitted].children.push(leaf);
@@ -723,7 +735,7 @@ impl SemanticRTree {
                 if let Some(&best) = siblings.iter().max_by(|&&a, &&b| {
                     let ca = cosine_similarity(&self.nodes[a].centroid, &self.nodes[node].centroid);
                     let cb = cosine_similarity(&self.nodes[b].centroid, &self.nodes[node].centroid);
-                    ca.partial_cmp(&cb).unwrap()
+                    ca.total_cmp(&cb)
                 }) {
                     let orphans = std::mem::take(&mut self.nodes[node].children);
                     for &o in &orphans {
@@ -892,6 +904,7 @@ fn summarize_children(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use smartstore_trace::{GeneratorConfig, MetadataPopulation};

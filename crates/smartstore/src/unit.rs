@@ -282,6 +282,7 @@ impl StorageUnit {
         unlink_name_slot(&mut self.name_slots, &self.files[pos].name, pos);
         self.coords.drain(pos * ATTR_DIMS..(pos + 1) * ATTR_DIMS);
         self.ids.remove(pos);
+        // lint:allow(D002) -- each slot list is shifted independently; order-insensitive
         for slots in self.name_slots.values_mut() {
             for s in slots.iter_mut() {
                 if *s > pos {
@@ -378,6 +379,7 @@ impl StorageUnit {
                 expected_slots.len()
             ));
         }
+        // lint:allow(D002) -- invariant check; only which corruption is reported first varies
         for (name, slots) in &expected_slots {
             match self.name_slots.get(*name) {
                 Some(got) if got == slots => {}
@@ -641,6 +643,7 @@ impl StorageUnit {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use smartstore_trace::{GeneratorConfig, MetadataPopulation};

@@ -8,6 +8,8 @@
 //! (sequential execution) and multi-thread pools and requiring exact
 //! `f64` equality.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
 use smartstore::grouping::{group_level, kernel_similarities, partition_balanced, wcss};

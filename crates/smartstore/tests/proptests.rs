@@ -2,6 +2,8 @@
 //! placement balance, semantic R-tree invariants under random
 //! reconfiguration, versioning replay equivalence.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use proptest::prelude::*;
 use smartstore::config::SmartStoreConfig;
 use smartstore::grouping::{group_level, partition_tiled, wcss};

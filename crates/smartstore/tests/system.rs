@@ -1,6 +1,8 @@
 //! End-to-end tests of the assembled SmartStore system: build, query
 //! correctness/recall, change streams, versioning, reconfiguration.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore::versioning::Change;
 use smartstore::QueryOptions;
 use smartstore::{SmartStoreConfig, SmartStoreSystem};

@@ -236,7 +236,7 @@ pub fn exhaustive_topk(files: &[FileMetadata], point: &[f64], k: usize) -> Vec<u
             (f.file_id, d)
         })
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored.into_iter().map(|(id, _)| id).collect()
 }

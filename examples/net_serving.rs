@@ -13,6 +13,8 @@
 //! latency histogram), and finish with a graceful shutdown that drains
 //! in-flight requests and hands the server back.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_repro::net::loadgen::{generate_requests, run_open_loop, LoadMixConfig};
 use smartstore_repro::net::{NetAddr, NetServer, NetServerConfig, SocketTransport};
 use smartstore_repro::service::codec::encode_request_batch;

@@ -10,6 +10,8 @@
 //! cargo run --release --example persistence
 //! ```
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_repro::smartstore::versioning::Change;
 use smartstore_repro::smartstore::QueryOptions;
 use smartstore_repro::smartstore::{SmartStoreConfig, SmartStoreSystem};

@@ -12,6 +12,8 @@
 //! journal a few mutations, then drop the server and *cold-start* it
 //! from the shard directories — answers must come back identical.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_repro::service::{Client, MetadataServer, Request, Response, ServerConfig};
 use smartstore_repro::smartstore::versioning::Change;
 use smartstore_repro::smartstore::QueryOptions;

@@ -2,6 +2,8 @@
 //! queries → baselines, exercised through the umbrella crate exactly as
 //! a downstream user would.
 
+#![allow(clippy::disallowed_methods)] // tests and examples may unwrap
+
 use smartstore_repro::bptree::Dbms;
 use smartstore_repro::rtree::{bulk::str_bulk_load, RTreeConfig, Rect};
 use smartstore_repro::smartstore::QueryOptions;
