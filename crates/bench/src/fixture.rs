@@ -1,6 +1,6 @@
 //! Shared experiment fixtures: populations, systems, query workloads.
 
-use smartstore::{SmartStoreConfig, SmartStoreSystem};
+use smartstore::{HashFamily, SmartStoreConfig, SmartStoreSystem};
 use smartstore_trace::query_gen::QueryGenConfig;
 use smartstore_trace::{
     MetadataPopulation, QueryDistribution, QueryWorkload, TraceKind, WorkloadModel,
@@ -22,6 +22,22 @@ pub fn system(pop: &MetadataPopulation, n_units: usize, seed: u64) -> SmartStore
         SmartStoreConfig::default(),
         seed,
     )
+}
+
+/// Builds a SmartStore system with an explicit Bloom hash family —
+/// grouping is attribute-driven, so two systems built from the same
+/// population and seed differ only in their filters.
+pub fn system_with_family(
+    pop: &MetadataPopulation,
+    n_units: usize,
+    seed: u64,
+    family: HashFamily,
+) -> SmartStoreSystem {
+    let cfg = SmartStoreConfig {
+        bloom_family: family,
+        ..SmartStoreConfig::default()
+    };
+    SmartStoreSystem::build(pop.files.clone(), n_units, cfg, seed)
 }
 
 /// Builds a query workload with the paper's defaults (k = 8).

@@ -10,7 +10,7 @@
 //! unions.
 
 use crate::filter::BloomFilter;
-use crate::md5::md5_words;
+use crate::hash::{BitIndexes, HashFamily};
 
 /// A Bloom filter with 8-bit saturating counters, supporting removal.
 #[derive(Clone, Debug, PartialEq)]
@@ -18,14 +18,23 @@ pub struct CountingBloomFilter {
     counters: Vec<u8>,
     n_hashes: usize,
     inserted: usize,
+    family: HashFamily,
 }
 
 impl CountingBloomFilter {
-    /// Creates an empty counting filter.
+    /// Creates an empty counting filter in the default hash family.
     ///
     /// # Panics
     /// If `n_counters` or `n_hashes` is zero.
     pub fn new(n_counters: usize, n_hashes: usize) -> Self {
+        Self::with_family(n_counters, n_hashes, HashFamily::default())
+    }
+
+    /// Creates an empty counting filter in an explicit hash family.
+    ///
+    /// # Panics
+    /// If `n_counters` or `n_hashes` is zero.
+    pub fn with_family(n_counters: usize, n_hashes: usize, family: HashFamily) -> Self {
         assert!(
             n_counters > 0,
             "CountingBloomFilter: need at least one counter"
@@ -35,7 +44,13 @@ impl CountingBloomFilter {
             counters: vec![0; n_counters],
             n_hashes,
             inserted: 0,
+            family,
         }
+    }
+
+    /// The hash family this filter's counters belong to.
+    pub fn family(&self) -> HashFamily {
+        self.family
     }
 
     /// Number of counters.
@@ -48,27 +63,8 @@ impl CountingBloomFilter {
         self.inserted
     }
 
-    fn indexes(&self, key: &[u8]) -> Vec<usize> {
-        let m = self.counters.len();
-        let mut out = Vec::with_capacity(self.n_hashes);
-        let mut round = 0u32;
-        while out.len() < self.n_hashes {
-            let words = if round == 0 {
-                md5_words(key)
-            } else {
-                let mut salted = key.to_vec();
-                salted.extend_from_slice(&round.to_le_bytes());
-                md5_words(&salted)
-            };
-            for w in words {
-                if out.len() == self.n_hashes {
-                    break;
-                }
-                out.push(w as usize % m);
-            }
-            round += 1;
-        }
-        out
+    fn indexes<'k>(&self, key: &'k [u8]) -> BitIndexes<'k> {
+        self.family.indexes(key, self.counters.len(), self.n_hashes)
     }
 
     /// Inserts a key (counters saturate at 255 rather than wrap).
@@ -81,18 +77,17 @@ impl CountingBloomFilter {
 
     /// Membership check with the usual Bloom semantics.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.indexes(key).iter().all(|&i| self.counters[i] > 0)
+        self.indexes(key).all(|i| self.counters[i] > 0)
     }
 
     /// Removes a key if (apparently) present: decrements its counters.
     /// Returns `false` — and changes nothing — when any counter is
     /// already zero (the key was definitely never inserted).
     pub fn remove(&mut self, key: &[u8]) -> bool {
-        let idx = self.indexes(key);
-        if idx.iter().any(|&i| self.counters[i] == 0) {
+        if self.indexes(key).any(|i| self.counters[i] == 0) {
             return false;
         }
-        for i in idx {
+        for i in self.indexes(key) {
             // Saturated counters must stay saturated: decrementing a
             // counter that overflowed would introduce false negatives.
             if self.counters[i] != u8::MAX {
@@ -108,9 +103,9 @@ impl CountingBloomFilter {
     /// leaf filters.
     pub fn to_bloom(&self) -> BloomFilter {
         // A plain filter's set bits are exactly the non-zero counters;
-        // both types share the same hash family, so membership answers
+        // the export carries the hash family so membership answers
         // transfer.
-        let mut f = BloomFilter::new(self.counters.len(), self.n_hashes);
+        let mut f = BloomFilter::with_family(self.counters.len(), self.n_hashes, self.family);
         f.set_bits_from(&self.counters);
         f
     }

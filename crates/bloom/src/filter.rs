@@ -1,7 +1,8 @@
 //! The Bloom filter proper: a fixed-size bit array with k hash
-//! functions derived from MD5, plus union and false-probability math.
+//! functions from a selectable [`HashFamily`], plus union and
+//! false-probability math.
 
-use crate::md5::md5_words;
+use crate::hash::HashFamily;
 
 /// Filter size used throughout the paper's evaluation (§5.1).
 pub const PAPER_BITS: usize = 1024;
@@ -10,25 +11,36 @@ pub const PAPER_HASHES: usize = 7;
 
 /// A Bloom filter over byte-string keys.
 ///
-/// Bit indexes are derived the way the paper describes: the key's MD5
-/// digest is split into four 32-bit words; when more than four hash
-/// functions are needed the digest of `key ‖ round-counter` supplies four
-/// more words per round.
+/// Bit indexes come from the filter's [`HashFamily`]: either the
+/// paper's MD5 scheme (digest split into four 32-bit words, salted
+/// re-digest per extra round) or the fast double-hashing family. The
+/// family is part of the filter's identity — filters of different
+/// families do not understand each other's bit patterns, so unions
+/// assert family equality.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     n_bits: usize,
     n_hashes: usize,
     inserted: usize,
+    family: HashFamily,
 }
 
 impl BloomFilter {
     /// Creates an empty filter with `n_bits` bits and `n_hashes` hash
-    /// functions.
+    /// functions in the default hash family.
     ///
     /// # Panics
     /// If `n_bits` or `n_hashes` is zero.
     pub fn new(n_bits: usize, n_hashes: usize) -> Self {
+        Self::with_family(n_bits, n_hashes, HashFamily::default())
+    }
+
+    /// Creates an empty filter in an explicit hash family.
+    ///
+    /// # Panics
+    /// If `n_bits` or `n_hashes` is zero.
+    pub fn with_family(n_bits: usize, n_hashes: usize, family: HashFamily) -> Self {
         assert!(n_bits > 0, "BloomFilter: need at least one bit");
         assert!(n_hashes > 0, "BloomFilter: need at least one hash");
         Self {
@@ -36,12 +48,13 @@ impl BloomFilter {
             n_bits,
             n_hashes,
             inserted: 0,
+            family,
         }
     }
 
-    /// The paper's configuration: 1024 bits, 7 hashes.
+    /// The paper's configuration: 1024 bits, 7 hashes, MD5 indexes.
     pub fn paper_default() -> Self {
-        Self::new(PAPER_BITS, PAPER_HASHES)
+        Self::with_family(PAPER_BITS, PAPER_HASHES, HashFamily::Md5)
     }
 
     /// Number of bits.
@@ -54,6 +67,11 @@ impl BloomFilter {
         self.n_hashes
     }
 
+    /// The hash family this filter's bit patterns belong to.
+    pub fn family(&self) -> HashFamily {
+        self.family
+    }
+
     /// Number of keys inserted (not deduplicated).
     pub fn inserted(&self) -> usize {
         self.inserted
@@ -64,32 +82,9 @@ impl BloomFilter {
         self.bits.len() * 8
     }
 
-    fn bit_indexes(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
-        let n_bits = self.n_bits;
-        let n_hashes = self.n_hashes;
-        let key = key.to_vec();
-        (0..n_hashes.div_ceil(4)).flat_map(move |round| {
-            let words = if round == 0 {
-                md5_words(&key)
-            } else {
-                let mut salted = key.clone();
-                salted.extend_from_slice(&(round as u32).to_le_bytes());
-                md5_words(&salted)
-            };
-            let lo = round * 4;
-            let take = (n_hashes - lo).min(4);
-            words
-                .into_iter()
-                .take(take)
-                .map(move |w| (w as usize) % n_bits)
-                .collect::<Vec<_>>()
-        })
-    }
-
     /// Inserts a key.
     pub fn insert(&mut self, key: &[u8]) {
-        let idx: Vec<usize> = self.bit_indexes(key).collect();
-        for i in idx {
+        for i in self.family.indexes(key, self.n_bits, self.n_hashes) {
             self.bits[i / 64] |= 1u64 << (i % 64);
         }
         self.inserted += 1;
@@ -98,7 +93,8 @@ impl BloomFilter {
     /// Membership check: `false` means *definitely absent*; `true` means
     /// present with probability `1 − false_positive_rate`.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.bit_indexes(key)
+        self.family
+            .indexes(key, self.n_bits, self.n_hashes)
             .all(|i| self.bits[i / 64] & (1u64 << (i % 64)) != 0)
     }
 
@@ -106,10 +102,11 @@ impl BloomFilter {
     /// §3.3.3).
     ///
     /// # Panics
-    /// If the two filters have different geometry.
+    /// If the two filters have different geometry or hash family.
     pub fn union_in_place(&mut self, other: &BloomFilter) {
         assert_eq!(self.n_bits, other.n_bits, "union: bit-count mismatch");
         assert_eq!(self.n_hashes, other.n_hashes, "union: hash-count mismatch");
+        assert_eq!(self.family, other.family, "union: hash-family mismatch");
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
@@ -119,7 +116,7 @@ impl BloomFilter {
     /// Union of a non-empty set of filters.
     ///
     /// # Panics
-    /// If `filters` is empty or geometries differ.
+    /// If `filters` is empty or geometries/families differ.
     pub fn union_all<'a, I: IntoIterator<Item = &'a BloomFilter>>(filters: I) -> BloomFilter {
         let mut it = filters.into_iter();
         let mut acc = it.next().expect("union_all: empty input").clone();
@@ -184,11 +181,18 @@ impl BloomFilter {
     }
 
     /// Reassembles a filter from its raw parts (the deserialization
-    /// inverse of [`Self::words`] plus the geometry accessors).
+    /// inverse of [`Self::words`] plus the geometry and family
+    /// accessors).
     ///
     /// # Panics
     /// If the geometry is zero or `words` does not match `n_bits`.
-    pub fn from_raw(n_bits: usize, n_hashes: usize, inserted: usize, words: Vec<u64>) -> Self {
+    pub fn from_raw(
+        n_bits: usize,
+        n_hashes: usize,
+        inserted: usize,
+        words: Vec<u64>,
+        family: HashFamily,
+    ) -> Self {
         assert!(n_bits > 0, "BloomFilter: need at least one bit");
         assert!(n_hashes > 0, "BloomFilter: need at least one hash");
         assert_eq!(
@@ -201,6 +205,7 @@ impl BloomFilter {
             n_bits,
             n_hashes,
             inserted,
+            family,
         }
     }
 }
@@ -211,13 +216,18 @@ mod tests {
 
     #[test]
     fn no_false_negatives() {
-        let mut f = BloomFilter::paper_default();
-        let keys: Vec<String> = (0..100).map(|i| format!("file_{i}")).collect();
-        for k in &keys {
-            f.insert(k.as_bytes());
-        }
-        for k in &keys {
-            assert!(f.contains(k.as_bytes()), "false negative for {k}");
+        for family in [HashFamily::Md5, HashFamily::Fast] {
+            let mut f = BloomFilter::with_family(PAPER_BITS, PAPER_HASHES, family);
+            let keys: Vec<String> = (0..100).map(|i| format!("file_{i}")).collect();
+            for k in &keys {
+                f.insert(k.as_bytes());
+            }
+            for k in &keys {
+                assert!(
+                    f.contains(k.as_bytes()),
+                    "false negative for {k} ({family:?})"
+                );
+            }
         }
     }
 
@@ -226,26 +236,29 @@ mod tests {
         let f = BloomFilter::paper_default();
         assert!(!f.contains(b"anything"));
         assert_eq!(f.popcount(), 0);
+        assert_eq!(f.family(), HashFamily::Md5);
     }
 
     #[test]
     fn false_positive_rate_near_theory() {
-        let mut f = BloomFilter::new(1024, 7);
-        let n = 100;
-        for i in 0..n {
-            f.insert(format!("member_{i}").as_bytes());
+        for family in [HashFamily::Md5, HashFamily::Fast] {
+            let mut f = BloomFilter::with_family(1024, 7, family);
+            let n = 100;
+            for i in 0..n {
+                f.insert(format!("member_{i}").as_bytes());
+            }
+            let trials = 10_000;
+            let fp = (0..trials)
+                .filter(|i| f.contains(format!("nonmember_{i}").as_bytes()))
+                .count();
+            let observed = fp as f64 / trials as f64;
+            let theory = BloomFilter::theoretical_fpp(1024, 7, n);
+            // Within a factor of 3 of theory (binomial noise + hash quality).
+            assert!(
+                observed < theory * 3.0 + 0.005,
+                "observed fpp {observed} too far above theory {theory} ({family:?})"
+            );
         }
-        let trials = 10_000;
-        let fp = (0..trials)
-            .filter(|i| f.contains(format!("nonmember_{i}").as_bytes()))
-            .count();
-        let observed = fp as f64 / trials as f64;
-        let theory = BloomFilter::theoretical_fpp(1024, 7, n);
-        // Within a factor of 3 of theory (binomial noise + hash quality).
-        assert!(
-            observed < theory * 3.0 + 0.005,
-            "observed fpp {observed} too far above theory {theory}"
-        );
     }
 
     #[test]
@@ -282,6 +295,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn union_family_mismatch_panics() {
+        let mut a = BloomFilter::with_family(128, 3, HashFamily::Md5);
+        let b = BloomFilter::with_family(128, 3, HashFamily::Fast);
+        a.union_in_place(&b);
+    }
+
+    #[test]
     fn clear_resets() {
         let mut f = BloomFilter::new(128, 3);
         f.insert(b"x");
@@ -303,7 +324,7 @@ mod tests {
     fn more_than_four_hashes_uses_salted_rounds() {
         // With 7 hashes, rounds 0 and 1 are both exercised; differing
         // keys must not collide on all 7 indexes in a big filter.
-        let mut f = BloomFilter::new(1 << 20, 7);
+        let mut f = BloomFilter::with_family(1 << 20, 7, HashFamily::Md5);
         f.insert(b"only-member");
         let fp = (0..1000)
             .filter(|i| f.contains(format!("probe{i}").as_bytes()))
@@ -322,5 +343,20 @@ mod tests {
             "heavily loaded filter should saturate"
         );
         assert!(f.estimated_fpp() > 0.9);
+    }
+
+    #[test]
+    fn from_raw_round_trips_family() {
+        let mut f = BloomFilter::with_family(256, 5, HashFamily::Fast);
+        f.insert(b"key");
+        let g = BloomFilter::from_raw(
+            f.n_bits(),
+            f.n_hashes(),
+            f.inserted(),
+            f.words().to_vec(),
+            f.family(),
+        );
+        assert_eq!(f, g);
+        assert!(g.contains(b"key"));
     }
 }

@@ -9,6 +9,7 @@
 //! hierarchical Bloom-filter array approach the paper cites (its ref. 28).
 
 use crate::filter::BloomFilter;
+use crate::hash::HashFamily;
 
 /// Identifier of a node inside a [`BloomHierarchy`].
 pub type NodeId = usize;
@@ -28,18 +29,30 @@ pub struct BloomHierarchy {
     root: Option<NodeId>,
     n_bits: usize,
     n_hashes: usize,
+    family: HashFamily,
 }
 
 impl BloomHierarchy {
     /// Creates an empty hierarchy whose filters all share the given
-    /// geometry.
+    /// geometry, in the default hash family.
     pub fn new(n_bits: usize, n_hashes: usize) -> Self {
+        Self::with_family(n_bits, n_hashes, HashFamily::default())
+    }
+
+    /// Creates an empty hierarchy in an explicit hash family.
+    pub fn with_family(n_bits: usize, n_hashes: usize, family: HashFamily) -> Self {
         Self {
             nodes: Vec::new(),
             root: None,
             n_bits,
             n_hashes,
+            family,
         }
+    }
+
+    /// The hash family of every filter in this hierarchy.
+    pub fn family(&self) -> HashFamily {
+        self.family
     }
 
     /// Adds a leaf summarizing storage unit `unit` with the given keys.
@@ -49,7 +62,7 @@ impl BloomHierarchy {
         unit: usize,
         keys: I,
     ) -> NodeId {
-        let mut filter = BloomFilter::new(self.n_bits, self.n_hashes);
+        let mut filter = BloomFilter::with_family(self.n_bits, self.n_hashes, self.family);
         for k in keys {
             filter.insert(k);
         }

@@ -12,12 +12,21 @@
 //! into four 32-bit words; both choices are reproduced here, including an
 //! [`md5`] implementation written from scratch (RFC 1321) — MD5 is used
 //! purely as a fast mixing function, not for security.
+//!
+//! MD5 is, however, a poor mixing function by modern standards: at
+//! ~one compression per four hash rounds it dominates routing latency.
+//! [`HashFamily`] therefore makes the index derivation selectable —
+//! [`HashFamily::Md5`] reproduces the paper bit for bit, while the
+//! default [`HashFamily::Fast`] drives Kirsch–Mitzenmacher double
+//! hashing from a single one-pass 64-bit hash (see [`hash`]).
 
 pub mod counting;
 pub mod filter;
+pub mod hash;
 pub mod hierarchy;
 pub mod md5;
 
 pub use counting::CountingBloomFilter;
 pub use filter::{BloomFilter, PAPER_BITS, PAPER_HASHES};
+pub use hash::HashFamily;
 pub use hierarchy::BloomHierarchy;

@@ -5,6 +5,11 @@
 //! signature, which is then divided into four 32-bit values" (§5.1).
 //! SmartStore uses those 32-bit words to derive Bloom-filter bit indexes;
 //! nothing here is security-sensitive.
+//!
+//! The implementation is streaming: [`Md5State`] compresses full
+//! 64-byte blocks as they arrive through a fixed on-stack buffer, so a
+//! digest of `key ‖ salt` never materializes the concatenation on the
+//! heap — the Bloom probe path calls this with zero allocations.
 
 const S: [u32; 64] = [
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
@@ -24,69 +29,142 @@ const K: [u32; 64] = [
     0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 ];
 
+/// Incremental MD5 over a fixed 64-byte block buffer — no heap.
+#[derive(Clone)]
+pub struct Md5State {
+    h: [u32; 4],
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message bytes absorbed so far.
+    total: u64,
+}
+
+impl Default for Md5State {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5State {
+    pub fn new() -> Self {
+        Self {
+            h: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs `data`, compressing each full 64-byte block as it fills.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return; // data exhausted before filling a block
+            }
+            let block = self.buf;
+            compress(&mut self.h, &block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            // chunks_exact guarantees 64 bytes; the try_into cannot fail.
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            compress(&mut self.h, &b);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    /// Appends RFC 1321 padding (0x80, zeros, LE bit length) and
+    /// returns the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.buf[self.buf_len] = 0x80;
+        self.buf_len += 1;
+        if self.buf_len > 56 {
+            self.buf[self.buf_len..].fill(0);
+            let block = self.buf;
+            compress(&mut self.h, &block);
+            self.buf_len = 0;
+        }
+        self.buf[self.buf_len..56].fill(0);
+        self.buf[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        compress(&mut self.h, &block);
+        let mut out = [0u8; 16];
+        for (i, w) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One MD5 compression round over a 64-byte block.
+fn compress(h: &mut [u32; 4], block: &[u8; 64]) {
+    let mut m = [0u32; 16];
+    for (i, w) in m.iter_mut().enumerate() {
+        *w = u32::from_le_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    let (mut a, mut b, mut c, mut d) = (h[0], h[1], h[2], h[3]);
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]),
+        );
+        a = tmp;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+}
+
 /// Computes the 16-byte MD5 digest of `data`.
 pub fn md5(data: &[u8]) -> [u8; 16] {
-    let mut a0: u32 = 0x67452301;
-    let mut b0: u32 = 0xefcdab89;
-    let mut c0: u32 = 0x98badcfe;
-    let mut d0: u32 = 0x10325476;
-
-    // Padded message: data ‖ 0x80 ‖ zeros ‖ length-in-bits (LE u64).
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_le_bytes());
-
-    for chunk in msg.chunks_exact(64) {
-        let mut m = [0u32; 16];
-        for (i, w) in m.iter_mut().enumerate() {
-            *w = u32::from_le_bytes([
-                chunk[4 * i],
-                chunk[4 * i + 1],
-                chunk[4 * i + 2],
-                chunk[4 * i + 3],
-            ]);
-        }
-        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
-            );
-            a = tmp;
-        }
-        a0 = a0.wrapping_add(a);
-        b0 = b0.wrapping_add(b);
-        c0 = c0.wrapping_add(c);
-        d0 = d0.wrapping_add(d);
-    }
-
-    let mut out = [0u8; 16];
-    out[0..4].copy_from_slice(&a0.to_le_bytes());
-    out[4..8].copy_from_slice(&b0.to_le_bytes());
-    out[8..12].copy_from_slice(&c0.to_le_bytes());
-    out[12..16].copy_from_slice(&d0.to_le_bytes());
-    out
+    let mut st = Md5State::new();
+    st.update(data);
+    st.finalize()
 }
 
 /// The paper's digest split: MD5's 128 bits as four little-endian u32
 /// words.
 pub fn md5_words(data: &[u8]) -> [u32; 4] {
-    let d = md5(data);
+    words_of(md5(data))
+}
+
+/// `md5_words(key ‖ round.to_le_bytes())` without materializing the
+/// salted key — the Bloom filters' round-`r` word source for `r > 0`.
+pub fn md5_words_salted(key: &[u8], round: u32) -> [u32; 4] {
+    let mut st = Md5State::new();
+    st.update(key);
+    st.update(&round.to_le_bytes());
+    words_of(st.finalize())
+}
+
+fn words_of(d: [u8; 16]) -> [u32; 4] {
     [
         u32::from_le_bytes([d[0], d[1], d[2], d[3]]),
         u32::from_le_bytes([d[4], d[5], d[6], d[7]]),
@@ -137,6 +215,33 @@ mod tests {
         let digests: Vec<String> = (53..70).map(|n| to_hex(&md5(&vec![b'x'; n]))).collect();
         for w in digests.windows(2) {
             assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        // Every split point of a 3-block message must give the same
+        // digest as the one-shot call.
+        let msg: Vec<u8> = (0..180u32).map(|i| (i * 31 % 251) as u8).collect();
+        let want = md5(&msg);
+        for cut in 0..msg.len() {
+            let mut st = Md5State::new();
+            st.update(&msg[..cut]);
+            st.update(&msg[cut..]);
+            assert_eq!(st.finalize(), want, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn salted_words_match_concatenation() {
+        for round in [0u32, 1, 2, 7, 0xdead_beef] {
+            let mut concat = b"file_000123".to_vec();
+            concat.extend_from_slice(&round.to_le_bytes());
+            assert_eq!(
+                md5_words_salted(b"file_000123", round),
+                md5_words(&concat),
+                "round {round}"
+            );
         }
     }
 

@@ -1,9 +1,14 @@
 //! Property tests for the Bloom substrate: no false negatives, union
-//! soundness, counting-filter delete correctness, MD5 determinism.
+//! soundness, counting-filter delete correctness, MD5 determinism, and
+//! the fast hash family's statistical health (false-positive proportion
+//! near theory, double-hashing probes well dispersed, families
+//! isolated).
+
+#![allow(clippy::disallowed_methods)] // tests may unwrap
 
 use proptest::prelude::*;
 use smartstore_bloom::md5::md5;
-use smartstore_bloom::{BloomFilter, CountingBloomFilter};
+use smartstore_bloom::{BloomFilter, CountingBloomFilter, HashFamily};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -88,6 +93,96 @@ proptest! {
         let plain = cf.to_bloom();
         for k in &keys {
             prop_assert!(plain.contains(k.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn fast_family_never_false_negative(
+        keys in prop::collection::vec("[a-z0-9_/]{1,40}", 1..200),
+        bits in 64usize..4096,
+        hashes in 1usize..10,
+    ) {
+        let mut f = BloomFilter::with_family(bits, hashes, HashFamily::Fast);
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k.as_bytes()), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn fast_family_fpp_tracks_theory(
+        n_keys in 100usize..300,
+        bits_pow in 12u32..14,
+        hashes in 4usize..8,
+        salt in 0u32..1000,
+    ) {
+        // Observed false-positive proportion must stay within 3× the
+        // classic estimate (1 - e^{-kn/m})^k, plus additive slack that
+        // absorbs sampling noise over the 2000 absent probes.
+        let bits = 1usize << bits_pow;
+        let mut f = BloomFilter::with_family(bits, hashes, HashFamily::Fast);
+        for i in 0..n_keys {
+            f.insert(format!("member_{salt}_{i}").as_bytes());
+        }
+        let probes = 2000usize;
+        let fp = (0..probes)
+            .filter(|i| f.contains(format!("absent_{salt}_{i}").as_bytes()))
+            .count();
+        let k = hashes as f64;
+        let theory = (1.0 - (-k * n_keys as f64 / bits as f64).exp()).powf(k);
+        let observed = fp as f64 / probes as f64;
+        prop_assert!(
+            observed <= 3.0 * theory + 0.005,
+            "fpp {observed:.4} vs theory {theory:.4} (m={bits}, k={hashes}, n={n_keys})"
+        );
+    }
+
+    #[test]
+    fn fast_family_probes_are_dispersed(
+        salt in 0u32..1000,
+    ) {
+        // First-probe positions of many distinct keys over a power-of-
+        // two table must spread: folded into 64 buckets, no bucket may
+        // be empty or hold more than 3× its fair share. Catches both a
+        // broken mixer (clumping) and a degenerate stride choice.
+        let m = 4096usize;
+        let n = 4096usize;
+        let mut buckets = [0usize; 64];
+        for i in 0..n {
+            let key = format!("disperse_{salt}_{i}");
+            let first = HashFamily::Fast
+                .indexes(key.as_bytes(), m, 1)
+                .next()
+                .unwrap();
+            buckets[first * 64 / m] += 1;
+        }
+        let fair = n / 64;
+        for (b, &count) in buckets.iter().enumerate() {
+            prop_assert!(count > 0, "bucket {b} empty");
+            prop_assert!(count <= 3 * fair, "bucket {b} holds {count} (fair {fair})");
+        }
+    }
+
+    #[test]
+    fn families_are_isolated(
+        keys in prop::collection::vec("[a-z0-9]{4,24}", 20..60),
+    ) {
+        // The same key set must light different bit patterns under the
+        // two families — proof the family tag actually selects distinct
+        // derivations and one family's image can't pose as the other's.
+        let mut md5f = BloomFilter::with_family(2048, 5, HashFamily::Md5);
+        let mut fast = BloomFilter::with_family(2048, 5, HashFamily::Fast);
+        for k in &keys {
+            md5f.insert(k.as_bytes());
+            fast.insert(k.as_bytes());
+        }
+        prop_assert_ne!(md5f.words(), fast.words());
+        // Both still honor the no-false-negative contract.
+        for k in &keys {
+            prop_assert!(md5f.contains(k.as_bytes()));
+            prop_assert!(fast.contains(k.as_bytes()));
         }
     }
 

@@ -1,9 +1,12 @@
 //! W rules: the wire protocol's tag space is append-only and must stay
-//! self-consistent. Every `REQ_*`/`RESP_*`/`MODE_*` tag, file magic,
-//! and the `FORMAT_VERSION` must be unique within its family (W001)
-//! and referenced by both an encoder and a decoder (W002) — a tag that
-//! only one side knows is either dead weight or, worse, a frame the
-//! peer cannot parse.
+//! self-consistent. Every `REQ_*`/`RESP_*`/`MODE_*`/`FAMILY_*` tag,
+//! file magic, and the `FORMAT_VERSION` must be unique within its
+//! family (W001) and referenced by both an encoder and a decoder
+//! (W002) — a tag that only one side knows is either dead weight or,
+//! worse, a frame the peer cannot parse. `FAMILY_*` tags (the Bloom
+//! hash-family bytes) additionally must round-trip through exactly one
+//! encoder/decoder function pair (W003): a second function interpreting
+//! the tag bytes is how the two sides' mappings silently drift apart.
 //!
 //! This is a workspace-global check: constants are collected across
 //! every file of the wire crates, then verified once at the end.
@@ -13,7 +16,7 @@ use crate::config;
 use crate::context::FileContext;
 use crate::lexer::TokKind;
 use crate::report::Finding;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which namespace a constant's uniqueness is checked within.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -23,6 +26,8 @@ enum Family {
     Mode,
     Magic,
     Version,
+    /// Bloom hash-family tag bytes (`FAMILY_*`).
+    BloomHash,
 }
 
 fn family_of(name: &str) -> Option<Family> {
@@ -32,6 +37,8 @@ fn family_of(name: &str) -> Option<Family> {
         Some(Family::Resp)
     } else if name.starts_with("MODE_") {
         Some(Family::Mode)
+    } else if name.starts_with("FAMILY_") {
+        Some(Family::BloomHash)
     } else if name.ends_with("_MAGIC") {
         Some(Family::Magic)
     } else if name == "FORMAT_VERSION" {
@@ -54,13 +61,20 @@ struct WireConst {
     used_in_decoder: bool,
 }
 
+/// The encoder/decoder functions observed referencing one constant.
+#[derive(Debug, Default, Clone)]
+struct Usage {
+    encoder_fns: BTreeSet<String>,
+    decoder_fns: BTreeSet<String>,
+}
+
 /// Accumulates definitions and usages across files, then reports.
 #[derive(Debug, Default)]
 pub struct WireCheck {
     consts: Vec<WireConst>,
-    /// (crate, ident) → (encoder_seen, decoder_seen), collected before
-    /// the defining file may even have been scanned.
-    usages: BTreeMap<(String, String), (bool, bool)>,
+    /// (crate, ident) → referencing encoder/decoder fns, collected
+    /// before the defining file may even have been scanned.
+    usages: BTreeMap<(String, String), Usage>,
 }
 
 impl WireCheck {
@@ -108,22 +122,23 @@ impl WireCheck {
             let entry = self
                 .usages
                 .entry((ctx.crate_name.clone(), t.to_string()))
-                .or_insert((false, false));
+                .or_default();
             if config::name_matches(&f.name, config::ENCODER_FN_HINTS) {
-                entry.0 = true;
+                entry.encoder_fns.insert(f.name.clone());
             }
             if config::name_matches(&f.name, config::DECODER_FN_HINTS) {
-                entry.1 = true;
+                entry.decoder_fns.insert(f.name.clone());
             }
         }
     }
 
-    /// Emits W001/W002 findings after every file has been collected.
+    /// Emits W001/W002/W003 findings after every file has been
+    /// collected.
     pub fn finalize(mut self, out: &mut Vec<Finding>) {
         for c in &mut self.consts {
-            if let Some(&(enc, dec)) = self.usages.get(&(c.crate_name.clone(), c.name.clone())) {
-                c.used_in_encoder = enc;
-                c.used_in_decoder = dec;
+            if let Some(u) = self.usages.get(&(c.crate_name.clone(), c.name.clone())) {
+                c.used_in_encoder = !u.encoder_fns.is_empty();
+                c.used_in_decoder = !u.decoder_fns.is_empty();
             }
         }
         // W001: duplicate value within (crate, family).
@@ -165,6 +180,47 @@ impl WireCheck {
                     "wire constant {} is never referenced by {missing}; a tag only one \
                      side knows cannot round-trip",
                     c.name
+                ),
+            });
+        }
+        // W003: a Bloom hash-family tag must round-trip through exactly
+        // one encoder/decoder fn pair. Absence of a side is W002's job;
+        // this catches the *spread* — a second fn interpreting the tag
+        // bytes lets the two mappings drift independently.
+        for c in &self.consts {
+            if c.family != Family::BloomHash || !(c.used_in_encoder && c.used_in_decoder) {
+                continue;
+            }
+            let Some(u) = self.usages.get(&(c.crate_name.clone(), c.name.clone())) else {
+                continue;
+            };
+            if u.encoder_fns.len() == 1 && u.decoder_fns.len() == 1 {
+                continue;
+            }
+            let spread = |fns: &BTreeSet<String>, side: &str| {
+                if fns.len() > 1 {
+                    Some(format!("{side} fns {:?}", fns.iter().collect::<Vec<_>>()))
+                } else {
+                    None
+                }
+            };
+            let sides: Vec<String> = [
+                spread(&u.encoder_fns, "encoder"),
+                spread(&u.decoder_fns, "decoder"),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            out.push(Finding {
+                file: c.file.clone(),
+                line: c.line,
+                rule: "W003",
+                message: format!(
+                    "hash-family tag {} must round-trip through exactly one \
+                     encoder/decoder pair, but is interpreted by {}; duplicate \
+                     interpreters let the family mappings drift apart",
+                    c.name,
+                    sides.join(" and ")
                 ),
             });
         }

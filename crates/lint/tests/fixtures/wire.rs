@@ -12,3 +12,21 @@ pub fn put_ping(out: &mut Vec<u8>) {
 pub fn get_ping(b: &[u8]) -> bool {
     b.first() == Some(&REQ_PING)
 }
+
+pub const FAMILY_PLAIN: u8 = 0;
+pub const FAMILY_SPREAD: u8 = 1;
+
+pub fn put_family(out: &mut Vec<u8>, fast: bool) {
+    out.push(if fast { FAMILY_SPREAD } else { FAMILY_PLAIN });
+}
+
+pub fn get_family(b: &[u8]) -> u8 {
+    match b.first() {
+        Some(&FAMILY_SPREAD) => FAMILY_SPREAD,
+        _ => FAMILY_PLAIN,
+    }
+}
+
+pub fn get_family_elsewhere(b: &[u8]) -> bool {
+    b.first() == Some(&FAMILY_SPREAD)
+}

@@ -64,7 +64,7 @@ fn panic_rules_fire_exactly_where_seeded() {
 }
 
 #[test]
-fn wire_rules_catch_duplicate_and_one_sided_tags() {
+fn wire_rules_catch_duplicate_one_sided_and_spread_tags() {
     let r = scan_source(
         "fx/wire.rs",
         "smartstore-service",
@@ -74,9 +74,10 @@ fn wire_rules_catch_duplicate_and_one_sided_tags() {
     assert_eq!(
         keys(&r),
         vec![
-            "fx/wire.rs:4:W001", // REQ_ECHO duplicates REQ_PING's value
-            "fx/wire.rs:4:W002", // REQ_ECHO has neither encoder nor decoder
-            "fx/wire.rs:5:W002", // REQ_ORPHAN is encoder-only
+            "fx/wire.rs:4:W001",  // REQ_ECHO duplicates REQ_PING's value
+            "fx/wire.rs:4:W002",  // REQ_ECHO has neither encoder nor decoder
+            "fx/wire.rs:5:W002",  // REQ_ORPHAN is encoder-only
+            "fx/wire.rs:17:W003", // FAMILY_SPREAD is read by two decoder fns
         ],
         "{:#?}",
         r.findings

@@ -21,7 +21,7 @@ use smartstore::mapping::IndexMapping;
 use smartstore::tree::{NodeId, SemanticNode, TreeParts};
 use smartstore::unit::StorageUnit;
 use smartstore::versioning::{Change, Version, VersionStore};
-use smartstore_bloom::BloomFilter;
+use smartstore_bloom::{BloomFilter, HashFamily};
 use smartstore_rtree::{RTreeConfig, Rect};
 use smartstore_trace::{AttributeKind, FileMetadata, ATTR_DIMS};
 use std::collections::HashMap;
@@ -29,8 +29,11 @@ use std::collections::HashMap;
 /// Highest artifact format version this build reads and the version it
 /// writes. v2 added differential snapshots: the manifest carries the
 /// base + delta generation chain and the config carries
-/// `max_delta_chain`.
-pub const FORMAT_VERSION: u16 = 2;
+/// `max_delta_chain`. v3 added the Bloom hash-family tag to every
+/// persisted filter and to the config; v2 images decode their filters
+/// as [`HashFamily::Md5`] (the only family that existed then) and are
+/// migrated in memory on open.
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Upper bound on a single record's payload (sanity check against
 /// garbage length prefixes).
@@ -417,23 +420,55 @@ pub fn get_file(d: &mut Dec) -> DecResult<FileMetadata> {
     })
 }
 
-/// Encodes a Bloom filter (geometry + raw words + insert count).
+/// Bloom hash-family tags of the v3 filter/config encoding.
+pub const FAMILY_MD5: u8 = 0;
+pub const FAMILY_FAST: u8 = 1;
+
+/// Encodes a Bloom hash-family tag. The only writer of the `FAMILY_*`
+/// tag bytes; [`get_family`] is the only reader.
+pub fn put_family(e: &mut Enc, f: HashFamily) {
+    e.u8(match f {
+        HashFamily::Md5 => FAMILY_MD5,
+        HashFamily::Fast => FAMILY_FAST,
+    });
+}
+
+/// Decodes a Bloom hash-family tag.
+pub fn get_family(d: &mut Dec) -> DecResult<HashFamily> {
+    let at = d.pos();
+    match d.u8()? {
+        FAMILY_MD5 => Ok(HashFamily::Md5),
+        FAMILY_FAST => Ok(HashFamily::Fast),
+        t => Err(DecodeError::new(at, format!("unknown hash family {t}"))),
+    }
+}
+
+/// Encodes a Bloom filter (geometry + hash family + raw words + insert
+/// count).
 pub fn put_bloom(e: &mut Enc, b: &BloomFilter) {
     e.usize(b.n_bits());
     e.usize(b.n_hashes());
     e.usize(b.inserted());
+    put_family(e, b.family());
     e.u32(b.words().len() as u32);
     for &w in b.words() {
         e.u64(w);
     }
 }
 
-/// Decodes a Bloom filter.
-pub fn get_bloom(d: &mut Dec) -> DecResult<BloomFilter> {
+/// Decodes a Bloom filter. `version` is the containing artifact's
+/// format version: v2 images predate the family tag, and every filter
+/// written back then used the paper's MD5 derivation.
+pub fn get_bloom(d: &mut Dec, version: u16) -> DecResult<BloomFilter> {
     let at = d.pos();
     let n_bits = d.usize()?;
     let n_hashes = d.usize()?;
     let inserted = d.usize()?;
+    let family = if version >= 3 {
+        get_family(d)?
+    } else {
+        HashFamily::Md5
+    };
     let n_words = d.u32()? as usize;
     if n_bits == 0 || n_hashes == 0 || n_words != n_bits.div_ceil(64) {
         return Err(DecodeError::new(
@@ -442,7 +477,9 @@ pub fn get_bloom(d: &mut Dec) -> DecResult<BloomFilter> {
         ));
     }
     let words: Vec<u64> = (0..n_words).map(|_| d.u64()).collect::<DecResult<_>>()?;
-    Ok(BloomFilter::from_raw(n_bits, n_hashes, inserted, words))
+    Ok(BloomFilter::from_raw(
+        n_bits, n_hashes, inserted, words, family,
+    ))
 }
 
 /// Encodes an optional MBR.
@@ -488,15 +525,15 @@ pub fn put_unit(e: &mut Enc, u: &StorageUnit) {
     put_opt_rect(e, u.mbr());
 }
 
-/// Decodes a storage unit.
-pub fn get_unit(d: &mut Dec) -> DecResult<StorageUnit> {
+/// Decodes a storage unit from a `version`-format artifact.
+pub fn get_unit(d: &mut Dec, version: u16) -> DecResult<StorageUnit> {
     let id = d.usize()?;
     let n = d.u32()? as usize;
     let mut files = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         files.push(get_file(d)?);
     }
-    let bloom = get_bloom(d)?;
+    let bloom = get_bloom(d, version)?;
     let at = d.pos();
     let centroid = d.f64s()?;
     if centroid.len() != ATTR_DIMS {
@@ -540,14 +577,14 @@ pub fn put_node(e: &mut Enc, n: &SemanticNode) {
     e.usize(n.leaf_count);
 }
 
-/// Decodes one semantic R-tree node.
-pub fn get_node(d: &mut Dec) -> DecResult<SemanticNode> {
+/// Decodes one semantic R-tree node from a `version`-format artifact.
+pub fn get_node(d: &mut Dec, version: u16) -> DecResult<SemanticNode> {
     Ok(SemanticNode {
         id: d.usize()?,
         level: d.u32()?,
         mbr: get_opt_rect(d)?,
         centroid: d.f64s()?,
-        bloom: get_bloom(d)?,
+        bloom: get_bloom(d, version)?,
         children: d.usizes()?,
         parent: get_opt_usize(d)?,
         unit: get_opt_usize(d)?,
@@ -566,11 +603,11 @@ pub fn put_tree(e: &mut Enc, t: &TreeParts) {
 }
 
 /// Decodes the whole tree arena, validating the root reference.
-pub fn get_tree(d: &mut Dec) -> DecResult<TreeParts> {
+pub fn get_tree(d: &mut Dec, version: u16) -> DecResult<TreeParts> {
     let n = d.u32()? as usize;
     let mut nodes = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        nodes.push(get_node(d)?);
+        nodes.push(get_node(d, version)?);
     }
     let at = d.pos();
     let root = d.usize()?;
@@ -705,6 +742,7 @@ pub fn put_config(e: &mut Enc, c: &SmartStoreConfig) {
     e.usize(c.rtree.min_entries);
     e.usize(c.bloom_bits);
     e.usize(c.bloom_hashes);
+    put_family(e, c.bloom_family);
     e.f64(c.autoconfig_threshold);
     e.f64(c.lazy_update_threshold);
     e.u32(c.version_ratio);
@@ -717,7 +755,10 @@ pub fn put_config(e: &mut Enc, c: &SmartStoreConfig) {
 /// artifact's format version: v1 images predate `max_delta_chain`, so
 /// for them the field is not read and the default chain policy applies
 /// — reopening a v1 store upgrades it to differential compaction (its
-/// next manifest flip writes v2).
+/// next manifest flip writes v2). Likewise, v2 images predate
+/// `bloom_family`: the *desired* family decodes as the build default
+/// (the fast family), while the v2 filters themselves decode as MD5 —
+/// the mismatch is what triggers the in-memory migration on open.
 pub fn get_config(d: &mut Dec, version: u16) -> DecResult<SmartStoreConfig> {
     let lsi_rank = d.usize()?;
     let n_dims = d.u32()? as usize;
@@ -742,6 +783,11 @@ pub fn get_config(d: &mut Dec, version: u16) -> DecResult<SmartStoreConfig> {
         },
         bloom_bits: d.usize()?,
         bloom_hashes: d.usize()?,
+        bloom_family: if version >= 3 {
+            get_family(d)?
+        } else {
+            HashFamily::default()
+        },
         autoconfig_threshold: d.f64()?,
         lazy_update_threshold: d.f64()?,
         version_ratio: d.u32()?,
@@ -844,18 +890,53 @@ mod tests {
 
     #[test]
     fn bloom_roundtrip_preserves_bits() {
-        let mut b = BloomFilter::new(512, 5);
-        for i in 0..40 {
-            b.insert(format!("key{i}").as_bytes());
+        for family in [HashFamily::Md5, HashFamily::Fast] {
+            let mut b = BloomFilter::with_family(512, 5, family);
+            for i in 0..40 {
+                b.insert(format!("key{i}").as_bytes());
+            }
+            let mut e = Enc::new();
+            put_bloom(&mut e, &b);
+            let bytes = e.into_bytes();
+            let back = get_bloom(&mut Dec::new(&bytes), FORMAT_VERSION).unwrap();
+            assert_eq!(back, b);
+            assert_eq!(back.family(), family);
+            for i in 0..40 {
+                assert!(back.contains(format!("key{i}").as_bytes()));
+            }
         }
+    }
+
+    #[test]
+    fn family_tag_roundtrip_and_rejects_unknown() {
+        for f in [HashFamily::Md5, HashFamily::Fast] {
+            let mut e = Enc::new();
+            put_family(&mut e, f);
+            let bytes = e.into_bytes();
+            assert_eq!(get_family(&mut Dec::new(&bytes)).unwrap(), f);
+        }
+        assert!(get_family(&mut Dec::new(&[0x7f])).is_err());
+    }
+
+    #[test]
+    fn v2_bloom_bytes_decode_as_md5() {
+        // A v2 filter record has no family byte; re-encode one by hand
+        // and check it decodes as the MD5 family.
+        let mut b = BloomFilter::with_family(128, 3, HashFamily::Md5);
+        b.insert(b"old_file");
         let mut e = Enc::new();
-        put_bloom(&mut e, &b);
-        let bytes = e.into_bytes();
-        let back = get_bloom(&mut Dec::new(&bytes)).unwrap();
-        assert_eq!(back, b);
-        for i in 0..40 {
-            assert!(back.contains(format!("key{i}").as_bytes()));
+        e.usize(b.n_bits());
+        e.usize(b.n_hashes());
+        e.usize(b.inserted());
+        e.u32(b.words().len() as u32);
+        for &w in b.words() {
+            e.u64(w);
         }
+        let bytes = e.into_bytes();
+        let back = get_bloom(&mut Dec::new(&bytes), 2).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.family(), HashFamily::Md5);
+        assert!(back.contains(b"old_file"));
     }
 
     #[test]
@@ -900,6 +981,7 @@ mod tests {
         let c = SmartStoreConfig {
             lsi_rank: 4,
             grouping_dims: vec![AttributeKind::Size, AttributeKind::ProcessId],
+            bloom_family: HashFamily::Md5,
             persist: PersistConfig {
                 wal_sync_every: 7,
                 ..PersistConfig::default()
@@ -912,6 +994,7 @@ mod tests {
         let back = get_config(&mut Dec::new(&bytes), FORMAT_VERSION).unwrap();
         assert_eq!(back.lsi_rank, 4);
         assert_eq!(back.grouping_dims, c.grouping_dims);
+        assert_eq!(back.bloom_family, HashFamily::Md5);
         assert_eq!(back.persist, c.persist);
         assert_eq!(back.version_ratio, c.version_ratio);
     }

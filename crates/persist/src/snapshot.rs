@@ -346,11 +346,11 @@ pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SystemParts> {
         if d.u8().map_err(dec_err)? != SEC_UNIT {
             return Err(corrupt(path, pos, "expected unit section"));
         }
-        units.push(codec::get_unit(&mut d).map_err(dec_err)?);
+        units.push(codec::get_unit(&mut d, version).map_err(dec_err)?);
         d.finish().map_err(dec_err)?;
     }
 
-    let ix = get_index_sections(bytes, &mut pos, path)?;
+    let ix = get_index_sections(bytes, &mut pos, path, version)?;
 
     check_unit_refs(&units, &ix.tree, path)?;
 
@@ -379,7 +379,12 @@ struct IndexSections {
 /// marker and trailing-data check — the read-side mirror of
 /// [`put_index_sections`], shared by [`decode_snapshot`] and
 /// [`decode_delta`].
-fn get_index_sections(bytes: &[u8], pos: &mut usize, path: &Path) -> Result<IndexSections> {
+fn get_index_sections(
+    bytes: &[u8],
+    pos: &mut usize,
+    path: &Path,
+    version: u16,
+) -> Result<IndexSections> {
     let next = |pos: &mut usize| -> Result<&[u8]> {
         match codec::get_record(bytes, *pos) {
             Ok((payload, np)) => {
@@ -402,7 +407,7 @@ fn get_index_sections(bytes: &[u8], pos: &mut usize, path: &Path) -> Result<Inde
     if d.u8().map_err(dec_err)? != SEC_TREE {
         return Err(corrupt(path, *pos, "expected tree section"));
     }
-    let tree = codec::get_tree(&mut d).map_err(dec_err)?;
+    let tree = codec::get_tree(&mut d, version).map_err(dec_err)?;
     d.finish().map_err(dec_err)?;
 
     // MAPPING
@@ -558,14 +563,14 @@ pub fn decode_delta(bytes: &[u8], path: &Path) -> Result<DeltaParts> {
         if d.u8().map_err(dec_err)? != SEC_UNIT {
             return Err(corrupt(path, pos, "expected unit section"));
         }
-        units.push(codec::get_unit(&mut d).map_err(dec_err)?);
+        units.push(codec::get_unit(&mut d, version).map_err(dec_err)?);
         d.finish().map_err(dec_err)?;
     }
     if !units.windows(2).all(|w| w[0].id < w[1].id) {
         return Err(corrupt(path, pos, "delta units not ascending by id"));
     }
 
-    let ix = get_index_sections(bytes, &mut pos, path)?;
+    let ix = get_index_sections(bytes, &mut pos, path, version)?;
 
     Ok(DeltaParts {
         cfg,

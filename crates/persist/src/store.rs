@@ -91,6 +91,12 @@ pub struct RecoveryReport {
     /// whole segments that could not be applied (corrupt header, or a
     /// predecessor that lost frames to a lying fsync).
     pub quarantined_bytes: u64,
+    /// Storage units whose Bloom filters were rebuilt in memory because
+    /// the on-disk family differs from the configured one (e.g. a v2
+    /// image's MD5 filters under the fast-family default). The rebuilt
+    /// units are marked dirty, so the next compaction persists them in
+    /// the configured family.
+    pub units_migrated: usize,
 }
 
 /// Durability/compaction tunables, normally taken from
@@ -448,6 +454,12 @@ impl PersistentStore {
         }
         let chain_end = deltas.last().copied().unwrap_or(base);
         let mut system = SmartStoreSystem::from_parts(parts);
+        // Hash-family migration happens before WAL replay so the
+        // replayed changes land in already-migrated filters. Rebuilding
+        // a Bloom filter from its unit's file names never loses an
+        // answer: filters only route probes, and exact name matching
+        // sits behind them.
+        let units_migrated = system.migrate_bloom_family();
         let opts = StoreOptions::from(&system.cfg.persist);
 
         let mut quarantined_bytes = 0u64;
@@ -529,6 +541,7 @@ impl PersistentStore {
             wal_segments,
             dropped_tail_bytes,
             quarantined_bytes,
+            units_migrated,
         };
         let wal = WalWriter::open_end(
             v,

@@ -1,5 +1,6 @@
 //! System-wide configuration with the paper's published defaults.
 
+use smartstore_bloom::HashFamily;
 use smartstore_rtree::RTreeConfig;
 use smartstore_trace::AttributeKind;
 
@@ -30,6 +31,10 @@ pub struct SmartStoreConfig {
     pub bloom_bits: usize,
     /// Bloom hash count (paper: k = 7, §5.1).
     pub bloom_hashes: usize,
+    /// Hash family deriving Bloom bit indexes. Defaults to the fast
+    /// double-hashing family; set [`HashFamily::Md5`] to reproduce the
+    /// paper's MD5 scheme (§5.1) bit for bit.
+    pub bloom_family: HashFamily,
     /// Threshold for the automatic configuration: keep a subset R-tree
     /// when index-unit counts differ by more than this fraction
     /// (paper: 10%, §5.1).
@@ -95,6 +100,7 @@ impl Default for SmartStoreConfig {
             },
             bloom_bits: 1024,
             bloom_hashes: 7,
+            bloom_family: HashFamily::default(),
             autoconfig_threshold: 0.10,
             lazy_update_threshold: 0.05,
             version_ratio: 16,
@@ -121,6 +127,9 @@ mod tests {
         let c = SmartStoreConfig::default();
         assert_eq!(c.bloom_bits, 1024);
         assert_eq!(c.bloom_hashes, 7);
+        // The geometry matches the paper; the hash family defaults to
+        // the fast one (MD5 stays selectable for strict fidelity).
+        assert_eq!(c.bloom_family, HashFamily::Fast);
         assert!((c.autoconfig_threshold - 0.10).abs() < 1e-12);
         assert!((c.lazy_update_threshold - 0.05).abs() < 1e-12);
     }

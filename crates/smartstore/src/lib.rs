@@ -60,6 +60,7 @@ pub mod versioning;
 
 pub use config::{PersistConfig, SmartStoreConfig};
 pub use query::{QueryEngine, QueryOptions};
+pub use smartstore_bloom::HashFamily;
 pub use system::{
     DeltaParts, DirtyUnits, Journal, QueryOutcome, SmartStoreSystem, SystemParts, SystemStats,
 };

@@ -274,7 +274,9 @@ impl SmartStoreSystem {
         let units: Vec<StorageUnit> = buckets
             .into_iter()
             .enumerate()
-            .map(|(i, fs)| StorageUnit::new(i, cfg.bloom_bits, cfg.bloom_hashes, fs))
+            .map(|(i, fs)| {
+                StorageUnit::with_family(i, cfg.bloom_bits, cfg.bloom_hashes, cfg.bloom_family, fs)
+            })
             .collect();
         let tree = SemanticRTree::build(&units, &cfg);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5afe);
@@ -883,6 +885,36 @@ impl SmartStoreSystem {
         removed_total
     }
 
+    /// Migrates every Bloom filter to `cfg.bloom_family`, rebuilding
+    /// unit filters from their file names and tree filters bottom-up
+    /// from the units. Returns the number of unit filters rebuilt
+    /// (0 = nothing to do, filters already match the config).
+    ///
+    /// This is the open-path hook for persisted images written under a
+    /// different hash family (v2 images are always MD5). Only Bloom
+    /// state changes: centroids and MBRs keep whatever (possibly stale)
+    /// values were persisted, because staleness is answer-relevant
+    /// (§3.4). Rebuilt filters are *fresh* — names journaled since the
+    /// last summary refresh become visible to point routing, which is
+    /// exactly the effect of a lazy update (§3.4) arriving early, never
+    /// a lost answer. Every unit is marked dirty so the next compaction
+    /// rewrites the full image under the new family.
+    pub fn migrate_bloom_family(&mut self) -> usize {
+        let family = self.cfg.bloom_family;
+        let mut migrated = 0usize;
+        for u in &mut self.units {
+            if u.bloom().family() != family {
+                u.rebuild_bloom(family);
+                migrated += 1;
+            }
+        }
+        if migrated > 0 {
+            self.tree.rebuild_blooms(&self.units);
+            self.dirty.mark_all(self.units.len());
+        }
+        migrated
+    }
+
     /// Forces a full index rebuild (reconfiguration): recomputes unit
     /// summaries, rebuilds the tree and mapping, clears version chains.
     pub fn reconfigure(&mut self) {
@@ -973,7 +1005,13 @@ impl SmartStoreSystem {
         for f in &files {
             self.owner.insert(f.file_id, id);
         }
-        let unit = StorageUnit::new(id, self.cfg.bloom_bits, self.cfg.bloom_hashes, files);
+        let unit = StorageUnit::with_family(
+            id,
+            self.cfg.bloom_bits,
+            self.cfg.bloom_hashes,
+            self.cfg.bloom_family,
+            files,
+        );
         self.tree.insert_unit(&unit);
         self.units.push(unit);
         // Group membership may have changed: make sure every group has a

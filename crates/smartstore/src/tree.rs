@@ -539,7 +539,11 @@ impl SemanticRTree {
                 level: 1,
                 mbr: None,
                 centroid: vec![0.0; self.nodes[old].centroid.len()],
-                bloom: BloomFilter::new(self.cfg.bloom_bits, self.cfg.bloom_hashes),
+                bloom: BloomFilter::with_family(
+                    self.cfg.bloom_bits,
+                    self.cfg.bloom_hashes,
+                    self.cfg.bloom_family,
+                ),
                 children: vec![old, leaf],
                 parent: None,
                 unit: None,
@@ -659,7 +663,11 @@ impl SemanticRTree {
             level,
             mbr: None,
             centroid: vec![0.0; dim],
-            bloom: BloomFilter::new(self.cfg.bloom_bits, self.cfg.bloom_hashes),
+            bloom: BloomFilter::with_family(
+                self.cfg.bloom_bits,
+                self.cfg.bloom_hashes,
+                self.cfg.bloom_family,
+            ),
             children: group_b,
             parent: self.nodes[node].parent,
             unit: None,
@@ -684,7 +692,11 @@ impl SemanticRTree {
                     level: level + 1,
                     mbr: None,
                     centroid: vec![0.0; dim],
-                    bloom: BloomFilter::new(self.cfg.bloom_bits, self.cfg.bloom_hashes),
+                    bloom: BloomFilter::with_family(
+                        self.cfg.bloom_bits,
+                        self.cfg.bloom_hashes,
+                        self.cfg.bloom_family,
+                    ),
                     children: vec![node, sibling],
                     parent: None,
                     unit: None,
@@ -793,6 +805,41 @@ impl SemanticRTree {
         n.leaf_count = leaf_count;
     }
 
+    /// Rebuilds every node's Bloom filter — and nothing else — from the
+    /// storage units' current filters: leaves clone their unit's
+    /// filter, internal nodes union their children bottom-up. This is
+    /// the hash-family migration path for reopened persisted images;
+    /// MBRs and centroids are deliberately left alone because their
+    /// (possible) staleness is answer-relevant (§3.4) and migration
+    /// must not act as a full index refresh.
+    pub fn rebuild_blooms(&mut self, units: &[StorageUnit]) {
+        let mut order: Vec<NodeId> = self.live_node_ids().collect();
+        // Children before parents: leaves are level 0.
+        order.sort_by_key(|&id| self.nodes[id].level);
+        for id in order {
+            let bloom = match self.nodes[id].unit {
+                Some(u) => {
+                    debug_assert_eq!(units[u].id, u, "unit ids must be dense");
+                    units[u].bloom().clone()
+                }
+                // Degenerate empty node (e.g. a unit-less root): fresh
+                // filter in the configured family.
+                None if self.nodes[id].children.is_empty() => BloomFilter::with_family(
+                    self.cfg.bloom_bits,
+                    self.cfg.bloom_hashes,
+                    self.cfg.bloom_family,
+                ),
+                None => BloomFilter::union_all(
+                    self.nodes[id]
+                        .children
+                        .iter()
+                        .map(|&c| &self.nodes[c].bloom),
+                ),
+            };
+            self.nodes[id].bloom = bloom;
+        }
+    }
+
     /// Refreshes a node and all its ancestors.
     fn refresh_upward(&mut self, from: NodeId) {
         let mut cur = Some(from);
@@ -879,7 +926,7 @@ fn summarize_children(
     let dim = nodes[children[0]].centroid.len();
     let mut mbr: Option<Rect> = None;
     let mut centroid = vec![0.0; dim];
-    let mut bloom = BloomFilter::new(cfg.bloom_bits, cfg.bloom_hashes);
+    let mut bloom = BloomFilter::with_family(cfg.bloom_bits, cfg.bloom_hashes, cfg.bloom_family);
     let mut leaf_count = 0usize;
     for &c in children {
         let child = &nodes[c];

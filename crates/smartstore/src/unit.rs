@@ -29,10 +29,62 @@
 //! is a pure function of the record and the scan visits rows in the
 //! same order.
 
-use smartstore_bloom::BloomFilter;
+use smartstore_bloom::{BloomFilter, HashFamily};
 use smartstore_rtree::Rect;
 use smartstore_trace::{FileMetadata, ATTR_DIMS};
 use std::collections::HashMap;
+
+/// How many rows a range scan processes per mask pass. Small enough
+/// for the mask to live in registers/L1, large enough that the
+/// per-dimension inner loops are straight-line code the compiler can
+/// unroll and vectorize.
+const SCAN_CHUNK: usize = 64;
+
+/// Conservative per-dimension bounds of the columnar coordinate table.
+///
+/// Invariant: every value in column `d` lies in `[lo[d], hi[d]]` (NaN
+/// values poison the dimension to an un-coverable `NaN` bound). The
+/// bounds are grow-only supersets under in-place mutation and exact
+/// after a rebuild — unlike the unit MBR they are *never stale*, so a
+/// range scan may skip checking any dimension whose query interval
+/// covers them without changing a single answer.
+#[derive(Clone, Copy, Debug)]
+struct ColBounds {
+    lo: [f64; ATTR_DIMS],
+    hi: [f64; ATTR_DIMS],
+}
+
+impl ColBounds {
+    fn empty() -> Self {
+        Self {
+            lo: [f64::INFINITY; ATTR_DIMS],
+            hi: [f64::NEG_INFINITY; ATTR_DIMS],
+        }
+    }
+
+    /// Widens the bounds to cover one coordinate row.
+    fn grow(&mut self, row: &[f64]) {
+        for (d, &x) in row.iter().enumerate().take(ATTR_DIMS) {
+            if self.lo[d].is_nan() {
+                continue; // already poisoned — stays un-coverable
+            }
+            if x.is_nan() {
+                // A NaN coordinate fails every interval check, so the
+                // dimension must never be skipped: poison the bounds so
+                // no query interval can cover them.
+                self.lo[d] = f64::NAN;
+                self.hi[d] = f64::NAN;
+            } else {
+                if x < self.lo[d] {
+                    self.lo[d] = x;
+                }
+                if x > self.hi[d] {
+                    self.hi[d] = x;
+                }
+            }
+        }
+    }
+}
 
 /// Work performed by a local query, for latency accounting.
 ///
@@ -143,6 +195,7 @@ fn push_row(
     coords: &mut Vec<f64>,
     ids: &mut Vec<u64>,
     name_slots: &mut HashMap<String, Vec<usize>>,
+    bounds: &mut ColBounds,
     row: &[f64],
     id: u64,
     name: &str,
@@ -150,6 +203,7 @@ fn push_row(
     let slot = ids.len();
     coords.extend_from_slice(row);
     ids.push(id);
+    bounds.grow(row);
     name_slots.entry(name.to_owned()).or_default().push(slot);
 }
 
@@ -186,25 +240,41 @@ pub struct StorageUnit {
     /// queries resolve to the first slot, matching the pre-columnar
     /// first-match-in-store-order scan).
     name_slots: HashMap<String, Vec<usize>>,
+    /// Conservative per-dimension bounds over `coords` (see
+    /// [`ColBounds`]); drives dimension pruning in range scans.
+    bounds: ColBounds,
 }
 
 impl StorageUnit {
-    /// Creates a unit with the given Bloom geometry and initial files.
+    /// Creates a unit with the given Bloom geometry and initial files,
+    /// in the default hash family.
     pub fn new(
         id: usize,
         bloom_bits: usize,
         bloom_hashes: usize,
         files: Vec<FileMetadata>,
     ) -> Self {
+        Self::with_family(id, bloom_bits, bloom_hashes, HashFamily::default(), files)
+    }
+
+    /// Creates a unit whose Bloom filter uses an explicit hash family.
+    pub fn with_family(
+        id: usize,
+        bloom_bits: usize,
+        bloom_hashes: usize,
+        family: HashFamily,
+        files: Vec<FileMetadata>,
+    ) -> Self {
         let mut unit = Self {
             id,
             files: Vec::new(),
-            bloom: BloomFilter::new(bloom_bits, bloom_hashes),
+            bloom: BloomFilter::with_family(bloom_bits, bloom_hashes, family),
             centroid: vec![0.0; ATTR_DIMS],
             mbr: None,
             coords: Vec::new(),
             ids: Vec::new(),
             name_slots: HashMap::new(),
+            bounds: ColBounds::empty(),
         };
         for f in files {
             unit.insert_file(f);
@@ -236,6 +306,7 @@ impl StorageUnit {
             coords: Vec::new(),
             ids: Vec::new(),
             name_slots: HashMap::new(),
+            bounds: ColBounds::empty(),
         };
         unit.rebuild_columns();
         unit
@@ -248,11 +319,13 @@ impl StorageUnit {
         self.ids.clear();
         self.ids.reserve(self.files.len());
         self.name_slots.clear();
+        self.bounds = ColBounds::empty();
         for f in &self.files {
             push_row(
                 &mut self.coords,
                 &mut self.ids,
                 &mut self.name_slots,
+                &mut self.bounds,
                 &f.attr_vector(),
                 f.file_id,
                 &f.name,
@@ -267,6 +340,7 @@ impl StorageUnit {
             &mut self.coords,
             &mut self.ids,
             &mut self.name_slots,
+            &mut self.bounds,
             &file.attr_vector(),
             file.file_id,
             &file.name,
@@ -410,6 +484,7 @@ impl StorageUnit {
             &mut self.coords,
             &mut self.ids,
             &mut self.name_slots,
+            &mut self.bounds,
             &v,
             file.file_id,
             &file.name,
@@ -451,6 +526,7 @@ impl StorageUnit {
         let old_coords = std::mem::take(&mut self.coords);
         let old_ids = std::mem::take(&mut self.ids);
         self.name_slots.clear();
+        self.bounds = ColBounds::empty();
         self.files = Vec::with_capacity(old_files.len());
         self.coords = Vec::with_capacity(old_coords.len());
         self.ids = Vec::with_capacity(old_ids.len());
@@ -470,6 +546,7 @@ impl StorageUnit {
                     &mut self.coords,
                     &mut self.ids,
                     &mut self.name_slots,
+                    &mut self.bounds,
                     &old_coords[row * ATTR_DIMS..(row + 1) * ATTR_DIMS],
                     old_ids[row],
                     &f.name,
@@ -503,8 +580,10 @@ impl StorageUnit {
     pub fn modify_file_raw(&mut self, file: FileMetadata) {
         match self.files.iter().position(|f| f.file_id == file.file_id) {
             Some(slot) => {
-                self.coords[slot * ATTR_DIMS..(slot + 1) * ATTR_DIMS]
-                    .copy_from_slice(&file.attr_vector());
+                let row = file.attr_vector();
+                self.coords[slot * ATTR_DIMS..(slot + 1) * ATTR_DIMS].copy_from_slice(&row);
+                // The old row's extent is kept (bounds stay a superset).
+                self.bounds.grow(&row);
                 if self.files[slot].name != file.name {
                     unlink_name_slot(&mut self.name_slots, &self.files[slot].name, slot);
                     let slots = self.name_slots.entry(file.name.clone()).or_default();
@@ -548,6 +627,21 @@ impl StorageUnit {
         }
     }
 
+    /// Rebuilds the Bloom filter alone, in the given hash family, from
+    /// the unit's current file names — the persisted-image migration
+    /// path (`name_slots` already proves names are authoritative).
+    /// Centroid and MBR are deliberately untouched: they may be stale,
+    /// and staleness is answer-relevant (§3.4), so migration must not
+    /// refresh them.
+    pub fn rebuild_bloom(&mut self, family: HashFamily) {
+        let mut bloom =
+            BloomFilter::with_family(self.bloom.n_bits(), self.bloom.n_hashes(), family);
+        for f in &self.files {
+            bloom.insert(f.name.as_bytes());
+        }
+        self.bloom = bloom;
+    }
+
     /// Local point query: probe the Bloom filter, and on a positive hit
     /// resolve the filename through the name→slot index — one record
     /// examined on a hit, none on a Bloom false positive (see
@@ -582,9 +676,27 @@ impl StorageUnit {
             .map(|&slot| &self.files[slot])
     }
 
-    /// Local range query over the projected attribute space: a linear
-    /// pass over the flat coordinate table (no per-record projection,
-    /// records touched only through the id column).
+    /// Local range query over the projected attribute space:
+    /// dimension-pruned, chunk-processed passes over the flat
+    /// coordinate table (no per-record projection, records touched only
+    /// through the id column).
+    ///
+    /// Two layers of work avoidance, both answer-preserving:
+    ///
+    /// * **dimension pruning** — a dimension whose query interval
+    ///   covers the column's [`ColBounds`] cannot reject any row, so
+    ///   its column is never read (the bounds are conservative
+    ///   supersets of the column values, unlike the possibly-stale unit
+    ///   MBR);
+    /// * **chunked mask scan** — the remaining dimensions are evaluated
+    ///   column-at-a-time over [`SCAN_CHUNK`]-row blocks: each pass is
+    ///   a branch-free strided sweep the compiler can vectorize, and a
+    ///   chunk whose mask empties skips its remaining dimensions.
+    ///
+    /// Output order (ascending slot) and the full-scan cost accounting
+    /// (`records = len()`, pricing the guaranteed column pass) are
+    /// unchanged, so answers and cost-model decisions stay bit-identical
+    /// to the plain row walk.
     pub fn range_query(&self, lo: &[f64], hi: &[f64]) -> (Vec<u64>, LocalWork) {
         let mut out = Vec::new();
         let mut work = LocalWork::default();
@@ -595,14 +707,58 @@ impl StorageUnit {
                 return (out, work);
             }
         }
-        for (slot, row) in self.coords.chunks_exact(ATTR_DIMS).enumerate() {
-            if row
-                .iter()
-                .zip(lo.iter().zip(hi))
-                .all(|(&x, (&l, &h))| l <= x && x <= h)
-            {
-                out.push(self.ids[slot]);
+        // The row walk this replaces zipped `lo`/`hi` against each row,
+        // so only the first `min(lo, hi, ATTR_DIMS)` dimensions ever
+        // constrained; dims beyond that stay unconstrained here too.
+        let checked_dims = lo.len().min(hi.len()).min(ATTR_DIMS);
+        let mut active = [false; ATTR_DIMS];
+        let mut n_active = 0usize;
+        for d in 0..checked_dims {
+            // `!(covers)` rather than `excludes`: a NaN query bound or
+            // poisoned column bound must keep the dimension active.
+            let covers = lo[d] <= self.bounds.lo[d] && self.bounds.hi[d] <= hi[d];
+            if !covers {
+                active[d] = true;
+                n_active += 1;
             }
+        }
+        let n = self.ids.len();
+        if n_active == 0 {
+            // Every surviving dimension is covered: all rows match.
+            out.extend_from_slice(&self.ids);
+            work.records = self.files.len();
+            return (out, work);
+        }
+        let mut mask = [false; SCAN_CHUNK];
+        let mut base = 0usize;
+        while base < n {
+            let len = SCAN_CHUNK.min(n - base);
+            mask[..len].fill(true);
+            let mut any = true;
+            for d in 0..checked_dims {
+                if !active[d] {
+                    continue;
+                }
+                let (l, h) = (lo[d], hi[d]);
+                let mut keep_any = false;
+                for (j, m) in mask.iter_mut().enumerate().take(len) {
+                    let x = self.coords[(base + j) * ATTR_DIMS + d];
+                    *m = *m && l <= x && x <= h;
+                    keep_any |= *m;
+                }
+                if !keep_any {
+                    any = false;
+                    break; // chunk fully rejected — skip remaining dims
+                }
+            }
+            if any {
+                for (j, &m) in mask.iter().enumerate().take(len) {
+                    if m {
+                        out.push(self.ids[base + j]);
+                    }
+                }
+            }
+            base += len;
         }
         work.records = self.files.len();
         (out, work)
@@ -891,5 +1047,107 @@ mod tests {
         let q = base.attr_vector();
         let (top, _) = u.topk_query(&q, 2);
         assert_eq!(top.iter().map(|&(id, _)| id).collect::<Vec<_>>(), [10, 20]);
+    }
+
+    /// The pre-pruning row walk, kept as the reference the chunked
+    /// dimension-pruned scan must match bit for bit.
+    fn range_reference(u: &StorageUnit, lo: &[f64], hi: &[f64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (slot, row) in u.coords().chunks_exact(ATTR_DIMS).enumerate() {
+            if row
+                .iter()
+                .zip(lo.iter().zip(hi))
+                .all(|(&x, (&l, &h))| l <= x && x <= h)
+            {
+                out.push(u.file_ids()[slot]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pruned_scan_matches_row_walk() {
+        // Sizes straddling the chunk width, boxes from fully-covering
+        // (zero active dims) to single-dimension slivers.
+        for n in [1usize, 63, 64, 65, 130, 200] {
+            let u = unit_with(n);
+            let m = u.mbr().unwrap().clone();
+            let (mlo, mhi) = (m.lo().to_vec(), m.hi().to_vec());
+            let mut boxes: Vec<(Vec<f64>, Vec<f64>)> = vec![(mlo.clone(), mhi.clone())]; // covers everything
+                                                                                         // One active dimension at a time: sliver around the middle.
+            for d in 0..ATTR_DIMS {
+                let mut lo = mlo.clone();
+                let mut hi = mhi.clone();
+                let mid = (mlo[d] + mhi[d]) / 2.0;
+                lo[d] = mid - (mhi[d] - mlo[d]) * 0.1;
+                hi[d] = mid + (mhi[d] - mlo[d]) * 0.1;
+                boxes.push((lo, hi));
+            }
+            // A few shrunken boxes activating several dims.
+            for f in [0.25, 0.5, 0.9] {
+                let lo: Vec<f64> = mlo
+                    .iter()
+                    .zip(&mhi)
+                    .map(|(&l, &h)| l + (h - l) * (1.0 - f) / 2.0)
+                    .collect();
+                let hi: Vec<f64> = mlo
+                    .iter()
+                    .zip(&mhi)
+                    .map(|(&l, &h)| h - (h - l) * (1.0 - f) / 2.0)
+                    .collect();
+                boxes.push((lo, hi));
+            }
+            for (lo, hi) in &boxes {
+                let (got, work) = u.range_query(lo, hi);
+                assert_eq!(got, range_reference(&u, lo, hi), "n={n}");
+                assert_eq!(work.records, n, "scan cost accounting unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_scan_stays_exact_under_mutation() {
+        // Bounds grow through raw inserts/modifies and stay supersets
+        // after removals; every intermediate state must answer like the
+        // reference walk.
+        let mut u = unit_with(40);
+        let m = u.mbr().unwrap().clone();
+        let (mlo, mhi) = (m.lo().to_vec(), m.hi().to_vec());
+        let probe = |u: &StorageUnit| {
+            let (got, _) = u.range_query(&mlo, &mhi);
+            assert_eq!(got, range_reference(u, &mlo, &mhi));
+        };
+        let mut extra = u.files()[0].clone();
+        extra.file_id = 70001;
+        extra.name = "grown".into();
+        extra.size *= 1000; // push a coordinate outside the old bounds
+        u.insert_file_raw(extra.clone());
+        probe(&u);
+        extra.size *= 4;
+        u.modify_file_raw(extra);
+        probe(&u);
+        u.remove_file_raw(u.files()[5].file_id);
+        probe(&u);
+        let ids: Vec<u64> = u.files()[..10].iter().map(|f| f.file_id).collect();
+        u.remove_files(&ids);
+        probe(&u);
+    }
+
+    #[test]
+    fn rebuild_bloom_switches_family_and_keeps_names() {
+        use smartstore_bloom::HashFamily;
+        let mut u = unit_with(30);
+        assert_eq!(u.bloom().family(), HashFamily::default());
+        let centroid = u.centroid().to_vec();
+        let mbr = u.mbr().cloned();
+        u.rebuild_bloom(HashFamily::Md5);
+        assert_eq!(u.bloom().family(), HashFamily::Md5);
+        for f in u.files() {
+            assert!(u.bloom().contains(f.name.as_bytes()));
+            assert!(u.point_query(&f.name).0.is_some());
+        }
+        // Migration must not refresh the (answer-relevant) summaries.
+        assert_eq!(u.centroid(), centroid.as_slice());
+        assert_eq!(u.mbr(), mbr.as_ref());
     }
 }
